@@ -1,0 +1,56 @@
+"""D2 — the Sec. IV-A circuit-level flow: SPICE + MDL -> cell config.
+
+Characterises the 1T-1MTJ bit cell at both nodes through the real
+transient simulator, reproducing the "switching current, delay and
+energy values" extraction step of the MAGPIE flow diagram.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.cells import characterize_cell
+from repro.pdk import ProcessDesignKit
+from repro.utils.table import Table
+
+
+@pytest.mark.parametrize("node", [45, 65])
+def test_cell_characterization(benchmark, node):
+    pdk = ProcessDesignKit.for_node(node)
+
+    config = benchmark.pedantic(
+        lambda: characterize_cell(pdk), rounds=1, iterations=1
+    )
+    save_artifact("d2_cell_%dnm.txt" % node, config.render())
+
+    # Physical sanity of the extracted card.
+    assert config.switching_current > 2.0 * config.critical_current
+    assert 0.1e-9 < config.switching_delay < 6e-9
+    assert config.read_energy < 0.1 * config.write_energy
+    assert config.read_current < config.switching_current
+
+
+def test_characterization_cross_node_comparison(benchmark):
+    def compute():
+        return (
+            characterize_cell(ProcessDesignKit.for_node(45)),
+            characterize_cell(ProcessDesignKit.for_node(65)),
+        )
+
+    c45, c65 = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["parameter", "45 nm", "65 nm"],
+        title="D2 — characterised bit cell across nodes",
+    )
+    for label, a, b in [
+        ("write current (uA)", c45.switching_current * 1e6, c65.switching_current * 1e6),
+        ("switching delay (ns)", c45.switching_delay * 1e9, c65.switching_delay * 1e9),
+        ("write energy (pJ)", c45.write_energy * 1e12, c65.write_energy * 1e12),
+        ("read delay (ps)", c45.read_delay * 1e12, c65.read_delay * 1e12),
+        ("read energy (fJ)", c45.read_energy * 1e15, c65.read_energy * 1e15),
+        ("leakage (nA)", c45.leakage_current * 1e9, c65.leakage_current * 1e9),
+    ]:
+        table.add_row([label, a, b])
+    save_artifact("d2_cross_node.txt", table.render())
+    # Same MTJ at both nodes; CMOS-side leakage higher at 45 nm.
+    assert c45.resistance_parallel == pytest.approx(c65.resistance_parallel)
+    assert c45.leakage_current > c65.leakage_current

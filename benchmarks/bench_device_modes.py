@@ -1,0 +1,150 @@
+"""D1 — MSS device-mode characteristics (the Sec. I/II design claims).
+
+The technology figures of the paper (stack schematics, wafer data) are
+not data artefacts; what is reproducible is the *mode map* they imply:
+
+* memory  — retention adjustable via diameter, I_c0 minimised for the
+  retention spec;
+* oscillator — ~30-degree tilt at H_bias = H_k/2, GHz output tunable
+  with drive current;
+* sensor  — linear out-of-plane transfer above H_k, with sensitivity
+  set by the bias margin.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.core import (
+    MSS_FREE_LAYER,
+    PillarGeometry,
+    SwitchingModel,
+    ThermalStability,
+    design_memory_mss,
+    design_oscillator_mss,
+    design_sensor_mss,
+)
+from repro.utils.table import Table
+
+YEAR = 365.25 * 24 * 3600.0
+
+
+def test_retention_vs_diameter(benchmark):
+    """Memory mode: the retention-by-diameter design curve."""
+
+    diameters = np.linspace(25e-9, 45e-9, 9)
+
+    def compute():
+        rows = []
+        for diameter in diameters:
+            geometry = PillarGeometry(diameter=diameter)
+            stability = ThermalStability(MSS_FREE_LAYER, geometry)
+            switching = SwitchingModel(MSS_FREE_LAYER, geometry)
+            rows.append(
+                (
+                    diameter * 1e9,
+                    stability.delta,
+                    stability.retention_years(),
+                    switching.critical_current * 1e6,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["diameter (nm)", "Delta", "retention (years)", "I_c0 (uA)"],
+        title="D1a — retention & write current vs pillar diameter",
+    )
+    for row in rows:
+        table.add_row(row)
+    save_artifact("d1_retention_vs_diameter.txt", table.render())
+    deltas = [r[1] for r in rows]
+    currents = [r[3] for r in rows]
+    assert all(a < b for a, b in zip(deltas, deltas[1:]))
+    assert all(a < b for a, b in zip(currents, currents[1:]))
+
+
+def test_oscillator_tuning(benchmark):
+    """Oscillator mode: tilt, threshold and the f(I) tuning curve."""
+
+    device = design_oscillator_mss()
+    oscillator = device.oscillator_model()
+
+    def compute():
+        currents = np.linspace(1.1, 3.0, 8) * oscillator.threshold_current
+        return [(i, oscillator.operating_point(i)) for i in currents]
+
+    points = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["I (uA)", "zeta", "power", "f (GHz)", "linewidth (MHz)", "P_out (nW)"],
+        title="D1b — STO operating points (tilt %.1f deg, f_FMR %.2f GHz)"
+        % (math.degrees(oscillator.tilt_angle), oscillator.fmr_frequency / 1e9),
+    )
+    for current, op in points:
+        table.add_row(
+            [
+                current * 1e6,
+                op.supercriticality,
+                op.power,
+                op.frequency / 1e9,
+                op.linewidth / 1e6,
+                op.output_power * 1e9,
+            ]
+        )
+    save_artifact("d1_oscillator.txt", table.render())
+    assert math.degrees(oscillator.tilt_angle) == pytest.approx(30.0, abs=0.5)
+    frequencies = [op.frequency for _, op in points]
+    assert all(f > 0.5e9 for f in frequencies)
+
+
+def test_sensor_transfer(benchmark):
+    """Sensor mode: linear R(H_z) transfer and noise floor."""
+
+    device = design_sensor_mss()
+    sensor = device.sensor_model()
+
+    def compute():
+        fields = np.linspace(-1.0, 1.0, 11) * 0.5 * sensor.linear_range
+        return fields, sensor.transfer_curve(fields)
+
+    fields, curve = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["H_z (kA/m)", "R (ohm)"],
+        title="D1c — sensor transfer (sensitivity %.3g ohm/(A/m), "
+        "detectivity %.3g A/m/sqrt(Hz))" % (sensor.sensitivity, sensor.detectivity()),
+    )
+    for h, r in zip(fields, curve):
+        table.add_row([h / 1e3, r])
+    save_artifact("d1_sensor.txt", table.render())
+    # Monotone everywhere; linear near mid-range (the angular transport
+    # model compresses R(m_z) toward the endpoints, so a real MSS sensor
+    # is operated in the central half of its Stoner-Wohlfarth range).
+    diffs = np.diff(curve)
+    assert np.all(diffs < 0.0)
+    below_slope = (curve[5] - curve[3]) / (fields[5] - fields[3])
+    above_slope = (curve[7] - curve[5]) / (fields[7] - fields[5])
+    assert abs(above_slope / below_slope - 1.0) < 0.4
+    # And the zero-field slope matches the reported sensitivity.
+    zero_slope = (curve[6] - curve[4]) / (fields[6] - fields[4])
+    assert zero_slope == pytest.approx(sensor.sensitivity, rel=0.15)
+
+
+def test_one_stack_three_functions(benchmark):
+    """The headline: one stack, three functions, layout-only deltas."""
+
+    def compute():
+        return (
+            design_memory_mss(retention_seconds=10 * YEAR),
+            design_oscillator_mss(),
+            design_sensor_mss(),
+        )
+
+    memory, oscillator, sensor = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [memory.summary(), oscillator.summary(), sensor.summary()]
+    )
+    save_artifact("d1_mode_map.txt", text)
+    assert memory.material == oscillator.material == sensor.material
+    assert memory.barrier == oscillator.barrier == sensor.barrier

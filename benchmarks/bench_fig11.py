@@ -1,0 +1,51 @@
+"""Fig. 11 — energy breakdown by component, bodytrack on big.LITTLE.
+
+Four scenarios: Full-SRAM (reference), LITTLE-L2-STT-MRAM,
+big-L2-STT-MRAM, Full-L2-STT-MRAM, at 45 nm.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.magpie import MagpieFlow, Scenario, fig11_breakdown
+from repro.mcpat import Component
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return MagpieFlow(node_nm=45)
+
+
+def test_fig11_energy_breakdown_bodytrack(benchmark, flow):
+    def compute():
+        return flow.run(workloads=["bodytrack"], scenarios=list(Scenario))
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = fig11_breakdown(results, "bodytrack")
+    save_artifact("fig11_bodytrack.txt", table.render())
+
+    reference = results[("bodytrack", Scenario.FULL_SRAM)].energy
+    full_stt = results[("bodytrack", Scenario.FULL_L2_STT)].energy
+    # Every STT scenario lowers total energy (the paper's claim).
+    for scenario in (
+        Scenario.LITTLE_L2_STT,
+        Scenario.BIG_L2_STT,
+        Scenario.FULL_L2_STT,
+    ):
+        assert (
+            results[("bodytrack", scenario)].energy.total_energy
+            < reference.total_energy
+        )
+    # The L2 components shrink when swapped (leakage elimination).
+    assert full_stt.component_total(Component.L2_BIG) < reference.component_total(
+        Component.L2_BIG
+    )
+    assert full_stt.component_total(Component.L2_LITTLE) < reference.component_total(
+        Component.L2_LITTLE
+    )
+    # SRAM L2 leakage is a first-order term of the reference platform.
+    l2_share = (
+        reference.component_total(Component.L2_BIG)
+        + reference.component_total(Component.L2_LITTLE)
+    ) / reference.total_energy
+    assert l2_share > 0.15

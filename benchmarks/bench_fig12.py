@@ -1,0 +1,62 @@
+"""Fig. 12 — execution time, energy and EDP per Parsec kernel.
+
+Three STT scenarios normalised to Full-SRAM, 45 nm: only LITTLE-L2-STT
+meaningfully reduces execution time (up to tens of percent); energy
+improves in all scenarios; EDP favours STT overall.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.archsim import PARSEC_KERNELS
+from repro.magpie import MagpieFlow, Scenario, fig12_relative
+
+KERNELS = sorted(PARSEC_KERNELS)
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return MagpieFlow(node_nm=45)
+
+
+def test_fig12_full_suite(benchmark, flow):
+    def compute():
+        return flow.run(workloads=KERNELS, scenarios=list(Scenario))
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = fig12_relative(results, KERNELS)
+    save_artifact("fig12_parsec.txt", table.render())
+
+    time_ratios = {}
+    energy_ratios = {}
+    edp_ratios = {}
+    for kernel in KERNELS:
+        reference = results[(kernel, Scenario.FULL_SRAM)].energy
+        for scenario in (
+            Scenario.LITTLE_L2_STT,
+            Scenario.BIG_L2_STT,
+            Scenario.FULL_L2_STT,
+        ):
+            candidate = results[(kernel, scenario)].energy
+            time_ratios[(kernel, scenario)] = candidate.exec_time / reference.exec_time
+            energy_ratios[(kernel, scenario)] = (
+                candidate.total_energy / reference.total_energy
+            )
+            edp_ratios[(kernel, scenario)] = candidate.edp / reference.edp
+
+    # Energy improves in every scenario for every kernel ...
+    assert all(ratio < 1.0 for ratio in energy_ratios.values())
+    # ... by at least 17 % somewhere (the paper's headline number).
+    assert min(energy_ratios.values()) < 0.83
+    # Only the LITTLE swap produces large time reductions.
+    little_best = min(
+        time_ratios[(k, Scenario.LITTLE_L2_STT)] for k in KERNELS
+    )
+    big_best = min(time_ratios[(k, Scenario.BIG_L2_STT)] for k in KERNELS)
+    assert little_best < 0.80
+    assert big_best > 0.93
+    # EDP favours the full swap for the majority of the suite.
+    wins = sum(
+        1 for k in KERNELS if edp_ratios[(k, Scenario.FULL_L2_STT)] < 1.0
+    )
+    assert wins >= int(0.8 * len(KERNELS))

@@ -1,0 +1,62 @@
+"""Fig. 7 — overall read and write latencies vs target RER/WER.
+
+The paper sweeps target error rates {1e-5, 1e-10, 1e-15}: tighter
+targets require larger timing margins, so both latencies grow steeply.
+"""
+
+from conftest import save_artifact
+
+from repro.utils.table import Table
+
+TARGETS = (1e-5, 1e-10, 1e-15)
+
+
+def test_fig7_write_latency_vs_wer(benchmark, vaet45):
+    analysis = vaet45.error_rates()
+
+    def compute():
+        return [analysis.write_margin(target) for target in TARGETS]
+
+    margins = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["target WER", "pulse width (ns)", "overall write latency (ns)"],
+        title="Fig. 7 (write) — latency vs WER, 45 nm",
+    )
+    for margin in margins:
+        table.add_row(
+            [
+                "%.0e" % margin.wer_target,
+                margin.pulse_width * 1e9,
+                margin.total_latency * 1e9,
+            ]
+        )
+    save_artifact("fig7_write.txt", table.render())
+    latencies = [m.total_latency for m in margins]
+    assert latencies[0] < latencies[1] < latencies[2]
+    # Tens of nanoseconds at tight targets, as in the figure.
+    assert 10e-9 < latencies[0] < latencies[2] < 200e-9
+
+
+def test_fig7_read_latency_vs_rer(benchmark, vaet45):
+    analysis = vaet45.error_rates()
+
+    def compute():
+        return [analysis.read_margin(target) for target in TARGETS]
+
+    margins = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["target RER", "sense time (ns)", "overall read latency (ns)"],
+        title="Fig. 7 (read) — latency vs RER, 45 nm",
+    )
+    for margin in margins:
+        table.add_row(
+            [
+                "%.0e" % margin.rer_target,
+                margin.sense_time * 1e9,
+                margin.total_latency * 1e9,
+            ]
+        )
+    save_artifact("fig7_read.txt", table.render())
+    latencies = [m.total_latency for m in margins]
+    assert latencies[0] < latencies[1] < latencies[2]
+    assert latencies[2] < 10e-9  # reads stay nanosecond-scale

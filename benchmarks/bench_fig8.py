@@ -1,0 +1,51 @@
+"""Fig. 8 — effect of ECC correction capability on write latency.
+
+At a WER target of 1e-18: "there is a drastic improvement in latency by
+using an ECC with one-bit error correction.  However, the improvement
+in latency for higher bit error correction is comparatively less."
+"""
+
+from conftest import save_artifact
+
+from repro.utils.table import Table
+
+WER_TARGET = 1e-18
+MAX_CORRECTION = 4
+
+
+def test_fig8_ecc_vs_write_latency(benchmark, vaet45):
+    ecc = vaet45.ecc()
+
+    def compute():
+        return ecc.sweep(MAX_CORRECTION, WER_TARGET)
+
+    points = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        [
+            "corrected bits",
+            "write latency (ns)",
+            "pulse (ns)",
+            "per-bit WER budget",
+            "parity bits",
+        ],
+        title="Fig. 8 — ECC vs write latency, WER 1e-18, 45 nm",
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.correct_bits,
+                point.total_latency * 1e9,
+                point.pulse_width * 1e9,
+                "%.1e" % point.per_bit_wer,
+                point.codeword_bits - vaet45.config.word_bits,
+            ]
+        )
+    save_artifact("fig8_ecc.txt", table.render())
+
+    latencies = [p.total_latency for p in points]
+    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    # Drastic first step, diminishing afterwards.
+    first_gain = latencies[0] - latencies[1]
+    later_gains = [a - b for a, b in zip(latencies[1:], latencies[2:])]
+    assert first_gain > 1.5 * max(later_gains)
+    assert latencies[0] / latencies[1] > 1.5

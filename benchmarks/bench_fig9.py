@@ -1,0 +1,66 @@
+"""Fig. 9 — read-disturb probability vs read period.
+
+"Even though a higher read latency leads to a lower RER as per Fig. 7,
+it will lead to increased read disturb probability" — the conflicting
+requirement that fixes the read period.
+"""
+
+from conftest import save_artifact
+
+from repro.utils.table import Table
+
+READ_PERIODS = (1e-9, 2e-9, 5e-9, 10e-9, 20e-9, 50e-9, 100e-9)
+
+
+def test_fig9_read_disturb_vs_period(benchmark, vaet45):
+    disturb = vaet45.read_disturb()
+
+    def compute():
+        return disturb.sweep(READ_PERIODS)
+
+    points = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["read period (ns)", "per-bit disturb", "per-word disturb"],
+        title="Fig. 9 — read disturb vs read period, 45 nm",
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.read_period * 1e9,
+                "%.3e" % point.per_bit_probability,
+                "%.3e" % point.per_word_probability,
+            ]
+        )
+    save_artifact("fig9_read_disturb.txt", table.render())
+
+    probabilities = [p.per_bit_probability for p in points]
+    assert all(a < b for a, b in zip(probabilities, probabilities[1:]))
+
+
+def test_fig9_conflict_with_rer(benchmark, vaet45):
+    """The cross-figure trade-off: longer reads cut RER, raise disturb."""
+    analysis = vaet45.error_rates()
+    disturb = vaet45.read_disturb()
+
+    def compute():
+        loose = analysis.read_margin(1e-5)
+        tight = analysis.read_margin(1e-15)
+        return (
+            loose,
+            tight,
+            disturb.point(loose.sense_time),
+            disturb.point(tight.sense_time),
+        )
+
+    loose, tight, disturb_loose, disturb_tight = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    table = Table(
+        ["RER target", "read period (ns)", "per-word disturb"],
+        title="Fig. 7/9 conflict — RER margin vs disturb",
+    )
+    table.add_row(["1e-05", loose.sense_time * 1e9, "%.2e" % disturb_loose.per_word_probability])
+    table.add_row(["1e-15", tight.sense_time * 1e9, "%.2e" % disturb_tight.per_word_probability])
+    save_artifact("fig9_conflict.txt", table.render())
+    assert tight.sense_time > loose.sense_time
+    assert disturb_tight.per_word_probability > disturb_loose.per_word_probability

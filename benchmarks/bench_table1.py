@@ -1,0 +1,49 @@
+"""Table 1 — nominal vs variation-aware latency/energy at 45 and 65 nm.
+
+Paper values (1024x1024 array):
+
+                      45 nm                   65 nm
+                nominal  mu     sigma    nominal  mu     sigma
+write lat (ns)  4.9      14.7   1.82     4.4      12.1   1.32
+write E (pJ)    159.0    425.0  3.73     272.8    512.2  2.79
+read lat (ns)   1.2      1.7    0.08     1.22     1.5    0.05
+read E (pJ)     3.4      4.8    0.002    4.8      5.7    0.001
+"""
+
+from conftest import save_artifact
+
+
+def _render(estimate, node):
+    return estimate.render("Table 1 — %d nm, 1024x1024 STT-MRAM array" % node)
+
+
+def test_table1_45nm(benchmark, vaet45):
+    estimate = benchmark.pedantic(
+        lambda: vaet45.estimate(num_words=4000), rounds=1, iterations=1
+    )
+    save_artifact("table1_45nm.txt", _render(estimate, 45))
+    # Paper shape assertions: mu >> nominal for writes, tiny read sigma.
+    assert estimate.write_latency.mean > 1.8 * estimate.nominal.write_latency
+    assert estimate.write_energy.mean > 1.8 * estimate.nominal.write_energy
+    assert estimate.read_latency.std < 0.1e-9
+    assert estimate.read_energy.std < 0.05e-12
+
+
+def test_table1_65nm(benchmark, vaet65):
+    estimate = benchmark.pedantic(
+        lambda: vaet65.estimate(num_words=4000), rounds=1, iterations=1
+    )
+    save_artifact("table1_65nm.txt", _render(estimate, 65))
+    assert estimate.write_latency.mean > 1.8 * estimate.nominal.write_latency
+
+
+def test_table1_sigma_ordering(benchmark, vaet45, vaet65):
+    def compute():
+        return vaet45.estimate(num_words=3000), vaet65.estimate(num_words=3000)
+
+    e45, e65 = benchmark.pedantic(compute, rounds=1, iterations=1)
+    # sigma(45 nm) > sigma(65 nm) for write latency; energies lower at
+    # the smaller node (both claims of Sec. III).
+    assert e45.write_latency.std > e65.write_latency.std
+    assert e45.nominal.write_energy < e65.nominal.write_energy
+    assert e45.nominal.read_energy < e65.nominal.read_energy

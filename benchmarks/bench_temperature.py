@@ -1,0 +1,95 @@
+"""Temperature study — the IoT operating envelope (-40 to +125 C).
+
+The paper targets "autonomous battery-operated smart embedded systems";
+those live outdoors and in engine bays.  Temperature moves every MSS
+figure of merit in a different direction:
+
+* Delta ~ 1/T: retention and read-disturb margins shrink when hot;
+* I_c0 ~ Delta * T: roughly temperature-flat in this model, but the
+  delivered CMOS drive weakens when hot;
+* thermally-activated WER *improves* when hot (larger initial angle).
+
+This bench sweeps the corner set the GREAT PDK would ship.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.core import MSS_FREE_LAYER, PillarGeometry, SwitchingModel, ThermalStability
+from repro.utils.table import Table
+from repro.utils.units import celsius_to_kelvin
+
+TEMPERATURES_C = (-40.0, 0.0, 25.0, 85.0, 125.0)
+
+
+def test_temperature_envelope(benchmark):
+    geometry = PillarGeometry(diameter=45e-9)
+
+    def compute():
+        rows = []
+        for temp_c in TEMPERATURES_C:
+            temp_k = celsius_to_kelvin(temp_c)
+            stability = ThermalStability(MSS_FREE_LAYER, geometry, temp_k)
+            switching = SwitchingModel(MSS_FREE_LAYER, geometry, temp_k)
+            current = 60e-6
+            rows.append(
+                (
+                    temp_c,
+                    stability.delta,
+                    stability.retention_years(),
+                    switching.critical_current * 1e6,
+                    switching.write_error_rate(10e-9, current),
+                    switching.read_disturb_probability(5e-9, 8e-6),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        [
+            "T (C)",
+            "Delta",
+            "retention (years)",
+            "I_c0 (uA)",
+            "WER @ 60uA/10ns",
+            "disturb @ 8uA/5ns",
+        ],
+        title="Temperature envelope of the memory-mode MSS (45 nm pillar)",
+    )
+    for row in rows:
+        table.add_row(
+            [row[0], row[1], "%.3g" % row[2], row[3], "%.2e" % row[4], "%.2e" % row[5]]
+        )
+    save_artifact("temperature_envelope.txt", table.render())
+
+    deltas = [row[1] for row in rows]
+    retentions = [row[2] for row in rows]
+    disturbs = [row[5] for row in rows]
+    # Hot = less stable: Delta and retention fall, disturb rises.
+    assert all(a > b for a, b in zip(deltas, deltas[1:]))
+    assert all(a > b for a, b in zip(retentions, retentions[1:]))
+    assert all(a <= b for a, b in zip(disturbs, disturbs[1:]))
+    # The full envelope stays functional: Delta > 25 even at 125 C.
+    assert deltas[-1] > 25.0
+
+
+def test_temperature_wer_inversion(benchmark):
+    """WER at fixed drive *improves* when hot (bigger initial angle) —
+    the well-known STT-MRAM inversion between retention and writability."""
+    geometry = PillarGeometry(diameter=45e-9)
+
+    def compute():
+        cold = SwitchingModel(MSS_FREE_LAYER, geometry, celsius_to_kelvin(-40.0))
+        hot = SwitchingModel(MSS_FREE_LAYER, geometry, celsius_to_kelvin(125.0))
+        current = 4.0 * cold.critical_current
+        return cold.write_error_rate(8e-9, current), hot.write_error_rate(8e-9, current)
+
+    wer_cold, wer_hot = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        ["corner", "WER @ 4x Ic0(cold), 8 ns"],
+        title="Write-retention inversion across temperature",
+    )
+    table.add_row(["-40 C", "%.2e" % wer_cold])
+    table.add_row(["+125 C", "%.2e" % wer_hot])
+    save_artifact("temperature_wer_inversion.txt", table.render())
+    assert wer_hot < wer_cold

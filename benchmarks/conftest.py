@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The
+rendered artefact is printed and also written to benchmarks/output/ so
+the paper-vs-measured comparison of EXPERIMENTS.md can be refreshed.
+"""
+
+import os
+
+import pytest
+
+from repro.nvsim import MemoryConfig
+from repro.pdk import ProcessDesignKit
+from repro.vaet import VAETSTT
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write a rendered table under benchmarks/output/ and print it."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def table1_array():
+    """The paper's 1024x1024 evaluation array (full-row access)."""
+    return MemoryConfig(
+        rows=1024, cols=1024, word_bits=1024, subarray_rows=256, subarray_cols=256
+    )
+
+
+@pytest.fixture(scope="session")
+def vaet45(table1_array):
+    """VAET-STT bound to the 45 nm node (shared across benchmarks)."""
+    return VAETSTT(ProcessDesignKit.for_node(45), table1_array)
+
+
+@pytest.fixture(scope="session")
+def vaet65(table1_array):
+    """VAET-STT bound to the 65 nm node."""
+    return VAETSTT(ProcessDesignKit.for_node(65), table1_array)

@@ -1,0 +1,74 @@
+"""MAGPIE big.LITTLE hybrid-memory exploration (the Sec. IV workflow).
+
+Reproduces the system-level study: four L2-technology scenarios on an
+Exynos-5-like big.LITTLE platform across the Parsec-like kernel suite,
+with the STT-MRAM L2 timing/energy wired in live from VAET-STT — the
+full cross-layer flow of Fig. 10, as a script (MAGPIE is
+"script-oriented" by design).
+
+Run:  python examples/biglittle_exploration.py        (~10 s)
+"""
+
+from repro.archsim import PARSEC_KERNELS
+from repro.magpie import MagpieFlow, Scenario, fig11_breakdown, fig12_relative
+
+
+def main():
+    flow = MagpieFlow(node_nm=45)
+
+    # The memory-level records the flow derived (VAET-STT + NVSim).
+    sram, stt = flow.memory_records()
+    print("L2 macro records from the memory level:")
+    for record in (sram, stt):
+        print(
+            "  %-9s read %5.2f ns  write %6.2f ns  leak %6.1f mW/MB  %5.2f mm2/MB"
+            % (
+                record.label,
+                record.read_latency * 1e9,
+                record.write_latency * 1e9,
+                record.leakage_per_mb * 1e3,
+                record.area_per_mb * 1e6,
+            )
+        )
+    print(
+        "  iso-area capacity factor: %.1fx"
+        % (sram.area_per_mb / stt.area_per_mb)
+    )
+    print()
+
+    # Fig. 11: component breakdown for bodytrack.
+    results = flow.run(workloads=["bodytrack"])
+    print(fig11_breakdown(results, "bodytrack").render())
+    print()
+
+    # Fig. 12: the full suite, normalised to Full-SRAM.
+    kernels = sorted(PARSEC_KERNELS)
+    results = flow.run(workloads=kernels)
+    print(fig12_relative(results, kernels).render())
+    print()
+
+    # Headline numbers.
+    best_time = min(
+        (
+            results[(k, Scenario.LITTLE_L2_STT)].energy.exec_time
+            / results[(k, Scenario.FULL_SRAM)].energy.exec_time,
+            k,
+        )
+        for k in kernels
+    )
+    best_energy = min(
+        (
+            results[(k, Scenario.FULL_L2_STT)].energy.total_energy
+            / results[(k, Scenario.FULL_SRAM)].energy.total_energy,
+            k,
+        )
+        for k in kernels
+    )
+    print("best exec-time reduction (LITTLE-L2-STT): %.0f %% on %s"
+          % (100 * (1 - best_time[0]), best_time[1]))
+    print("best energy reduction (Full-L2-STT): %.0f %% on %s"
+          % (100 * (1 - best_energy[0]), best_energy[1]))
+
+
+if __name__ == "__main__":
+    main()

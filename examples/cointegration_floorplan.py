@@ -1,0 +1,99 @@
+"""Co-integration floor-planning: the price of 'one extra litho step'.
+
+The MSS promise is sensors, oscillators and memory on one die.  The
+two engineering taxes this script quantifies:
+
+1. **Magnetic cross-talk** — a sensor's bias magnets leak stray field
+   onto neighbouring memory pillars, eroding their barrier.  The
+   keep-out radius is the floor-planning design rule.
+2. **Retention grade** — the paper's 'adjustable retention by diameter'
+   cuts both ways: the write-optimised (cache-grade) pillar needs
+   scrubbing to hold data; the retention-grade pillar costs write
+   current.  The script shows both points and the scrub schedule that
+   makes the cache-grade array dependable.
+
+Run:  python examples/cointegration_floorplan.py        (~15 s)
+"""
+
+import numpy as np
+
+from repro.core import (
+    CrosstalkAnalysis,
+    MSS_FREE_LAYER,
+    PillarGeometry,
+    design_sensor_mss,
+)
+from repro.nvsim import MemoryConfig
+from repro.pdk import ProcessDesignKit
+from repro.utils.table import Table
+from repro.vaet import RetentionFaultModel, VAETSTT
+
+
+def crosstalk_study():
+    sensor = design_sensor_mss()
+    victim = PillarGeometry(diameter=45e-9)
+    analysis = CrosstalkAnalysis(sensor.bias_magnets, MSS_FREE_LAYER, victim)
+
+    table = Table(
+        ["spacing (nm)", "victim Delta", "retention"],
+        title="Stray field of the sensor bias magnets on a memory pillar",
+    )
+    for distance in (350e-9, 500e-9, 700e-9, 1000e-9, 2000e-9):
+        delta = analysis.disturbed_delta(distance)
+        retention = analysis.retention_at_distance(distance)
+        label = (
+            "%.1f days" % (retention / 86400.0)
+            if retention < 3.15e7
+            else "%.1f years" % (retention / 3.156e7)
+        )
+        table.add_row([distance * 1e9, delta, label])
+    print(table.render())
+    for budget in (0.99, 0.95, 0.90):
+        print(
+            "keep-out for %.0f %% Delta budget: %.0f nm"
+            % (100 * budget, analysis.keep_out_distance(budget) * 1e9)
+        )
+    print()
+
+
+def retention_study():
+    array = MemoryConfig(
+        rows=1024, cols=1024, word_bits=1024, subarray_rows=256, subarray_cols=256
+    )
+    table = Table(
+        ["pillar", "mean Delta", "flips/bit/day", "scrub for 1e6 FIT"],
+        title="Cache-grade vs retention-grade MSS arrays (45 nm, ECC t=1)",
+    )
+    for label, diameter in (("cache-grade 40 nm", 40e-9), ("retention-grade 48 nm", 48e-9)):
+        pdk = ProcessDesignKit.for_node(45, pillar_diameter=diameter)
+        tool = VAETSTT(pdk, array)
+        model = RetentionFaultModel(
+            tool.error_rates(), ecc_correct_bits=1, screen_quantile=0.001
+        )
+        daily = model.per_bit_flip_probability(86400.0)
+        try:
+            scrub = model.scrub_interval_for_fit(1e6)
+            scrub_label = "%.1f min" % (scrub / 60.0) if scrub < 7200 else "%.1f h" % (scrub / 3600.0)
+        except ValueError:
+            scrub_label = "unreachable"
+        table.add_row(
+            [
+                label,
+                float(np.mean(model.analysis.cells.delta)),
+                "%.2e" % daily,
+                scrub_label,
+            ]
+        )
+    print(table.render())
+    print()
+    print("The cache-grade array trades retention for write current — fine")
+    print("for an L2 with scrubbing, not for unpowered data logging.")
+
+
+def main():
+    crosstalk_study()
+    retention_study()
+
+
+if __name__ == "__main__":
+    main()

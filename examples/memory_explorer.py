@@ -1,0 +1,88 @@
+"""VAET-STT memory design exploration (the Sec. III workflow).
+
+Walks the variation-aware design loop a memory architect would run
+before tape-out:
+
+1. Table-1-style nominal vs (mu, sigma) estimation at 45 and 65 nm;
+2. timing margins for a ladder of RER/WER targets (Fig. 7);
+3. the ECC-vs-margin trade at WER 1e-18 (Fig. 8);
+4. the read-disturb ceiling on the read period (Fig. 9);
+5. a subarray-shape design-space sweep under all three constraints.
+
+Run:  python examples/memory_explorer.py        (~20 s)
+"""
+
+from repro.nvsim import MemoryConfig
+from repro.pdk import ProcessDesignKit
+from repro.utils.table import Table
+from repro.vaet import DesignConstraints, DesignSpaceExplorer, VAETSTT
+
+
+def main():
+    array = MemoryConfig(
+        rows=1024, cols=1024, word_bits=1024, subarray_rows=256, subarray_cols=256
+    )
+
+    # 1. Table 1.
+    for node in (45, 65):
+        tool = VAETSTT(ProcessDesignKit.for_node(node), array)
+        print(tool.estimate().render("Table 1 — %d nm" % node))
+        print()
+
+    # 2. Fig. 7 margins at 45 nm.
+    tool = VAETSTT(ProcessDesignKit.for_node(45), array)
+    analysis = tool.error_rates()
+    table = Table(
+        ["target", "write latency (ns)", "read latency (ns)"],
+        title="Fig. 7 — margined latencies vs error-rate target",
+    )
+    for target in (1e-5, 1e-10, 1e-15):
+        write = analysis.write_margin(target)
+        read = analysis.read_margin(target)
+        table.add_row(
+            ["%.0e" % target, write.total_latency * 1e9, read.total_latency * 1e9]
+        )
+    print(table.render())
+    print()
+
+    # 3. Fig. 8 ECC trade.
+    ecc_table = Table(
+        ["ECC t", "write latency (ns)", "storage overhead"],
+        title="Fig. 8 — ECC vs write latency at WER 1e-18",
+    )
+    for point in tool.ecc().sweep(4, 1e-18):
+        ecc_table.add_row(
+            [
+                point.correct_bits,
+                point.total_latency * 1e9,
+                "%.1f %%" % (100.0 * point.storage_overhead),
+            ]
+        )
+    print(ecc_table.render())
+    print()
+
+    # 4. Fig. 9 ceiling: the weak-cell tail dominates read disturb, so
+    #    the per-access budget (absorbed by scrubbing + the write-path
+    #    ECC) sits far above the RER target.
+    disturb = tool.read_disturb()
+    ceiling = disturb.max_read_period(1e-4)
+    print("read-disturb ceiling for a 1e-4 per-word budget: %.2f ns"
+          % (ceiling * 1e9))
+    rer_floor = analysis.read_margin(1e-9).sense_time
+    print("RER floor for a 1e-9 target: %.2f ns" % (rer_floor * 1e9))
+    print("=> the read period must sit between the two — the Sec. III")
+    print("   'conflicting requirements' window.")
+    print()
+
+    # 5. Design-space sweep.
+    explorer = DesignSpaceExplorer(
+        ProcessDesignKit.for_node(45),
+        array,
+        DesignConstraints(wer_target=1e-15, rer_target=1e-12),
+    )
+    points = explorer.sweep_subarrays((128, 256, 512))
+    print(DesignSpaceExplorer.render(points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: reproduction of the DATE 2018 MSS/GREAT spintronics paper.
+
+Subpackages
+-----------
+``repro.core``
+    MSS device physics — MTJ transport, macrospin LLGS, retention,
+    STT switching statistics, bias magnets, sensor and oscillator modes.
+``repro.pdk``
+    Process design kit: CMOS technology nodes, transistor compact model,
+    corners and statistical variation.
+``repro.spice``
+    SPICE-class circuit simulator (MNA, DC + transient) with an MDL
+    measurement layer.
+``repro.cells``
+    MRAM bit cell, sense amplifier, write driver, non-volatile flip-flop
+    and the characterisation flow feeding VAET-STT.
+``repro.nvsim``
+    NVSim-class circuit-level memory latency/energy/area estimator.
+``repro.vaet``
+    VAET-STT: variation-aware estimation (Table 1, Figs. 7-9).
+``repro.archsim``
+    gem5-class trace-driven big.LITTLE system simulator.
+``repro.mcpat``
+    McPAT-class power/area roll-up.
+``repro.magpie``
+    MAGPIE cross-layer hybrid-memory exploration flow (Figs. 11-12).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    MSSDevice,
+    MSSMode,
+    design_memory_mss,
+    design_oscillator_mss,
+    design_sensor_mss,
+)
+
+__all__ = [
+    "__version__",
+    "MSSDevice",
+    "MSSMode",
+    "design_memory_mss",
+    "design_oscillator_mss",
+    "design_sensor_mss",
+]

@@ -1,0 +1,50 @@
+"""gem5-class trace-driven/analytic big.LITTLE system simulator."""
+
+from repro.archsim.cache import Cache, CacheStats
+from repro.archsim.cpu import BIG_CORE_45NM, CoreModel, LITTLE_CORE_45NM
+from repro.archsim.memtech import (
+    DRAM_45NM,
+    MemoryTechnology,
+    SRAM_L1_45NM,
+    SRAM_L2_45NM,
+    STT_L2_45NM,
+)
+from repro.archsim.soc import ClusterConfig, SoCConfig
+from repro.archsim.stats import ActivityReport, ClusterActivity
+from repro.archsim.workloads import (
+    MIBENCH_KERNELS,
+    PARSEC_KERNELS,
+    TraceGenerator,
+    WorkloadDescriptor,
+)
+from repro.archsim.simulator import (
+    LINE_BYTES,
+    simulate,
+    simulate_cluster,
+    simulate_trace_driven,
+)
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "BIG_CORE_45NM",
+    "CoreModel",
+    "LITTLE_CORE_45NM",
+    "DRAM_45NM",
+    "MemoryTechnology",
+    "SRAM_L1_45NM",
+    "SRAM_L2_45NM",
+    "STT_L2_45NM",
+    "ClusterConfig",
+    "SoCConfig",
+    "ActivityReport",
+    "ClusterActivity",
+    "MIBENCH_KERNELS",
+    "PARSEC_KERNELS",
+    "TraceGenerator",
+    "WorkloadDescriptor",
+    "LINE_BYTES",
+    "simulate",
+    "simulate_cluster",
+    "simulate_trace_driven",
+]

@@ -1,0 +1,165 @@
+"""Set-associative cache simulator (detailed mode).
+
+A classic LRU, write-back/write-allocate cache with full event
+accounting — the per-level numbers gem5's stats file reports (hits,
+misses, writebacks).  Used directly for trace-driven runs and as the
+ground truth the analytic hierarchy model is validated against.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Event counters of one cache level.
+
+    Attributes:
+        read_hits: Read accesses that hit.
+        read_misses: Read accesses that missed.
+        write_hits: Write accesses that hit.
+        write_misses: Write accesses that missed.
+        writebacks: Dirty evictions pushed to the next level.
+        fills: Lines installed (one per miss with allocate).
+    """
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    fills: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Total read accesses."""
+        return self.read_hits + self.read_misses
+
+    @property
+    def writes(self) -> int:
+        """Total write accesses."""
+        return self.write_hits + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Overall miss rate (0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """One set-associative LRU cache level.
+
+    Args:
+        name: Label used in reports.
+        size_bytes: Total capacity.
+        assoc: Associativity (ways).
+        line_bytes: Line size.
+        next_level: Cache behind this one (None = memory).
+
+    Raises:
+        ValueError: On non-power-of-two geometry or capacity/assoc
+            mismatch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+        next_level: Optional["Cache"] = None,
+    ):
+        if size_bytes <= 0 or size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                "capacity %d not divisible into %d ways of %d-byte lines"
+                % (size_bytes, assoc, line_bytes)
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.next_level = next_level
+        self.stats = CacheStats()
+        # Per set: list of (tag, dirty) in LRU order (front = LRU).
+        self._sets: List[List[Tuple[int, bool]]] = [[] for _ in range(self.num_sets)]
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Access one address; returns True on hit.
+
+        Misses allocate (write-allocate policy) and recurse into the
+        next level; dirty victims generate writebacks that also recurse.
+        """
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        for position, (way_tag, dirty) in enumerate(ways):
+            if way_tag == tag:
+                ways.pop(position)
+                ways.append((tag, dirty or is_write))
+                if is_write:
+                    self.stats.write_hits += 1
+                else:
+                    self.stats.read_hits += 1
+                return True
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        self._fill(set_index, tag, dirty=is_write)
+        if self.next_level is not None:
+            self.next_level.access(address, is_write=False)
+        return False
+
+    def _fill(self, set_index: int, tag: int, dirty: bool) -> None:
+        ways = self._sets[set_index]
+        if len(ways) >= self.assoc:
+            victim_tag, victim_dirty = ways.pop(0)
+            if victim_dirty:
+                self.stats.writebacks += 1
+                if self.next_level is not None:
+                    victim_line = victim_tag * self.num_sets + set_index
+                    self.next_level.access(
+                        victim_line * self.line_bytes, is_write=True
+                    )
+        ways.append((tag, dirty))
+        self.stats.fills += 1
+
+    def flush_dirty(self) -> int:
+        """Write back every dirty line (end-of-run accounting).
+
+        Returns:
+            Number of writebacks generated.
+        """
+        count = 0
+        for set_index, ways in enumerate(self._sets):
+            for tag, dirty in ways:
+                if dirty:
+                    count += 1
+                    self.stats.writebacks += 1
+                    if self.next_level is not None:
+                        line = tag * self.num_sets + set_index
+                        self.next_level.access(line * self.line_bytes, is_write=True)
+            self._sets[set_index] = [(t, False) for t, _ in ways]
+        return count
+
+    def reset_stats(self) -> None:
+        """Zero the counters without touching contents."""
+        self.stats = CacheStats()

@@ -1,0 +1,91 @@
+"""Memory-technology parameter records for the system simulator.
+
+The archsim layer does not know device physics — it consumes flat
+latency/energy/leakage records per cache level.  MAGPIE fills these
+from NVSim (SRAM) and VAET-STT (STT-MRAM); the defaults here are the
+wired-up 45 nm values so the simulator is usable standalone.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """Electrical summary of one cache/memory level.
+
+    Attributes:
+        label: "sram" / "stt-mram" / "dram".
+        read_latency: Read access time [s].
+        write_latency: Write access time [s].
+        read_energy: Energy per read [J].
+        write_energy: Energy per write [J].
+        leakage_per_mb: Static power per MiB of capacity [W].
+        area_per_mb: Area per MiB [m^2] (drives iso-area capacity).
+    """
+
+    label: str
+    read_latency: float
+    write_latency: float
+    read_energy: float
+    write_energy: float
+    leakage_per_mb: float
+    area_per_mb: float
+
+    def scaled_for_capacity(self, capacity_mb: float) -> "MemoryTechnology":
+        """Mildly scale latency with capacity (wire growth ~ sqrt)."""
+        import dataclasses
+        import math
+
+        factor = math.sqrt(max(capacity_mb, 0.25) / 1.0)
+        return dataclasses.replace(
+            self,
+            read_latency=self.read_latency * factor ** 0.5,
+            write_latency=self.write_latency * factor ** 0.25
+            if self.label == "sram"
+            else self.write_latency,
+        )
+
+
+#: 45 nm SRAM L2 macro (NVSim-derived defaults).
+SRAM_L2_45NM = MemoryTechnology(
+    label="sram",
+    read_latency=2.0e-9,
+    write_latency=2.0e-9,
+    read_energy=120e-12,
+    write_energy=120e-12,
+    leakage_per_mb=85e-3,
+    area_per_mb=3.2e-6,
+)
+
+#: 45 nm STT-MRAM L2 macro (VAET-STT-derived defaults).
+STT_L2_45NM = MemoryTechnology(
+    label="stt-mram",
+    read_latency=2.4e-9,
+    write_latency=11.0e-9,
+    read_energy=150e-12,
+    write_energy=650e-12,
+    leakage_per_mb=12e-3,
+    area_per_mb=0.85e-6,
+)
+
+#: LPDDR-class main memory behind the SoC.
+DRAM_45NM = MemoryTechnology(
+    label="dram",
+    read_latency=60e-9,
+    write_latency=60e-9,
+    read_energy=2.5e-9,
+    write_energy=2.5e-9,
+    leakage_per_mb=0.18e-3,
+    area_per_mb=0.0,
+)
+
+#: Per-core L1 (always SRAM — STT write latency is untenable at L1).
+SRAM_L1_45NM = MemoryTechnology(
+    label="sram",
+    read_latency=0.5e-9,
+    write_latency=0.5e-9,
+    read_energy=15e-12,
+    write_energy=15e-12,
+    leakage_per_mb=95e-3,
+    area_per_mb=3.5e-6,
+)

@@ -1,0 +1,202 @@
+"""Analytic big.LITTLE system simulator (the gem5 substitute).
+
+Threads are statically partitioned across all eight cores (the Parsec
+pthread model); each cluster's four threads share that cluster's L2.
+The slower cluster sets the parallel-phase time — which is why a
+larger (iso-area STT-MRAM) L2 on the *LITTLE* cluster can shorten the
+whole program: the LITTLE side is usually the critical path and is the
+most memory-bound.
+
+Cache behaviour uses the kernels' reuse-distance survival function
+(validated against the detailed simulator in the tests); core timing
+uses the standard CPI + exposed-stall decomposition of
+:mod:`repro.archsim.cpu`.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.archsim.soc import ClusterConfig, SoCConfig
+from repro.archsim.stats import ActivityReport, ClusterActivity
+from repro.archsim.workloads import WorkloadDescriptor
+
+#: Cache line size used across the hierarchy [bytes].
+LINE_BYTES = 64
+
+#: Associativity-induced capacity efficiency of real caches.
+CAPACITY_EFFICIENCY = 0.82
+
+
+@dataclass
+class _ClusterRun:
+    """Intermediate per-cluster result."""
+
+    activity: ClusterActivity
+    thread_time: float
+
+
+def _effective_lines(capacity_bytes: float, shared_by: int = 1) -> float:
+    """LRU-effective line count of a cache shared by ``shared_by``."""
+    return CAPACITY_EFFICIENCY * capacity_bytes / (LINE_BYTES * shared_by)
+
+
+def simulate_cluster(
+    cluster: ClusterConfig,
+    workload: WorkloadDescriptor,
+    instructions_per_thread: float,
+    dram,
+) -> _ClusterRun:
+    """Run one cluster's share of the parallel phase analytically.
+
+    Args:
+        cluster: Cluster configuration.
+        workload: Kernel descriptor.
+        instructions_per_thread: Work per thread in this phase.
+        dram: Main-memory technology record.
+
+    Returns:
+        Activity and the (identical-threads) per-thread time.
+    """
+    core = cluster.core
+    accesses = instructions_per_thread * workload.memory_fraction
+    writes = accesses * workload.write_fraction
+    reads = accesses - writes
+
+    l1_lines = _effective_lines(cluster.l1_kb * 1024.0)
+    l2_lines = _effective_lines(
+        cluster.l2_mb * 1024.0 * 1024.0, shared_by=cluster.num_cores
+    )
+    m1 = workload.reuse_distance_survival(l1_lines)
+    m_l2_global = workload.reuse_distance_survival(l1_lines + l2_lines)
+    m2 = m_l2_global / m1 if m1 > 0.0 else 0.0
+
+    l1_misses = accesses * m1
+    l2_reads = l1_misses
+    dirty_fraction = min(0.6, workload.write_fraction * 1.4)
+    l2_fills = l1_misses
+    l2_writebacks = l1_misses * dirty_fraction
+    l2_writes = l2_fills + l2_writebacks
+    l2_misses = l2_reads * m2
+    dram_reads = l2_misses
+    dram_writes = l2_misses * dirty_fraction
+
+    frequency = core.frequency
+    l2_read_cycles = cluster.l2_tech.read_latency * frequency
+    l2_write_cycles = cluster.l2_tech.write_latency * frequency
+    dram_cycles = dram.read_latency * frequency
+
+    read_stall = (
+        l1_misses * (1.0 - m2) * l2_read_cycles
+        + l2_misses * dram_cycles / core.mlp
+    )
+    write_stall = (
+        l2_writebacks * l2_write_cycles * core.write_stall_fraction
+        + dram_writes * dram_cycles * core.write_stall_fraction / core.mlp
+    )
+    cycles = (
+        core.base_cycles(instructions_per_thread, workload.base_cpi)
+        + core.exposed(read_stall)
+        + write_stall
+    )
+    thread_time = cycles / frequency
+
+    threads = cluster.num_cores
+    activity = ClusterActivity(
+        name=cluster.name,
+        instructions=instructions_per_thread * threads,
+        cycles=cycles,
+        l1_reads=reads * threads,
+        l1_writes=writes * threads,
+        l1_misses=l1_misses * threads,
+        l2_reads=l2_reads * threads,
+        l2_writes=l2_writes * threads,
+        l2_misses=l2_misses * threads,
+        dram_reads=dram_reads * threads,
+        dram_writes=dram_writes * threads,
+        busy_time=thread_time,
+    )
+    return _ClusterRun(activity=activity, thread_time=thread_time)
+
+
+def simulate(soc: SoCConfig, workload: WorkloadDescriptor) -> ActivityReport:
+    """Simulate one kernel on the big.LITTLE platform.
+
+    The parallel phase splits evenly over all eight threads; the serial
+    remainder runs on one big core.  Execution time is the serial time
+    plus the slowest cluster's parallel time.
+    """
+    total_threads = soc.big.num_cores + soc.little.num_cores
+    parallel_instr = workload.instructions * workload.parallel_fraction
+    serial_instr = workload.instructions - parallel_instr
+    per_thread = parallel_instr / total_threads
+
+    big_run = simulate_cluster(soc.big, workload, per_thread, soc.dram)
+    little_run = simulate_cluster(soc.little, workload, per_thread, soc.dram)
+    parallel_time = max(big_run.thread_time, little_run.thread_time)
+
+    serial_time = 0.0
+    if serial_instr > 0.0:
+        serial_run = simulate_cluster(soc.big, workload, serial_instr, soc.dram)
+        # Single-thread: the activity accounts num_cores threads; rescale.
+        scale = 1.0 / soc.big.num_cores
+        for name in (
+            "instructions", "l1_reads", "l1_writes", "l1_misses",
+            "l2_reads", "l2_writes", "l2_misses", "dram_reads", "dram_writes",
+        ):
+            value = getattr(serial_run.activity, name) * scale
+            setattr(
+                big_run.activity, name, getattr(big_run.activity, name) + value
+            )
+        big_run.activity.cycles += serial_run.activity.cycles
+        serial_time = serial_run.thread_time
+
+    exec_time = parallel_time + serial_time
+    big_run.activity.busy_time = big_run.thread_time + serial_time
+    little_run.activity.busy_time = little_run.thread_time
+    return ActivityReport(
+        workload=workload.name,
+        exec_time=exec_time,
+        big=big_run.activity,
+        little=little_run.activity,
+    )
+
+
+def simulate_trace_driven(
+    soc: SoCConfig,
+    workload: WorkloadDescriptor,
+    num_events: int = 200_000,
+    seed: int = 42,
+) -> ActivityReport:
+    """Detailed-mode run: synthetic trace through real LRU caches.
+
+    Much slower than :func:`simulate`; used for validation and the
+    detailed-mode example.  One representative thread per cluster is
+    simulated and scaled up.
+    """
+    from repro.archsim.cache import Cache
+    from repro.archsim.workloads import TraceGenerator
+
+    report = simulate(soc, workload)  # analytic baseline for timing
+    for cluster_cfg, activity in (
+        (soc.big, report.big),
+        (soc.little, report.little),
+    ):
+        l2 = Cache(
+            "l2", int(cluster_cfg.l2_mb * 1024 * 1024 // cluster_cfg.num_cores),
+            assoc=8, line_bytes=LINE_BYTES,
+        )
+        l1 = Cache("l1", int(cluster_cfg.l1_kb * 1024), assoc=4,
+                   line_bytes=LINE_BYTES, next_level=l2)
+        generator = TraceGenerator(workload, seed=seed)
+        for address, is_write in generator.events(num_events):
+            l1.access(address, is_write)
+        scale = (
+            activity.l1_reads + activity.l1_writes
+        ) / max(l1.stats.accesses, 1)
+        activity.l1_misses = l1.stats.misses * scale
+        activity.l2_reads = l1.stats.misses * scale
+        activity.l2_writes = (l1.stats.misses + l1.stats.writebacks) * scale
+        activity.l2_misses = l2.stats.misses * scale
+        activity.dram_reads = l2.stats.misses * scale
+        activity.dram_writes = l2.stats.writebacks * scale
+    return report

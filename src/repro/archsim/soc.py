@@ -1,0 +1,88 @@
+"""SoC configuration: clusters, cache sizes and memory technologies.
+
+Models the paper's evaluation platform: "an Exynos 5 Octa SoC model
+integrating STT-RAM memory at cache level" — a big.LITTLE with four
+out-of-order big cores and four in-order LITTLE cores, private L1s and
+one shared L2 per cluster, over a common LPDDR memory.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.archsim.cpu import BIG_CORE_45NM, CoreModel, LITTLE_CORE_45NM
+from repro.archsim.memtech import (
+    DRAM_45NM,
+    MemoryTechnology,
+    SRAM_L1_45NM,
+    SRAM_L2_45NM,
+    STT_L2_45NM,
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One CPU cluster and its cache slice.
+
+    Attributes:
+        name: "big" or "little".
+        core: Core timing model.
+        num_cores: Core count.
+        l1_kb: Private L1 data capacity per core [KiB].
+        l1_tech: L1 memory technology (SRAM).
+        l2_mb: Shared L2 capacity [MiB].
+        l2_tech: L2 memory technology (SRAM or STT-MRAM).
+    """
+
+    name: str
+    core: CoreModel
+    num_cores: int = 4
+    l1_kb: float = 32.0
+    l1_tech: MemoryTechnology = SRAM_L1_45NM
+    l2_mb: float = 2.0
+    l2_tech: MemoryTechnology = SRAM_L2_45NM
+
+    def with_l2(self, l2_mb: float, l2_tech: MemoryTechnology) -> "ClusterConfig":
+        """Copy with a different L2 macro."""
+        return replace(self, l2_mb=l2_mb, l2_tech=l2_tech)
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """The full big.LITTLE platform.
+
+    Attributes:
+        big: Big-cluster configuration.
+        little: LITTLE-cluster configuration.
+        dram: Main-memory technology record.
+        bus_energy_per_access: Interconnect energy per L2<->DRAM
+            transaction [J].
+        memory_controller_leakage: Static power of the DRAM controller
+            [W].
+    """
+
+    big: ClusterConfig = field(
+        default_factory=lambda: ClusterConfig("big", BIG_CORE_45NM, l2_mb=2.0)
+    )
+    little: ClusterConfig = field(
+        default_factory=lambda: ClusterConfig(
+            "little", LITTLE_CORE_45NM, l2_mb=0.5
+        )
+    )
+    dram: MemoryTechnology = DRAM_45NM
+    bus_energy_per_access: float = 30e-12
+    memory_controller_leakage: float = 25e-3
+
+    @staticmethod
+    def full_sram() -> "SoCConfig":
+        """The paper's reference scenario (Full-SRAM)."""
+        return SoCConfig()
+
+    @staticmethod
+    def iso_area_stt_capacity(sram_mb: float) -> float:
+        """STT-MRAM capacity fitting the area of an SRAM macro.
+
+        STT-MRAM's ~40 F^2 cell vs SRAM's ~146 F^2 yields ~4x density at
+        equal area — the capacity lever behind the LITTLE-cluster
+        speedups of Fig. 12.
+        """
+        ratio = SRAM_L2_45NM.area_per_mb / STT_L2_45NM.area_per_mb
+        return sram_mb * round(ratio)

@@ -1,0 +1,118 @@
+"""Activity reports — the "gem5 stats file" of the substrate.
+
+MAGPIE's flow diagram parses runtime, read/write memory accesses,
+hit/miss rates and IPC out of the simulator output; this module is
+that record, plus its text serialisation (the "File Parser" boxes of
+Fig. 10 round-trip through it).
+"""
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class ClusterActivity:
+    """Event counts of one cluster during a run.
+
+    Attributes:
+        name: Cluster label ("big"/"little").
+        instructions: Retired instructions (all cores).
+        cycles: Consumed core cycles (critical thread).
+        l1_reads: L1 read accesses.
+        l1_writes: L1 write accesses.
+        l1_misses: L1 misses.
+        l2_reads: L2 read accesses.
+        l2_writes: L2 write accesses (fills + writebacks).
+        l2_misses: L2 misses.
+        dram_reads: DRAM reads caused by this cluster.
+        dram_writes: DRAM writes caused by this cluster.
+        busy_time: Wall-clock busy time of the cluster [s].
+    """
+
+    name: str
+    instructions: float = 0.0
+    cycles: float = 0.0
+    l1_reads: float = 0.0
+    l1_writes: float = 0.0
+    l1_misses: float = 0.0
+    l2_reads: float = 0.0
+    l2_writes: float = 0.0
+    l2_misses: float = 0.0
+    dram_reads: float = 0.0
+    dram_writes: float = 0.0
+    busy_time: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0 when idle)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l2_accesses(self) -> float:
+        """Total L2 accesses."""
+        return self.l2_reads + self.l2_writes
+
+
+@dataclass
+class ActivityReport:
+    """Full-run activity: per-cluster events plus wall-clock time.
+
+    Attributes:
+        workload: Kernel name.
+        exec_time: End-to-end execution time [s].
+        big: Big-cluster activity.
+        little: LITTLE-cluster activity.
+    """
+
+    workload: str
+    exec_time: float
+    big: ClusterActivity
+    little: ClusterActivity
+
+    def render(self) -> str:
+        """Serialise to the flat gem5-stats-like text format."""
+        lines = ["* archsim activity report", "workload = %s" % self.workload,
+                 "exec_time = %r" % self.exec_time]
+        for cluster in (self.big, self.little):
+            for field_info in fields(cluster):
+                if field_info.name == "name":
+                    continue
+                value = getattr(cluster, field_info.name)
+                lines.append("%s.%s = %r" % (cluster.name, field_info.name, value))
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "ActivityReport":
+        """Parse the text format back (MAGPIE's file-parser stage).
+
+        Raises:
+            ValueError: On malformed lines or missing keys.
+        """
+        values: Dict[str, str] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("*"):
+                continue
+            if "=" not in line:
+                raise ValueError("malformed stats line: %r" % line)
+            key, _, raw = line.partition("=")
+            values[key.strip()] = raw.strip()
+        clusters = {}
+        for name in ("big", "little"):
+            cluster = ClusterActivity(name=name)
+            for field_info in fields(ClusterActivity):
+                if field_info.name == "name":
+                    continue
+                key = "%s.%s" % (name, field_info.name)
+                if key not in values:
+                    raise ValueError("stats file missing %r" % key)
+                setattr(cluster, field_info.name, float(values[key]))
+            clusters[name] = cluster
+        return cls(
+            workload=values["workload"],
+            exec_time=float(values["exec_time"]),
+            big=clusters["big"],
+            little=clusters["little"],
+        )

@@ -1,0 +1,38 @@
+"""MSS standard/periphery cells and the characterisation flow."""
+
+from repro.cells.bitcell import (
+    ACCESS_WIDTH_FACTOR,
+    BitCellHandles,
+    build_read_cell,
+    build_write_cell,
+)
+from repro.cells.sense_amp import SenseAmpHandles, build_sense_path, reference_resistance
+from repro.cells.write_driver import (
+    DRIVER_WIDTH_FACTOR,
+    WriteDriverHandles,
+    build_driver_write_path,
+)
+from repro.cells.nvff import NonVolatileFlipFlop, NVFFTimings
+from repro.cells.current_source import CurrentSourceLevel, ProgrammableCurrentSource
+from repro.cells.cellconfig import CellConfig
+from repro.cells.characterize import CharacterizationSettings, characterize_cell
+
+__all__ = [
+    "ACCESS_WIDTH_FACTOR",
+    "BitCellHandles",
+    "build_read_cell",
+    "build_write_cell",
+    "SenseAmpHandles",
+    "build_sense_path",
+    "reference_resistance",
+    "DRIVER_WIDTH_FACTOR",
+    "WriteDriverHandles",
+    "build_driver_write_path",
+    "NonVolatileFlipFlop",
+    "NVFFTimings",
+    "CurrentSourceLevel",
+    "ProgrammableCurrentSource",
+    "CellConfig",
+    "CharacterizationSettings",
+    "characterize_cell",
+]

@@ -1,0 +1,140 @@
+"""1T-1MTJ bit cell netlists.
+
+The standard STT-MRAM bit cell: one NMOS access transistor in series
+with the MSS pillar between bit line (BL) and source line (SL), gated
+by the word line (WL).  Write '1' (AP) drives SL high / BL low; write
+'0' (P) drives BL high / SL low.  Read applies a small BL bias and
+senses the cell current.
+
+Builders return the circuit plus handles to the interesting elements so
+the characterisation flow (:mod:`repro.cells.characterize`) can attach
+measurements.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.compact import BehavioralMTJModel
+from repro.pdk.kit import ProcessDesignKit
+from repro.spice.elements import Capacitor, DC, Pulse, VoltageSource
+from repro.spice.mosfet import MOSFET
+from repro.spice.mtj_element import MTJElement
+from repro.spice.netlist import Circuit
+
+#: Access transistor width relative to minimum width.
+ACCESS_WIDTH_FACTOR = 4.0
+
+
+@dataclass
+class BitCellHandles:
+    """Handles into a built bit-cell circuit.
+
+    Attributes:
+        circuit: The netlist.
+        mtj: The MTJ element.
+        access: The access transistor.
+        bl_source: Bit-line driver source.
+        sl_source: Source-line driver source.
+        wl_source: Word-line driver source.
+    """
+
+    circuit: Circuit
+    mtj: MTJElement
+    access: MOSFET
+    bl_source: VoltageSource
+    sl_source: VoltageSource
+    wl_source: VoltageSource
+
+
+def _make_mtj(pdk: ProcessDesignKit, initial_antiparallel: bool) -> MTJElement:
+    model = BehavioralMTJModel(
+        pdk.free_layer,
+        pdk.memory_pillar,
+        pdk.barrier,
+        initial_antiparallel=initial_antiparallel,
+    )
+    return MTJElement("mtj", "bl", "mid", model)
+
+
+def build_write_cell(
+    pdk: ProcessDesignKit,
+    write_to_antiparallel: bool,
+    pulse_delay: float = 0.5e-9,
+    pulse_width: float = 6e-9,
+    access_width_um: Optional[float] = None,
+    bitline_capacitance: float = 25e-15,
+) -> BitCellHandles:
+    """Build a bit cell wired for a write transient.
+
+    Args:
+        pdk: The hybrid PDK.
+        write_to_antiparallel: Target state; AP needs current from the
+            free-layer side (SL high), P the opposite.
+        pulse_delay: Write pulse start time [s].
+        pulse_width: Write pulse width [s].
+        access_width_um: Access transistor width; defaults to
+            ``ACCESS_WIDTH_FACTOR`` x minimum width.
+        bitline_capacitance: Lumped BL/SL wire load [F].
+    """
+    tech = pdk.tech
+    vdd = tech.vdd
+    width = access_width_um or ACCESS_WIDTH_FACTOR * tech.min_width_um
+    circuit = Circuit("bitcell-write-%s" % ("ap" if write_to_antiparallel else "p"))
+    edge = 50e-12
+    high_pulse = Pulse(0.0, vdd, pulse_delay, edge, edge, pulse_width)
+    # Writing AP (P -> AP) needs electron flow from free layer, i.e.
+    # conventional current from SL through the cell into BL.
+    if write_to_antiparallel:
+        bl_wave, sl_wave = DC(0.0), high_pulse
+    else:
+        bl_wave, sl_wave = high_pulse, DC(0.0)
+    bl = circuit.add(VoltageSource("vbl", "bl", "0", bl_wave))
+    sl = circuit.add(VoltageSource("vsl", "sl", "0", sl_wave))
+    wl = circuit.add(
+        VoltageSource("vwl", "wl", "0", Pulse(0.0, vdd, pulse_delay - 0.2e-9, edge, edge, pulse_width + 0.6e-9))
+    )
+    # The MTJ free-layer terminal faces the bit line; current BL -> SL
+    # (positive MTJ current) favours AP -> P.
+    mtj = circuit.add(
+        _make_mtj(pdk, initial_antiparallel=not write_to_antiparallel)
+    )
+    access = circuit.add(MOSFET("macc", "mid", "wl", "sl", pdk.nmos(width)))
+    circuit.add(Capacitor("cbl", "bl", "0", bitline_capacitance))
+    circuit.add(Capacitor("csl", "sl", "0", bitline_capacitance))
+    return BitCellHandles(circuit, mtj, access, bl, sl, wl)
+
+
+def build_read_cell(
+    pdk: ProcessDesignKit,
+    stored_antiparallel: bool,
+    read_voltage: float = 0.08,
+    pulse_delay: float = 0.2e-9,
+    read_width: float = 4e-9,
+    access_width_um: Optional[float] = None,
+    bitline_capacitance: float = 25e-15,
+) -> BitCellHandles:
+    """Build a bit cell wired for a read transient.
+
+    A small read bias is applied to BL (small enough to keep read
+    disturb acceptable — Fig. 9's trade-off); SL is grounded; the cell
+    current discharges/charges the bitline capacitance and the sense
+    stage (added by the characterisation flow) resolves the state.
+    """
+    tech = pdk.tech
+    vdd = tech.vdd
+    width = access_width_um or ACCESS_WIDTH_FACTOR * tech.min_width_um
+    circuit = Circuit("bitcell-read-%s" % ("ap" if stored_antiparallel else "p"))
+    edge = 30e-12
+    bl = circuit.add(
+        VoltageSource(
+            "vbl", "bl", "0", Pulse(0.0, read_voltage, pulse_delay, edge, edge, read_width)
+        )
+    )
+    sl = circuit.add(VoltageSource("vsl", "sl", "0", DC(0.0)))
+    wl = circuit.add(
+        VoltageSource("vwl", "wl", "0", Pulse(0.0, vdd, pulse_delay, edge, edge, read_width))
+    )
+    mtj = circuit.add(_make_mtj(pdk, initial_antiparallel=stored_antiparallel))
+    access = circuit.add(MOSFET("macc", "mid", "wl", "sl", pdk.nmos(width)))
+    circuit.add(Capacitor("cbl", "bl", "0", bitline_capacitance))
+    return BitCellHandles(circuit, mtj, access, bl, sl, wl)

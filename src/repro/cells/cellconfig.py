@@ -1,0 +1,90 @@
+"""The cell configuration file exchanged between flow stages.
+
+Fig. 10: "These values are updated into the cell configuration file of
+the VAET-STT tool."  :class:`CellConfig` is that file: the electrical
+summary of one characterised 1T-1MTJ bit cell, serialisable to the flat
+``key = value`` text format the MAGPIE file parsers consume.
+"""
+
+from dataclasses import asdict, dataclass, fields
+
+
+@dataclass
+class CellConfig:
+    """Characterised bit-cell parameters consumed by VAET-STT.
+
+    Attributes:
+        node_nm: CMOS technology node [nm].
+        pillar_diameter_nm: MTJ pillar diameter [nm].
+        resistance_parallel: R_P at read bias [ohm].
+        resistance_antiparallel: R_AP at read bias [ohm].
+        switching_current: Write current delivered to the MTJ [A].
+        critical_current: Device I_c0 [A].
+        switching_delay: Mean cell switching time at the write current [s].
+        write_pulse_width: Programmed write pulse width [s].
+        write_energy: Energy of one cell write event [J].
+        read_current: Cell read current [A].
+        read_delay: Cell-level read (bitline + sense) delay [s].
+        read_energy: Energy of one cell read event [J].
+        leakage_current: Bit-cell leakage at nominal Vdd [A].
+        thermal_stability: Device Delta at 300 K [-].
+    """
+
+    node_nm: int
+    pillar_diameter_nm: float
+    resistance_parallel: float
+    resistance_antiparallel: float
+    switching_current: float
+    critical_current: float
+    switching_delay: float
+    write_pulse_width: float
+    write_energy: float
+    read_current: float
+    read_delay: float
+    read_energy: float
+    leakage_current: float
+    thermal_stability: float
+
+    def render(self) -> str:
+        """Render the flat text cell-config format."""
+        lines = ["* VAET-STT cell configuration"]
+        for field_info in fields(self):
+            value = getattr(self, field_info.name)
+            lines.append("%s = %r" % (field_info.name, value))
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "CellConfig":
+        """Parse the text format back into a config.
+
+        Raises:
+            ValueError: On malformed lines or missing keys.
+        """
+        values = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("*"):
+                continue
+            if "=" not in line:
+                raise ValueError("malformed cell-config line: %r" % line)
+            key, _, raw = line.partition("=")
+            values[key.strip()] = raw.strip()
+        kwargs = {}
+        for field_info in fields(cls):
+            if field_info.name not in values:
+                raise ValueError("cell config missing key %r" % field_info.name)
+            raw = values[field_info.name]
+            kwargs[field_info.name] = (
+                int(raw) if field_info.type == "int" else float(raw)
+            )
+        return cls(**kwargs)
+
+    def tmr(self) -> float:
+        """Effective TMR at the read point."""
+        return (self.resistance_antiparallel - self.resistance_parallel) / (
+            self.resistance_parallel
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for report tables)."""
+        return asdict(self)

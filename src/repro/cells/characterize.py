@@ -1,0 +1,199 @@
+"""Cell characterisation flow: SPICE + MDL -> cell configuration file.
+
+Fig. 10 (circuit level): "a template file is created for the netlist,
+stimulus and Measurement Descriptive Language (MDL) ... the SPICE
+simulation generates output measurement file that is then parsed to
+extract the required cell level parameters such as switching current,
+delay and energy values.  These values are updated into the cell
+configuration file of the VAET-STT tool."
+
+:func:`characterize_cell` is that loop: it builds the write and read
+testbenches, runs transients, evaluates the MDL script, renders/parses
+the measurement file (exactly as the flow diagram shows — the parse
+step is real, not vestigial) and assembles a
+:class:`repro.cells.cellconfig.CellConfig`.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cells.bitcell import build_write_cell
+from repro.cells.cellconfig import CellConfig
+from repro.cells.sense_amp import build_sense_path
+from repro.pdk.kit import ProcessDesignKit
+from repro.spice.analysis import transient
+from repro.spice.mdl import CrossEvent, Delay, Expression, Extreme, MeasurementScript, When
+
+
+@dataclass
+class CharacterizationSettings:
+    """Knobs of the characterisation run.
+
+    Attributes:
+        write_pulse_width: Stimulus write pulse width [s].
+        write_pulse_delay: Write pulse start [s].
+        read_voltage: Read bias [V].
+        timestep: Transient step [s].
+        sim_margin: Extra simulated time after the pulse [s].
+    """
+
+    write_pulse_width: float = 6e-9
+    write_pulse_delay: float = 0.5e-9
+    read_voltage: float = 0.15
+    timestep: float = 20e-12
+    sim_margin: float = 2e-9
+
+
+def _run_write_testbench(
+    pdk: ProcessDesignKit, to_antiparallel: bool, settings: CharacterizationSettings
+) -> Dict[str, float]:
+    handles = build_write_cell(
+        pdk,
+        write_to_antiparallel=to_antiparallel,
+        pulse_delay=settings.write_pulse_delay,
+        pulse_width=settings.write_pulse_width,
+    )
+    driven = "vsl" if to_antiparallel else "vbl"
+    stop = settings.write_pulse_delay + settings.write_pulse_width + settings.sim_margin
+    result = transient(
+        handles.circuit,
+        stop_time=stop,
+        timestep=settings.timestep,
+        record_currents_of=[driven],
+    )
+    mtj = handles.mtj
+    vdd = pdk.tech.vdd
+
+    def switch_time(_):
+        if not mtj.switch_log:
+            return float("nan")
+        return mtj.switch_log[0][0] - settings.write_pulse_delay
+
+    def write_current(waveforms):
+        # Average driven-source current while the pulse is solidly high.
+        t0 = settings.write_pulse_delay + 0.5e-9
+        t1 = settings.write_pulse_delay + min(settings.write_pulse_width, 3e-9)
+        return abs(waveforms.trace("i(%s)" % driven).average(t0, t1))
+
+    def write_energy(waveforms):
+        t0 = settings.write_pulse_delay
+        t1 = settings.write_pulse_delay + settings.write_pulse_width
+        charge = waveforms.trace("i(%s)" % driven).integral(t0, t1)
+        return abs(charge) * vdd
+
+    script = MeasurementScript(
+        [
+            Expression("t_switch", switch_time),
+            Expression("i_write", write_current),
+            Expression("e_write", write_energy),
+        ]
+    )
+    raw = script.run(result.waveforms)
+    # Round-trip through the "output measurement file" text format, as
+    # in the paper's flow (SPICE output file -> file parser).
+    return MeasurementScript.parse_output_file(
+        MeasurementScript.render_output_file(raw)
+    )
+
+
+def _run_read_testbench(
+    pdk: ProcessDesignKit, settings: CharacterizationSettings
+) -> Dict[str, float]:
+    vdd = pdk.tech.vdd
+    measurements: Dict[str, float] = {}
+    for stored_ap in (False, True):
+        handles = build_sense_path(
+            pdk, stored_antiparallel=stored_ap, read_voltage=settings.read_voltage
+        )
+        stop = 0.2e-9 + 4e-9
+        result = transient(
+            handles.circuit,
+            stop_time=stop,
+            timestep=settings.timestep,
+            record_currents_of=["vread"],
+        )
+        suffix = "ap" if stored_ap else "p"
+        # The comparator idles at vdd/2 (sense = ref before the pulse)
+        # and regenerates toward vdd for AP ('1') / 0 for P ('0');
+        # measure to the 75 %/25 % decision levels.
+        target_level = 0.75 * vdd if stored_ap else 0.25 * vdd
+        edge = "rise" if stored_ap else "fall"
+        script = MeasurementScript(
+            [
+                Delay(
+                    "t_read_%s" % suffix,
+                    CrossEvent("v(wl)", 0.5 * vdd, "rise", 1),
+                    CrossEvent("v(%s)" % handles.output_node, target_level, edge, 1),
+                ),
+                Expression(
+                    "i_read_%s" % suffix,
+                    lambda w: abs(w.trace("i(vread)").average(1e-9, 3e-9)),
+                ),
+                Expression(
+                    "e_read_%s" % suffix,
+                    lambda w: abs(w.trace("i(vread)").integral(0.2e-9, 0.2e-9 + 4e-9))
+                    * settings.read_voltage,
+                ),
+            ]
+        )
+        raw = script.run(result.waveforms)
+        measurements.update(
+            MeasurementScript.parse_output_file(
+                MeasurementScript.render_output_file(raw)
+            )
+        )
+    return measurements
+
+
+def characterize_cell(
+    pdk: ProcessDesignKit, settings: CharacterizationSettings = None
+) -> CellConfig:
+    """Characterise the 1T-1MTJ bit cell of a PDK.
+
+    Runs both write polarities and both read states; the reported write
+    numbers are the worst case of the two polarities (arrays must size
+    for the slow direction), read numbers the worst of the two states.
+    """
+    settings = settings or CharacterizationSettings()
+    write_ap = _run_write_testbench(pdk, True, settings)
+    write_p = _run_write_testbench(pdk, False, settings)
+    reads = _run_read_testbench(pdk, settings)
+
+    transport = pdk.mtj_transport()
+    switching = pdk.switching_model()
+    tech = pdk.tech
+
+    def worst(key: str) -> float:
+        a, b = write_ap[key], write_p[key]
+        if math.isnan(a):
+            return b
+        if math.isnan(b):
+            return a
+        return max(a, b)
+
+    switching_delay = worst("t_switch")
+    write_current = min(write_ap["i_write"], write_p["i_write"])
+    write_energy = worst("e_write")
+    read_delay = max(reads["t_read_p"], reads["t_read_ap"])
+    read_current = max(reads["i_read_p"], reads["i_read_ap"])
+    read_energy = max(reads["e_read_p"], reads["e_read_ap"])
+    # Bit-cell leakage: one off access transistor.
+    leakage = 4.0 * tech.min_width_um * tech.leakage_per_um
+
+    return CellConfig(
+        node_nm=tech.node_nm,
+        pillar_diameter_nm=pdk.memory_pillar.diameter * 1e9,
+        resistance_parallel=transport.state_resistance(False, settings.read_voltage),
+        resistance_antiparallel=transport.state_resistance(True, settings.read_voltage),
+        switching_current=write_current,
+        critical_current=switching.critical_current,
+        switching_delay=switching_delay,
+        write_pulse_width=settings.write_pulse_width,
+        write_energy=write_energy,
+        read_current=read_current,
+        read_delay=read_delay,
+        read_energy=read_energy,
+        leakage_current=leakage,
+        thermal_stability=switching.stability.delta,
+    )

@@ -1,0 +1,133 @@
+"""MSS-based programmable current source.
+
+Sec. II: "... feedback using an MSS-based programmable current source,
+has also been proposed and will be integrated in the SoC."
+
+Architecture: a bank of N parallel MSS junctions forms a digitally
+programmable resistor — each junction contributes conductance G_P or
+G_AP depending on its stored state — and a reference voltage across the
+bank sets the output current, which a current mirror replicates.  With
+binary-weighted junction areas the bank gives 2^N distinct levels.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.geometry import PillarGeometry
+from repro.core.mtj import MTJTransport
+from repro.pdk.kit import ProcessDesignKit
+
+
+@dataclass
+class CurrentSourceLevel:
+    """One programmable level of the source.
+
+    Attributes:
+        code: Programming code (bit i set = junction i in AP).
+        conductance: Bank conductance at the reference bias [S].
+        current: Output current [A].
+    """
+
+    code: int
+    conductance: float
+    current: float
+
+
+class ProgrammableCurrentSource:
+    """Programmable current source built from an MSS junction bank.
+
+    Args:
+        pdk: The hybrid PDK.
+        num_junctions: Bank size N (2^N levels).
+        reference_voltage: Voltage regulated across the bank [V].
+        binary_weighted: Scale junction areas x1, x2, x4 ... for a
+            near-uniform level ladder (True) or use identical junctions
+            for a thermometer ladder (False).
+    """
+
+    def __init__(
+        self,
+        pdk: ProcessDesignKit,
+        num_junctions: int = 4,
+        reference_voltage: float = 0.2,
+        binary_weighted: bool = True,
+    ):
+        if num_junctions < 1:
+            raise ValueError("need at least one junction")
+        if not 0.0 < reference_voltage < 0.5:
+            raise ValueError("reference voltage should stay in the low-bias regime")
+        self.pdk = pdk
+        self.reference_voltage = reference_voltage
+        self.transports: List[MTJTransport] = []
+        base = pdk.memory_pillar
+        for i in range(num_junctions):
+            scale = math.sqrt(2.0 ** i) if binary_weighted else 1.0
+            geometry = PillarGeometry(
+                diameter=base.diameter * scale,
+                free_layer_thickness=base.free_layer_thickness,
+            )
+            self.transports.append(MTJTransport(geometry, pdk.barrier))
+        self.states = [False] * num_junctions
+
+    @property
+    def num_junctions(self) -> int:
+        """Bank size."""
+        return len(self.transports)
+
+    def program(self, code: int) -> None:
+        """Program the bank to a code (bit i set = junction i AP).
+
+        Raises:
+            ValueError: If the code does not fit in the bank.
+        """
+        if not 0 <= code < 2 ** self.num_junctions:
+            raise ValueError(
+                "code %d out of range for %d junctions" % (code, self.num_junctions)
+            )
+        self.states = [bool(code & (1 << i)) for i in range(self.num_junctions)]
+
+    def bank_conductance(self) -> float:
+        """Present bank conductance at the reference bias [S]."""
+        total = 0.0
+        for transport, antiparallel in zip(self.transports, self.states):
+            total += 1.0 / transport.state_resistance(
+                antiparallel, self.reference_voltage
+            )
+        return total
+
+    def output_current(self) -> float:
+        """Present output current = V_ref * G_bank [A]."""
+        return self.reference_voltage * self.bank_conductance()
+
+    def levels(self) -> List[CurrentSourceLevel]:
+        """Enumerate all programmable levels (restores current state)."""
+        saved = list(self.states)
+        results = []
+        for code in range(2 ** self.num_junctions):
+            self.program(code)
+            conductance = self.bank_conductance()
+            results.append(
+                CurrentSourceLevel(
+                    code=code,
+                    conductance=conductance,
+                    current=self.reference_voltage * conductance,
+                )
+            )
+        self.states = saved
+        return sorted(results, key=lambda level: level.current)
+
+    def resolution(self) -> float:
+        """Smallest step between adjacent sorted levels [A]."""
+        levels = self.levels()
+        steps = [
+            b.current - a.current for a, b in zip(levels, levels[1:])
+        ]
+        return min(steps) if steps else 0.0
+
+    def dynamic_range(self) -> float:
+        """Max/min output current ratio."""
+        levels = self.levels()
+        low = levels[0].current
+        high = levels[-1].current
+        return high / low

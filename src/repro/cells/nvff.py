@@ -1,0 +1,151 @@
+"""Non-volatile flip-flop (NVFF) standard cell.
+
+One of the MSS-based IPs embedded in the project's first test chip
+(Sec. II / Fig. 6).  Architecture: a conventional master-slave latch
+augmented with a complementary MTJ pair.  ``store`` writes the latch
+state into the pair (one junction P, the other AP); power can then be
+removed entirely; ``restore`` precharges the internal nodes and lets
+the resistive imbalance of the pair regenerate the stored bit.
+
+The latch logic is modelled at event level (it is plain CMOS and not
+the characterisation target); the store path — the part whose energy
+and delay depend on the MSS — reuses the analytic switching model, and
+the restore decision reuses the transport model, so every number
+reported by this cell traces back to device physics.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.compact import BehavioralMTJModel
+from repro.core.mtj import MTJTransport
+from repro.pdk.kit import ProcessDesignKit
+
+
+@dataclass
+class NVFFTimings:
+    """Characterised timing/energy of one NVFF instance.
+
+    Attributes:
+        store_delay: Time to program both MTJs [s].
+        store_energy: Energy of the store operation [J].
+        restore_delay: Time for the restore regeneration [s].
+        restore_energy: Energy of the restore operation [J].
+        clock_to_q: Normal-operation CLK->Q delay [s].
+        dynamic_energy: Normal-operation energy per clock [J].
+        leakage_power: Static power while powered [W].
+    """
+
+    store_delay: float
+    store_energy: float
+    restore_delay: float
+    restore_energy: float
+    clock_to_q: float
+    dynamic_energy: float
+    leakage_power: float
+
+
+class NonVolatileFlipFlop:
+    """Behavioural NVFF with physics-backed store/restore.
+
+    Args:
+        pdk: The hybrid PDK (sets both CMOS timing and MTJ physics).
+        write_current: Current the store drivers push through each
+            junction [A]; defaults to 4x the device I_c0 (fast,
+            deterministic store).
+        target_store_wer: Store is sized for this per-junction WER.
+    """
+
+    def __init__(
+        self,
+        pdk: ProcessDesignKit,
+        write_current: Optional[float] = None,
+        target_store_wer: float = 1e-9,
+    ):
+        self.pdk = pdk
+        self.switching = pdk.switching_model()
+        self.transport = pdk.mtj_transport()
+        self.write_current = write_current or 4.0 * self.switching.critical_current
+        if self.write_current <= self.switching.critical_current:
+            raise ValueError("store current must exceed I_c0")
+        self.target_store_wer = target_store_wer
+        # Volatile state.
+        self.data = False
+        self.mtj_true = BehavioralMTJModel(
+            pdk.free_layer, pdk.memory_pillar, pdk.barrier, initial_antiparallel=False
+        )
+        self.mtj_comp = BehavioralMTJModel(
+            pdk.free_layer, pdk.memory_pillar, pdk.barrier, initial_antiparallel=True
+        )
+        self.powered = True
+
+    def clock(self, d: bool) -> bool:
+        """Normal synchronous operation: capture D, return Q.
+
+        Raises:
+            RuntimeError: If the cell is powered down.
+        """
+        if not self.powered:
+            raise RuntimeError("flip-flop is powered down; restore first")
+        self.data = bool(d)
+        return self.data
+
+    def store(self) -> float:
+        """Program the MTJ pair with the latch state; returns delay [s]."""
+        if not self.powered:
+            raise RuntimeError("cannot store while powered down")
+        pulse = self.switching.pulse_width_for_wer(
+            self.target_store_wer, self.write_current
+        )
+        # True junction: AP encodes '1'; complement junction opposite.
+        want_ap = self.data
+        for model, target_ap in ((self.mtj_true, want_ap), (self.mtj_comp, not want_ap)):
+            if model.state.antiparallel != target_ap:
+                direction = -1.0 if target_ap else 1.0
+                model.advance(direction * self.write_current, 2.0 * pulse)
+        return pulse
+
+    def power_down(self) -> None:
+        """Remove power; the volatile latch content is lost."""
+        self.powered = False
+        self.data = False
+
+    def restore(self) -> bool:
+        """Re-power and regenerate the bit from the MTJ pair."""
+        self.powered = True
+        r_true = self.mtj_true.resistance(0.05)
+        r_comp = self.mtj_comp.resistance(0.05)
+        self.data = r_true > r_comp  # AP (high R) on the true side = '1'.
+        return self.data
+
+    def characterize(self) -> NVFFTimings:
+        """Produce the standard-cell datasheet numbers."""
+        tech = self.pdk.tech
+        pulse = self.switching.pulse_width_for_wer(
+            self.target_store_wer, self.write_current
+        )
+        resistance = self.transport.state_resistance(False, 0.0)
+        store_energy_per_mtj = self.switching.write_energy(
+            pulse, self.write_current, resistance
+        )
+        fo4 = tech.gate_delay_fo4
+        # Restore: precharge + regenerative sense, a few gate delays.
+        restore_delay = 6.0 * fo4
+        read_current = 0.2 * self.switching.critical_current
+        restore_energy = (
+            2.0 * read_current * tech.vdd * restore_delay
+        )
+        # ~24-transistor cell: rough gate-count-based CMOS numbers.
+        gate_cap = tech.gate_cap_per_um * tech.min_width_um * 24.0
+        dynamic_energy = gate_cap * tech.vdd * tech.vdd
+        leakage = 24.0 * tech.min_width_um * tech.leakage_per_um * tech.vdd
+        return NVFFTimings(
+            store_delay=pulse,
+            store_energy=2.0 * store_energy_per_mtj,
+            restore_delay=restore_delay,
+            restore_energy=restore_energy,
+            clock_to_q=3.0 * fo4,
+            dynamic_energy=dynamic_energy,
+            leakage_power=leakage,
+        )

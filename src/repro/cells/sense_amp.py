@@ -1,0 +1,116 @@
+"""Sense amplifier for the MRAM read path.
+
+A current-mode sense scheme: the cell branch and a reference branch
+(reference resistance = geometric mean of R_P and R_AP, the standard
+midpoint reference) are biased identically; their sense-node voltages
+diverge according to the stored state and a behavioural comparator
+regenerates the difference to full swing.
+
+The comparator is behavioural (smooth tanh) because the paper's flow
+also mixes abstraction levels — the characterisation target is the
+bit-cell, not the latch internals.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.core.compact import BehavioralMTJModel
+from repro.pdk.kit import ProcessDesignKit
+from repro.spice.behavioral import BehavioralVoltage
+from repro.spice.elements import Capacitor, DC, Pulse, Resistor, VoltageSource
+from repro.spice.mosfet import MOSFET
+from repro.spice.mtj_element import MTJElement
+from repro.spice.netlist import Circuit
+
+
+@dataclass
+class SenseAmpHandles:
+    """Handles into a built read-path circuit.
+
+    Attributes:
+        circuit: The netlist.
+        mtj: The sensed MTJ element.
+        output_node: Name of the full-swing comparator output node.
+        sense_node: Name of the cell-branch sense node.
+        reference_node: Name of the reference-branch sense node.
+    """
+
+    circuit: Circuit
+    mtj: MTJElement
+    output_node: str
+    sense_node: str
+    reference_node: str
+
+
+def reference_resistance(pdk: ProcessDesignKit) -> float:
+    """Midpoint read reference: sqrt(R_P * R_AP) at the read bias."""
+    transport = pdk.mtj_transport()
+    read_bias = 0.1
+    r_p = transport.state_resistance(False, read_bias)
+    r_ap = transport.state_resistance(True, read_bias)
+    return math.sqrt(r_p * r_ap)
+
+
+def build_sense_path(
+    pdk: ProcessDesignKit,
+    stored_antiparallel: bool,
+    read_voltage: float = 0.15,
+    sense_enable_delay: float = 0.2e-9,
+    read_width: float = 4e-9,
+    comparator_gain: float = 60.0,
+    sense_node_capacitance: float = 8e-15,
+) -> SenseAmpHandles:
+    """Build the full differential read path around one bit cell.
+
+    Args:
+        pdk: The hybrid PDK.
+        stored_antiparallel: State preloaded into the sensed MTJ.
+        read_voltage: Bit-line read bias [V].
+        sense_enable_delay: Time the read pulse starts [s].
+        read_width: Read pulse width [s].
+        comparator_gain: Behavioural comparator gain [-].
+        sense_node_capacitance: Parasitic on each sense node [F].
+    """
+    tech = pdk.tech
+    vdd = tech.vdd
+    width = 4.0 * tech.min_width_um
+    circuit = Circuit("sense-path")
+    edge = 30e-12
+    read_pulse = Pulse(0.0, read_voltage, sense_enable_delay, edge, edge, read_width)
+    wl_pulse = Pulse(0.0, vdd, sense_enable_delay, edge, edge, read_width)
+
+    circuit.add(VoltageSource("vread", "vread", "0", read_pulse))
+    circuit.add(VoltageSource("vwl", "wl", "0", wl_pulse))
+
+    # Cell branch: bias resistor -> sense node -> MTJ -> access -> gnd.
+    bias_r = reference_resistance(pdk)
+    circuit.add(Resistor("rbias_cell", "vread", "sense", bias_r))
+    model = BehavioralMTJModel(
+        pdk.free_layer, pdk.memory_pillar, pdk.barrier,
+        initial_antiparallel=stored_antiparallel,
+    )
+    mtj = circuit.add(MTJElement("mtj", "sense", "mid", model))
+    circuit.add(MOSFET("macc", "mid", "wl", "0", pdk.nmos(width)))
+    circuit.add(Capacitor("cs", "sense", "0", sense_node_capacitance))
+
+    # Reference branch: matched bias resistor into the midpoint reference.
+    circuit.add(Resistor("rbias_ref", "vread", "ref", bias_r))
+    circuit.add(Resistor("rref", "ref", "midr", reference_resistance(pdk)))
+    circuit.add(MOSFET("maccr", "midr", "wl", "0", pdk.nmos(width)))
+    circuit.add(Capacitor("cr", "ref", "0", sense_node_capacitance))
+
+    # Behavioural regenerative comparator: AP (higher R) starves the
+    # sense node of current -> v(sense) > v(ref) -> output high = '1'.
+    def comparator(voltages):
+        difference = voltages["sense"] - voltages["ref"]
+        return 0.5 * vdd * (1.0 + math.tanh(comparator_gain * difference / vdd * 20.0))
+
+    circuit.add(
+        BehavioralVoltage("xcomp", "dout", "0", ["sense", "ref"], comparator)
+    )
+    # Regeneration time constant of the latch stage: the behavioural
+    # comparator is instantaneous, so a ~150 ps RC models the
+    # cross-coupled pair's exponential regeneration to full swing.
+    circuit.add(Resistor("rregen", "dout", "out", 15e3))
+    circuit.add(Capacitor("cregen", "out", "0", 10e-15))
+    return SenseAmpHandles(circuit, mtj, "out", "sense", "ref")

@@ -1,0 +1,132 @@
+"""Bidirectional write driver for the MRAM write path.
+
+The driver is two half-bridges (one per line) built from sized CMOS
+inverters: DATA selects which line is pulled to Vdd and which to
+ground, EN gates the pulse.  Characterising the cell *with* its driver
+captures the source-degeneration effect of the pull-up on the delivered
+write current — the dominant cell-level consequence of CMOS variation
+(Sec. III).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.compact import BehavioralMTJModel
+from repro.pdk.kit import ProcessDesignKit
+from repro.spice.elements import Capacitor, DC, Pulse, VoltageSource
+from repro.spice.mosfet import MOSFET
+from repro.spice.mtj_element import MTJElement
+from repro.spice.netlist import Circuit
+
+#: Driver transistor width relative to minimum (write drivers are big).
+DRIVER_WIDTH_FACTOR = 12.0
+
+
+@dataclass
+class WriteDriverHandles:
+    """Handles into the driver + cell write circuit.
+
+    Attributes:
+        circuit: The netlist.
+        mtj: The written MTJ element.
+        supply: The Vdd source (for energy measurement).
+    """
+
+    circuit: Circuit
+    mtj: MTJElement
+    supply: VoltageSource
+
+
+def build_driver_write_path(
+    pdk: ProcessDesignKit,
+    write_to_antiparallel: bool,
+    pulse_delay: float = 0.5e-9,
+    pulse_width: float = 6e-9,
+    bitline_capacitance: float = 25e-15,
+    vth_shift_n: float = 0.0,
+    k_prime_scale: float = 1.0,
+) -> WriteDriverHandles:
+    """Build the full write path: half-bridges, lines, access, MTJ.
+
+    Args:
+        pdk: The hybrid PDK.
+        write_to_antiparallel: Target MTJ state.
+        pulse_delay: Enable pulse start [s].
+        pulse_width: Enable pulse width [s].
+        bitline_capacitance: Lumped line loads [F].
+        vth_shift_n: Additive NMOS threshold shift [V] — the Monte-Carlo
+            hook used by VAET-STT's circuit-level sampling.
+        k_prime_scale: Multiplicative transconductance factor (ditto).
+    """
+    from dataclasses import replace
+
+    tech = pdk.tech
+    vdd = tech.vdd
+    width = DRIVER_WIDTH_FACTOR * tech.min_width_um
+    nmos = pdk.nmos(width)
+    pmos = pdk.pmos(2.0 * width)
+    if vth_shift_n != 0.0 or k_prime_scale != 1.0:
+        nmos = replace(
+            nmos, vth=nmos.vth + vth_shift_n, k_prime=nmos.k_prime * k_prime_scale
+        )
+        pmos = replace(pmos, k_prime=pmos.k_prime * k_prime_scale)
+
+    circuit = Circuit("write-driver-%s" % ("ap" if write_to_antiparallel else "p"))
+    supply = circuit.add(VoltageSource("vdd", "vdd", "0", DC(vdd)))
+    edge = 50e-12
+    # Gate drive signals: when writing P, BL side pulls high; writing AP,
+    # SL side pulls high.  Implemented as pre-computed gate waveforms
+    # (the upstream decode logic is not the characterisation target).
+    pulse_high = Pulse(vdd, 0.0, pulse_delay, edge, edge, pulse_width)  # active-low gate
+    hold_low = DC(vdd)
+    if write_to_antiparallel:
+        bl_gate, sl_gate = hold_low, pulse_high
+    else:
+        bl_gate, sl_gate = pulse_high, hold_low
+    circuit.add(VoltageSource("vgbl", "gbl", "0", bl_gate))
+    circuit.add(VoltageSource("vgsl", "gsl", "0", sl_gate))
+
+    # Half-bridge on BL: PMOS pulls up when gbl low, NMOS pulls down when
+    # gbl low is inactive (gate = inverted enable -> reuse same signal:
+    # the NMOS gate is driven by the complementary line's activity).
+    circuit.add(MOSFET("mpbl", "bl", "gbl", "vdd", pmos))
+    circuit.add(MOSFET("mnbl", "bl", "gsl_inv", "0", nmos))
+    circuit.add(MOSFET("mpsl", "sl", "gsl", "vdd", pmos))
+    circuit.add(MOSFET("mnsl", "sl", "gbl_inv", "0", nmos))
+    # Complement signals (ideal inverters as sources keep the netlist
+    # focused on the power path).
+    inv = lambda wave: _Inverted(wave, vdd)
+    circuit.add(VoltageSource("vgblb", "gbl_inv", "0", inv(bl_gate)))
+    circuit.add(VoltageSource("vgslb", "gsl_inv", "0", inv(sl_gate)))
+
+    circuit.add(Capacitor("cbl", "bl", "0", bitline_capacitance))
+    circuit.add(Capacitor("csl", "sl", "0", bitline_capacitance))
+
+    model = BehavioralMTJModel(
+        pdk.free_layer, pdk.memory_pillar, pdk.barrier,
+        initial_antiparallel=not write_to_antiparallel,
+    )
+    mtj = circuit.add(MTJElement("mtj", "bl", "mid", model))
+    access = pdk.nmos(4.0 * tech.min_width_um)
+    if vth_shift_n != 0.0 or k_prime_scale != 1.0:
+        access = replace(
+            access, vth=access.vth + vth_shift_n, k_prime=access.k_prime * k_prime_scale
+        )
+    circuit.add(
+        VoltageSource(
+            "vwl", "wl", "0",
+            Pulse(0.0, vdd, pulse_delay - 0.2e-9, edge, edge, pulse_width + 0.6e-9),
+        )
+    )
+    circuit.add(MOSFET("macc", "mid", "wl", "sl", access))
+    return WriteDriverHandles(circuit, mtj, supply)
+
+
+class _Inverted:
+    """Waveform adapter: vdd - w(t)."""
+
+    def __init__(self, waveform, vdd: float):
+        self._waveform = waveform
+        self._vdd = vdd
+
+    def value(self, time: float) -> float:
+        return self._vdd - self._waveform.value(time)

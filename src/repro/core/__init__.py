@@ -1,0 +1,103 @@
+"""MSS device physics: the paper's primary contribution.
+
+One perpendicular STT-MTJ stack ("Multifunctional Standardized Stack")
+configured into memory, RF-oscillator or sensor devices through pillar
+diameter and patterned permanent-magnet bias fields.
+"""
+
+from repro.core.material import (
+    BarrierMaterial,
+    FreeLayerMaterial,
+    MSS_BARRIER,
+    MSS_FREE_LAYER,
+)
+from repro.core.geometry import (
+    MEMORY_PILLAR,
+    PillarGeometry,
+    SENSOR_PILLAR,
+    oblate_spheroid_demag_factor,
+)
+from repro.core.mtj import MTJTransport
+from repro.core.llg import LLGConfig, LLGResult, MacrospinLLG, thermal_equilibrium_angle
+from repro.core.thermal import (
+    ATTEMPT_TIME,
+    ThermalStability,
+    delta_for_retention,
+    diameter_for_retention,
+)
+from repro.core.switching import SwitchingModel
+from repro.core.bias import (
+    BiasMagnetPair,
+    COCR,
+    NDFEB,
+    PermanentMagnetMaterial,
+    design_bias_magnets,
+    rectangular_pole_face_field,
+)
+from repro.core.sensor import MSSFieldSensor, SensorOperatingPoint, sensor_bias_field_rule
+from repro.core.oscillator import (
+    MSSOscillator,
+    OscillatorOperatingPoint,
+    equilibrium_tilt,
+    oscillator_bias_field_rule,
+)
+from repro.core.modes import (
+    MSSDevice,
+    MSSMode,
+    design_memory_mss,
+    design_oscillator_mss,
+    design_sensor_mss,
+)
+from repro.core.compact import BehavioralMTJModel, CompactModelState, PhysicalMTJModel
+from repro.core.crosstalk import (
+    CrosstalkAnalysis,
+    astroid_switching_field,
+    barrier_degradation_factor,
+    stray_field_on_axis,
+)
+
+__all__ = [
+    "BarrierMaterial",
+    "FreeLayerMaterial",
+    "MSS_BARRIER",
+    "MSS_FREE_LAYER",
+    "MEMORY_PILLAR",
+    "PillarGeometry",
+    "SENSOR_PILLAR",
+    "oblate_spheroid_demag_factor",
+    "MTJTransport",
+    "LLGConfig",
+    "LLGResult",
+    "MacrospinLLG",
+    "thermal_equilibrium_angle",
+    "ATTEMPT_TIME",
+    "ThermalStability",
+    "delta_for_retention",
+    "diameter_for_retention",
+    "SwitchingModel",
+    "BiasMagnetPair",
+    "COCR",
+    "NDFEB",
+    "PermanentMagnetMaterial",
+    "design_bias_magnets",
+    "rectangular_pole_face_field",
+    "MSSFieldSensor",
+    "SensorOperatingPoint",
+    "sensor_bias_field_rule",
+    "MSSOscillator",
+    "OscillatorOperatingPoint",
+    "equilibrium_tilt",
+    "oscillator_bias_field_rule",
+    "MSSDevice",
+    "MSSMode",
+    "design_memory_mss",
+    "design_oscillator_mss",
+    "design_sensor_mss",
+    "BehavioralMTJModel",
+    "CompactModelState",
+    "PhysicalMTJModel",
+    "CrosstalkAnalysis",
+    "astroid_switching_field",
+    "barrier_degradation_factor",
+    "stray_field_on_axis",
+]

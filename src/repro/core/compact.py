@@ -1,0 +1,184 @@
+"""Verilog-A-style compact models of the MSS memory cell.
+
+Paper ref. [1] (Jabeur et al., "Comparison of Verilog-A compact
+modelling strategies for spintronic devices") contrasts two strategies
+for putting an MTJ into a circuit simulator:
+
+* a **behavioural** model — the magnetisation is a two-state variable;
+  switching is an *event* whose delay comes from the analytic
+  (Sun/Neel-Brown) expressions.  Fast, adequate for digital design.
+* a **physical** model — the magnetisation is a continuous state
+  integrated with the LLGS equation at every timestep.  Slow, but
+  captures precession, back-hopping and analog behaviour.
+
+Both are implemented here behind one protocol so the SPICE substrate
+(:mod:`repro.spice.mtj_element`) can swap them, reproducing the
+comparison of ref. [1] in :mod:`benchmarks.bench_compact_models`.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.geometry import PillarGeometry
+from repro.core.llg import LLGConfig, MacrospinLLG, thermal_equilibrium_angle
+from repro.core.material import BarrierMaterial, FreeLayerMaterial
+from repro.core.mtj import MTJTransport
+from repro.core.switching import SwitchingModel
+from repro.utils.constants import ROOM_TEMPERATURE
+
+
+@dataclass
+class CompactModelState:
+    """Shared observable state of a compact MTJ model.
+
+    Attributes:
+        antiparallel: Current logical state (True = AP = logic '1').
+        cos_angle: Continuous cos(theta) exposed by physical models;
+            behavioural models pin it to +/-1.
+    """
+
+    antiparallel: bool
+    cos_angle: float
+
+
+class BehavioralMTJModel:
+    """Event-based two-state MTJ compact model.
+
+    The junction is always in P or AP; a write current above I_c0
+    accumulates "switching progress" at rate 1/tau(I) and the state
+    flips when the progress reaches 1.  Progress relaxes when the
+    current is removed (no partial-switching memory beyond the pulse).
+    """
+
+    def __init__(
+        self,
+        material: FreeLayerMaterial,
+        geometry: PillarGeometry,
+        barrier: BarrierMaterial,
+        temperature: float = ROOM_TEMPERATURE,
+        initial_antiparallel: bool = False,
+    ):
+        self.transport = MTJTransport(geometry, barrier)
+        self.switching = SwitchingModel(material, geometry, temperature)
+        self.state = CompactModelState(
+            antiparallel=initial_antiparallel,
+            cos_angle=-1.0 if initial_antiparallel else 1.0,
+        )
+        self._progress = 0.0
+
+    @property
+    def critical_current(self) -> float:
+        """Critical current of the underlying switching model [A]."""
+        return self.switching.critical_current
+
+    def resistance(self, voltage: float = 0.0) -> float:
+        """Junction resistance in the present logical state [ohm]."""
+        return self.transport.state_resistance(self.state.antiparallel, voltage)
+
+    def _switching_direction_matches(self, current: float) -> bool:
+        # Positive current = electrons from the reference layer = favours P.
+        if current > 0.0:
+            return self.state.antiparallel
+        if current < 0.0:
+            return not self.state.antiparallel
+        return False
+
+    def advance(self, current: float, dt: float) -> bool:
+        """Advance the model by ``dt`` seconds at a constant current.
+
+        Returns:
+            True if the junction switched during this step.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        if not self._switching_direction_matches(current):
+            self._progress = max(0.0, self._progress - dt / 1e-9)
+            return False
+        magnitude = abs(current)
+        if magnitude <= 0.0:
+            return False
+        tau = self.switching.mean_switching_time(magnitude)
+        if math.isinf(tau) or tau <= 0.0:
+            return False
+        self._progress += dt / tau
+        if self._progress >= 1.0:
+            self.state.antiparallel = not self.state.antiparallel
+            self.state.cos_angle = -1.0 if self.state.antiparallel else 1.0
+            self._progress = 0.0
+            return True
+        return False
+
+
+class PhysicalMTJModel:
+    """LLGS-integrating MTJ compact model.
+
+    Each :meth:`advance` call integrates the macrospin equation, so the
+    exposed cos(theta) (and hence resistance) is continuous — precession
+    shows up in the resistance waveform exactly as in the Verilog-A
+    "physical" strategy of ref. [1].
+    """
+
+    def __init__(
+        self,
+        material: FreeLayerMaterial,
+        geometry: PillarGeometry,
+        barrier: BarrierMaterial,
+        temperature: float = ROOM_TEMPERATURE,
+        initial_antiparallel: bool = False,
+        timestep: float = 2e-12,
+        seed: Optional[int] = None,
+    ):
+        self.material = material
+        self.geometry = geometry
+        self.transport = MTJTransport(geometry, barrier)
+        self.temperature = temperature
+        self.timestep = timestep
+        self._seed = seed
+        rng = np.random.default_rng(seed)
+        # The initial cone angle is always seeded from a finite
+        # temperature (room, if the run itself is athermal): a perfectly
+        # aligned macrospin sits on the stagnation point and would never
+        # switch, which no physical device does.
+        seed_temperature = temperature if temperature > 0.0 else ROOM_TEMPERATURE
+        stability = SwitchingModel(material, geometry, seed_temperature).stability
+        theta0 = thermal_equilibrium_angle(max(stability.delta, 1.0), rng)
+        mz_sign = -1.0 if initial_antiparallel else 1.0
+        self._m = np.array(
+            [math.sin(theta0), 0.0, mz_sign * math.cos(theta0)], dtype=float
+        )
+        self.state = CompactModelState(
+            antiparallel=initial_antiparallel, cos_angle=float(self._m[2])
+        )
+
+    def resistance(self, voltage: float = 0.0) -> float:
+        """Instantaneous resistance from the continuous angle [ohm]."""
+        return float(self.transport.resistance(self.state.cos_angle, voltage))
+
+    def advance(self, current: float, dt: float) -> bool:
+        """Integrate the LLGS for ``dt`` seconds at a constant current.
+
+        Returns:
+            True if the logical state (sign of m_z) flipped.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        if dt == 0.0:
+            return False
+        config = LLGConfig(
+            material=self.material,
+            geometry=self.geometry,
+            current=current,
+            temperature=self.temperature,
+            timestep=self.timestep,
+            seed=self._seed,
+        )
+        solver = MacrospinLLG(config)
+        result = solver.run(self._m, dt, record_every=max(1, int(dt / self.timestep)))
+        self._m = result.final
+        was_ap = self.state.antiparallel
+        self.state.cos_angle = float(self._m[2])
+        self.state.antiparallel = self._m[2] < 0.0
+        return self.state.antiparallel != was_ap

@@ -1,0 +1,144 @@
+"""Pillar geometry of the MSS magnetic tunnel junction.
+
+The central idea of the MSS (Sec. I of the paper) is that one stack
+serves memory, RF and sensing *by geometry alone*: "MTJs can have
+adjustable retention by playing with the diameter of the stack" and
+"for sensor applications ... the diameter of the pillar will be
+increased".  This module computes everything diameter-dependent:
+area, volume, demagnetising factors and the effective perpendicular
+anisotropy field.
+"""
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.material import FreeLayerMaterial
+from repro.utils.constants import MU_0
+
+
+def oblate_spheroid_demag_factor(aspect_ratio: float) -> float:
+    """Axial demagnetising factor N_z of an oblate spheroid.
+
+    Args:
+        aspect_ratio: diameter / thickness (m > 1 for a flat disc).
+
+    Returns:
+        N_z in [1/3, 1).  The in-plane factors follow as (1 - N_z) / 2.
+
+    The free layer is a flat cylinder; the exact cylinder factors are
+    integrals, but the oblate-spheroid closed form is the standard
+    compact-model approximation and has the right limits
+    (N_z -> 1/3 for a sphere, N_z -> 1 for an infinite film).
+    """
+    m = aspect_ratio
+    if m <= 0.0:
+        raise ValueError("aspect ratio must be positive")
+    if abs(m - 1.0) < 1e-9:
+        return 1.0 / 3.0
+    if m < 1.0:
+        # Prolate (tall pillar) branch, included for completeness.
+        e = math.sqrt(1.0 - m * m)
+        nz = (1.0 - e * e) / (e * e) * (math.atanh(e) / e - 1.0)
+        return nz
+    # Canonical oblate form: N_z = m^2/(m^2-1) * [1 - asin(e)/ (e * m /
+    # sqrt(m^2-1))] with eccentricity e = sqrt(m^2-1)/m.
+    q = m * m - 1.0
+    return (m * m / q) * (1.0 - math.asin(math.sqrt(q) / m) / math.sqrt(q))
+
+
+@dataclass(frozen=True)
+class PillarGeometry:
+    """Circular MTJ pillar geometry.
+
+    Attributes:
+        diameter: Free layer diameter [m].
+        free_layer_thickness: Free layer thickness [m].
+    """
+
+    diameter: float = 40e-9
+    free_layer_thickness: float = 1.3e-9
+
+    def __post_init__(self) -> None:
+        if self.diameter <= 0.0:
+            raise ValueError("diameter must be positive")
+        if self.free_layer_thickness <= 0.0:
+            raise ValueError("free layer thickness must be positive")
+
+    @property
+    def area(self) -> float:
+        """Pillar cross-section area [m^2]."""
+        return math.pi * (self.diameter / 2.0) ** 2
+
+    @property
+    def volume(self) -> float:
+        """Free layer volume [m^3]."""
+        return self.area * self.free_layer_thickness
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Diameter over thickness (flatness of the free layer)."""
+        return self.diameter / self.free_layer_thickness
+
+    @property
+    def demag_factor_z(self) -> float:
+        """Out-of-plane demagnetising factor N_z."""
+        return oblate_spheroid_demag_factor(self.aspect_ratio)
+
+    @property
+    def demag_factor_inplane(self) -> float:
+        """In-plane demagnetising factor N_x = N_y."""
+        return (1.0 - self.demag_factor_z) / 2.0
+
+    def effective_anisotropy_field(self, material: FreeLayerMaterial) -> float:
+        """Effective perpendicular anisotropy field H_k,eff [A/m].
+
+        H_k,eff = 2 Ki / (mu0 Ms t) - (N_z - N_x) Ms
+
+        The interfacial PMA term (first) fights the shape demagnetising
+        term (second).  Larger diameter raises N_z - N_x and therefore
+        *lowers* H_k,eff — this is why the sensor-mode MSS uses a larger
+        pillar: it is easier to pull in-plane.
+        """
+        interface_term = 2.0 * material.interfacial_anisotropy / (
+            MU_0 * material.ms * self.free_layer_thickness
+        )
+        shape_term = (self.demag_factor_z - self.demag_factor_inplane) * material.ms
+        return interface_term - shape_term
+
+    def effective_anisotropy_energy_density(self, material: FreeLayerMaterial) -> float:
+        """Effective uniaxial anisotropy energy density K_eff [J/m^3]."""
+        return 0.5 * MU_0 * material.ms * self.effective_anisotropy_field(material)
+
+    def domain_wall_width(self, material: FreeLayerMaterial) -> float:
+        """Bloch wall width pi*sqrt(A_ex/K_eff) [m].
+
+        Pillars much larger than the wall width do not reverse coherently;
+        their energy barrier stops growing with volume (nucleation cap).
+        """
+        k_eff = self.effective_anisotropy_energy_density(material)
+        if k_eff <= 0.0:
+            return math.inf
+        return math.pi * math.sqrt(material.exchange_stiffness / k_eff)
+
+    def thermally_relevant_volume(self, material: FreeLayerMaterial) -> float:
+        """Volume entering the thermal-stability barrier [m^3].
+
+        Coherent (macrospin) reversal holds up to roughly the domain-wall
+        width; beyond that the barrier is set by nucleating a wall across
+        a region of that size, so the effective diameter saturates.
+        """
+        wall = self.domain_wall_width(material)
+        effective_diameter = min(self.diameter, wall)
+        return math.pi * (effective_diameter / 2.0) ** 2 * self.free_layer_thickness
+
+    def with_diameter(self, diameter: float) -> "PillarGeometry":
+        """Return a copy with a different diameter."""
+        return replace(self, diameter=diameter)
+
+
+#: Default memory-mode pillar (40 nm).
+MEMORY_PILLAR = PillarGeometry(diameter=40e-9)
+
+#: Default sensor-mode pillar (150 nm), per the paper's "the diameter of
+#: the pillar will be increased compared to the MSS used for memory".
+SENSOR_PILLAR = PillarGeometry(diameter=150e-9)

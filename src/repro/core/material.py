@@ -1,0 +1,102 @@
+"""Magnetic material descriptions for the MSS stack.
+
+The Multifunctional Standardized Stack (MSS) of the GREAT project is a
+perpendicular CoFeB/MgO/CoFeB magnetic tunnel junction.  The free layer
+material parameters here are the knobs the compact models consume:
+saturation magnetisation, interfacial perpendicular anisotropy, damping,
+spin polarisation and the MgO barrier transport properties.
+
+Default values are calibrated to the ranges published for the GREAT
+technology (Singulus-deposited, TowerJazz-integrated p-MTJ stacks):
+TMR ~ 120 %, RA ~ 6 ohm*um^2, alpha ~ 0.01, Ms ~ 1.1 MA/m.
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FreeLayerMaterial:
+    """Material parameters of the MSS free layer (CoFeB).
+
+    Attributes:
+        name: Human-readable label.
+        ms: Saturation magnetisation [A/m].
+        interfacial_anisotropy: Interfacial PMA energy density Ki [J/m^2].
+            Perpendicular anisotropy in thin CoFeB/MgO comes from the
+            interface, so the effective bulk anisotropy scales as Ki/t.
+        damping: Gilbert damping constant alpha [-].
+        polarization: Spin polarisation P of the tunnelling current [-].
+        exchange_stiffness: Exchange constant A_ex [J/m]; sets the domain
+            wall width that caps the thermally-relevant volume of large
+            pillars (nucleation-limited reversal).
+    """
+
+    name: str = "CoFeB"
+    ms: float = 1.1e6
+    interfacial_anisotropy: float = 1.03e-3
+    damping: float = 0.01
+    polarization: float = 0.6
+    exchange_stiffness: float = 2.0e-11
+
+    def __post_init__(self) -> None:
+        if self.ms <= 0.0:
+            raise ValueError("saturation magnetisation must be positive")
+        if not 0.0 < self.damping < 1.0:
+            raise ValueError("Gilbert damping must be in (0, 1)")
+        if not 0.0 < self.polarization <= 1.0:
+            raise ValueError("spin polarisation must be in (0, 1]")
+        if self.interfacial_anisotropy < 0.0:
+            raise ValueError("interfacial anisotropy must be non-negative")
+        if self.exchange_stiffness <= 0.0:
+            raise ValueError("exchange stiffness must be positive")
+
+    def with_updates(self, **changes: float) -> "FreeLayerMaterial":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class BarrierMaterial:
+    """MgO tunnel barrier transport parameters.
+
+    Attributes:
+        name: Human-readable label.
+        resistance_area_product: RA product [ohm*m^2].  The paper-era MSS
+            stacks target RA around 5-10 ohm*um^2 (5e-12 .. 1e-11 ohm*m^2).
+        tmr_zero_bias: Zero-bias TMR ratio (R_AP - R_P) / R_P [-].
+        tmr_half_voltage: Bias voltage at which TMR halves, V_h [V].
+            Implements the usual TMR(V) = TMR0 / (1 + (V / V_h)^2) roll-off.
+        breakdown_voltage: Dielectric breakdown voltage of the barrier [V].
+            Write pulses must stay below this for reliability.
+    """
+
+    name: str = "MgO"
+    resistance_area_product: float = 6.0e-12
+    tmr_zero_bias: float = 1.2
+    tmr_half_voltage: float = 0.5
+    breakdown_voltage: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.resistance_area_product <= 0.0:
+            raise ValueError("RA product must be positive")
+        if self.tmr_zero_bias <= 0.0:
+            raise ValueError("TMR must be positive")
+        if self.tmr_half_voltage <= 0.0:
+            raise ValueError("TMR half-voltage must be positive")
+        if self.breakdown_voltage <= 0.0:
+            raise ValueError("breakdown voltage must be positive")
+
+    def tmr_at_bias(self, voltage: float) -> float:
+        """TMR ratio at the given bias voltage (symmetric roll-off model)."""
+        return self.tmr_zero_bias / (1.0 + (voltage / self.tmr_half_voltage) ** 2)
+
+    def with_updates(self, **changes: float) -> "BarrierMaterial":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Baseline MSS free layer used throughout the library.
+MSS_FREE_LAYER = FreeLayerMaterial()
+
+#: Baseline MSS MgO barrier used throughout the library.
+MSS_BARRIER = BarrierMaterial()

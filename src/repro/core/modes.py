@@ -1,0 +1,209 @@
+"""The Multifunctional Standardized Stack (MSS) configurator.
+
+This module is the paper's headline contribution in executable form:
+*one* STT-MTJ baseline stack, specialised into memory, RF-oscillator or
+sensor devices purely through layout-level knobs (pillar diameter and
+patterned bias-magnet geometry).  One extra lithography step — the
+permanent magnets — is the only process delta between the functions.
+
+:func:`design_memory_mss`, :func:`design_oscillator_mss` and
+:func:`design_sensor_mss` apply the Sec.-I design rules and return a
+fully characterised :class:`MSSDevice` wired to the matching
+physics model (switching statistics, STO model, or sensor model).
+"""
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.bias import (
+    BiasMagnetPair,
+    PermanentMagnetMaterial,
+    COCR,
+    design_bias_magnets,
+)
+from repro.core.geometry import PillarGeometry
+from repro.core.material import (
+    BarrierMaterial,
+    FreeLayerMaterial,
+    MSS_BARRIER,
+    MSS_FREE_LAYER,
+)
+from repro.core.mtj import MTJTransport
+from repro.core.oscillator import MSSOscillator, oscillator_bias_field_rule
+from repro.core.sensor import MSSFieldSensor, sensor_bias_field_rule
+from repro.core.switching import SwitchingModel
+from repro.core.thermal import ThermalStability, diameter_for_retention
+from repro.utils.constants import ROOM_TEMPERATURE
+
+
+class MSSMode(enum.Enum):
+    """The three functions one MSS stack can implement."""
+
+    MEMORY = "memory"
+    OSCILLATOR = "oscillator"
+    SENSOR = "sensor"
+
+
+@dataclass(frozen=True)
+class MSSDevice:
+    """One configured MSS device instance.
+
+    Attributes:
+        mode: Which function this instance implements.
+        material: Free layer material (shared across all modes — that is
+            the point of the MSS).
+        barrier: Tunnel barrier (shared across all modes).
+        geometry: Pillar geometry (the per-mode knob).
+        bias_magnets: Patterned permanent magnets, or None in memory mode
+            (memory needs no extra lithography step).
+        temperature: Design temperature [K].
+    """
+
+    mode: MSSMode
+    material: FreeLayerMaterial
+    barrier: BarrierMaterial
+    geometry: PillarGeometry
+    bias_magnets: Optional[BiasMagnetPair] = None
+    temperature: float = ROOM_TEMPERATURE
+
+    @property
+    def transport(self) -> MTJTransport:
+        """Angle/bias resistance model of this pillar."""
+        return MTJTransport(self.geometry, self.barrier)
+
+    @property
+    def anisotropy_field(self) -> float:
+        """Effective perpendicular anisotropy field H_k,eff [A/m]."""
+        return self.geometry.effective_anisotropy_field(self.material)
+
+    @property
+    def bias_field(self) -> float:
+        """In-plane bias field produced by the magnets [A/m] (0 if none)."""
+        if self.bias_magnets is None:
+            return 0.0
+        return self.bias_magnets.field_at_center()
+
+    def switching_model(self) -> SwitchingModel:
+        """STT switching statistics (meaningful in memory mode)."""
+        return SwitchingModel(self.material, self.geometry, self.temperature)
+
+    def thermal_stability(self) -> ThermalStability:
+        """Retention physics of this pillar."""
+        return ThermalStability(self.material, self.geometry, self.temperature)
+
+    def oscillator_model(self) -> MSSOscillator:
+        """STO model; requires oscillator-mode bias (h < 1)."""
+        resistance = self.transport.resistance(math.cos(math.radians(60.0)))
+        return MSSOscillator(
+            self.material,
+            self.geometry,
+            self.bias_field,
+            temperature=self.temperature,
+            resistance=float(resistance),
+            magnetoresistance_swing=self.barrier.tmr_zero_bias / 4.0,
+        )
+
+    def sensor_model(self) -> MSSFieldSensor:
+        """Field-sensor model; requires sensor-mode bias (h > 1)."""
+        return MSSFieldSensor(
+            self.material,
+            self.geometry,
+            self.barrier,
+            self.bias_field,
+            temperature=self.temperature,
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description of the instance."""
+        lines = [
+            "MSS device in %s mode" % self.mode.value,
+            "  pillar diameter: %.1f nm" % (self.geometry.diameter * 1e9),
+            "  H_k,eff: %.3g A/m" % self.anisotropy_field,
+        ]
+        if self.bias_magnets is not None:
+            lines.append(
+                "  bias field: %.3g A/m (h = %.2f, %s magnets, gap %.0f nm)"
+                % (
+                    self.bias_field,
+                    self.bias_field / self.anisotropy_field,
+                    self.bias_magnets.material.name,
+                    self.bias_magnets.gap * 1e9,
+                )
+            )
+        if self.mode is MSSMode.MEMORY:
+            stability = self.thermal_stability()
+            switching = self.switching_model()
+            lines.append("  Delta: %.1f  (retention %.2g years)" % (
+                stability.delta, stability.retention_years()))
+            lines.append("  I_c0: %.1f uA" % (switching.critical_current * 1e6))
+        elif self.mode is MSSMode.OSCILLATOR:
+            oscillator = self.oscillator_model()
+            lines.append("  tilt: %.1f deg" % math.degrees(oscillator.tilt_angle))
+            lines.append("  FMR frequency: %.2f GHz" % (oscillator.fmr_frequency / 1e9))
+        elif self.mode is MSSMode.SENSOR:
+            sensor = self.sensor_model()
+            lines.append("  sensitivity: %.3g ohm/(A/m)" % sensor.sensitivity)
+            lines.append("  linear range: +/- %.3g A/m" % sensor.linear_range)
+        return "\n".join(lines)
+
+
+def design_memory_mss(
+    retention_seconds: float = 10.0 * 365.25 * 24 * 3600.0,
+    material: FreeLayerMaterial = MSS_FREE_LAYER,
+    barrier: BarrierMaterial = MSS_BARRIER,
+    thickness: float = 1.3e-9,
+    temperature: float = ROOM_TEMPERATURE,
+) -> MSSDevice:
+    """Design a memory-mode MSS for a retention target.
+
+    Implements "adjustable retention by playing with the diameter of the
+    stack thus allowing to minimize the switching current according to
+    the specified retention": the *smallest* diameter meeting the target
+    is selected, which minimises Delta and therefore I_c0.
+    """
+    diameter = diameter_for_retention(
+        material, retention_seconds, temperature=temperature, thickness=thickness
+    )
+    geometry = PillarGeometry(diameter=diameter, free_layer_thickness=thickness)
+    return MSSDevice(MSSMode.MEMORY, material, barrier, geometry, None, temperature)
+
+
+def design_oscillator_mss(
+    material: FreeLayerMaterial = MSS_FREE_LAYER,
+    barrier: BarrierMaterial = MSS_BARRIER,
+    diameter: float = 40e-9,
+    thickness: float = 1.3e-9,
+    bias_fraction: float = 0.5,
+    magnet_material: PermanentMagnetMaterial = COCR,
+    temperature: float = ROOM_TEMPERATURE,
+) -> MSSDevice:
+    """Design an oscillator-mode MSS (bias ~ H_k/2, ~30 degree tilt)."""
+    geometry = PillarGeometry(diameter=diameter, free_layer_thickness=thickness)
+    hk = geometry.effective_anisotropy_field(material)
+    target = oscillator_bias_field_rule(hk, bias_fraction)
+    magnets = design_bias_magnets(target, material=magnet_material)
+    return MSSDevice(MSSMode.OSCILLATOR, material, barrier, geometry, magnets, temperature)
+
+
+def design_sensor_mss(
+    material: FreeLayerMaterial = MSS_FREE_LAYER,
+    barrier: BarrierMaterial = MSS_BARRIER,
+    diameter: float = 150e-9,
+    thickness: float = 1.3e-9,
+    bias_margin: float = 1.1,
+    magnet_material: PermanentMagnetMaterial = COCR,
+    temperature: float = ROOM_TEMPERATURE,
+) -> MSSDevice:
+    """Design a sensor-mode MSS (larger pillar, bias slightly above H_k)."""
+    geometry = PillarGeometry(diameter=diameter, free_layer_thickness=thickness)
+    hk = geometry.effective_anisotropy_field(material)
+    if hk <= 0.0:
+        raise ValueError(
+            "diameter %.0f nm leaves no perpendicular anisotropy; reduce it"
+            % (diameter * 1e9)
+        )
+    target = sensor_bias_field_rule(hk, bias_margin)
+    magnets = design_bias_magnets(target, material=magnet_material)
+    return MSSDevice(MSSMode.SENSOR, material, barrier, geometry, magnets, temperature)

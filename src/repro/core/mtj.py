@@ -1,0 +1,109 @@
+"""Compact resistance/transport model of the MSS tunnel junction.
+
+The MTJ "behaves as a bistable element ... [or] as a variable
+resistance for analog applications" (Sec. I).  Both behaviours come
+from one transport equation: the junction conductance depends on the
+angle between free and reference layer magnetisation, and the TMR
+rolls off with bias voltage.
+
+The angular model is the standard Slonczewski/Julliere form used by
+Verilog-A MTJ compact models (paper ref. [1], Jabeur et al. 2014):
+
+    R(theta, V) = R_P * (1 + TMR(V)) / (1 + TMR(V) * (1 + cos theta) / 2)
+
+which interpolates between R_P (parallel, theta = 0) and
+R_AP = R_P * (1 + TMR) (anti-parallel, theta = pi).
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.geometry import PillarGeometry
+from repro.core.material import BarrierMaterial
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class MTJTransport:
+    """Angle- and bias-dependent MTJ resistance.
+
+    Attributes:
+        geometry: Pillar geometry (sets R_P through the RA product).
+        barrier: MgO barrier transport parameters.
+    """
+
+    geometry: PillarGeometry
+    barrier: BarrierMaterial
+
+    @property
+    def parallel_resistance(self) -> float:
+        """Zero-bias parallel-state resistance R_P [ohm]."""
+        return self.barrier.resistance_area_product / self.geometry.area
+
+    @property
+    def antiparallel_resistance(self) -> float:
+        """Zero-bias anti-parallel resistance R_AP [ohm]."""
+        return self.parallel_resistance * (1.0 + self.barrier.tmr_zero_bias)
+
+    def tmr(self, voltage: float = 0.0) -> float:
+        """TMR ratio at the given bias voltage."""
+        return self.barrier.tmr_at_bias(voltage)
+
+    def resistance(self, cos_angle: ArrayLike, voltage: float = 0.0) -> ArrayLike:
+        """Resistance for a relative magnetisation angle [ohm].
+
+        Args:
+            cos_angle: cos(theta) between free and reference magnetisation
+                (+1 = parallel, -1 = anti-parallel).  Scalar or array.
+            voltage: Bias voltage across the junction [V].
+        """
+        cos_angle = np.clip(cos_angle, -1.0, 1.0)
+        tmr = self.tmr(voltage)
+        r_p = self.parallel_resistance
+        value = r_p * (1.0 + tmr) / (1.0 + tmr * (1.0 + cos_angle) / 2.0)
+        if np.isscalar(cos_angle) or (isinstance(value, np.ndarray) and value.ndim == 0):
+            return float(value)
+        return value
+
+    def conductance(self, cos_angle: ArrayLike, voltage: float = 0.0) -> ArrayLike:
+        """Conductance for a relative magnetisation angle [S]."""
+        resistance = self.resistance(cos_angle, voltage)
+        return 1.0 / resistance
+
+    def state_resistance(self, antiparallel: bool, voltage: float = 0.0) -> float:
+        """Resistance of a definite memory state at the given bias [V]."""
+        cos_angle = -1.0 if antiparallel else 1.0
+        return float(self.resistance(cos_angle, voltage))
+
+    def read_signal(self, voltage: float) -> float:
+        """Absolute resistance difference R_AP(V) - R_P(V) [ohm].
+
+        This is the quantity the sense amplifier must resolve; TMR
+        roll-off with read voltage shrinks it, which is why read voltage
+        cannot simply be raised to speed up sensing.
+        """
+        return self.state_resistance(True, voltage) - self.state_resistance(False, voltage)
+
+    def bias_for_current(self, current: float, antiparallel: bool, tol: float = 1e-12) -> float:
+        """Solve V = I * R(V) for the self-consistent junction bias [V].
+
+        Because TMR (and hence R_AP) depends on V, driving a current
+        through the junction requires a fixed-point solve.  Converges in
+        a few iterations since the roll-off is mild.
+        """
+        voltage = abs(current) * self.state_resistance(antiparallel, 0.0)
+        for _ in range(100):
+            updated = abs(current) * self.state_resistance(antiparallel, voltage)
+            if abs(updated - voltage) < tol:
+                voltage = updated
+                break
+            voltage = updated
+        return math.copysign(voltage, current)
+
+    def power_dissipation(self, voltage: float, antiparallel: bool) -> float:
+        """Instantaneous Joule power V^2 / R(V) in a definite state [W]."""
+        return voltage * voltage / self.state_resistance(antiparallel, voltage)

@@ -1,0 +1,240 @@
+"""MSS oscillator mode: spin-transfer torque oscillator (STO).
+
+Per Sec. I of the paper: "For the spin transfer oscillator, the size
+and shape of the permanent magnet biasing layer will be adjusted to
+produce a horizontal field in the order of half of the effective
+perpendicular anisotropy field (~1 kOe) so that the free layer
+magnetization will be tilted at about 30 degrees."
+
+Statics: with the bias h = H_bias / H_k,eff < 1 the Stoner-Wohlfarth
+equilibrium satisfies sin(theta) = h, so h = 0.5 gives exactly the 30
+degree tilt the paper quotes.
+
+Dynamics: the auto-oscillation is described with the Slavin-Tiberkevich
+universal oscillator model — supercriticality zeta = I / I_th sets the
+normalised precession power p0 = (zeta - 1) / (zeta + Q), the frequency
+shifts with power through the nonlinear coefficient N, and the
+linewidth follows from the restoration rate and the thermal-to-
+oscillation energy ratio.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.geometry import PillarGeometry
+from repro.core.material import FreeLayerMaterial
+from repro.utils.constants import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    GILBERT_GYROMAGNETIC,
+    HBAR,
+    MU_0,
+    ROOM_TEMPERATURE,
+)
+
+
+def equilibrium_tilt(normalized_bias: float) -> float:
+    """Static tilt angle theta = asin(h) for h = H_bias / H_k,eff < 1.
+
+    Minimising e(theta) = 1/2 sin^2 theta - h sin theta gives
+    sin(theta) = h; h = 0.5 reproduces the paper's "about 30 degrees".
+    """
+    if not 0.0 <= normalized_bias < 1.0:
+        raise ValueError("oscillator mode requires 0 <= h < 1")
+    return math.asin(normalized_bias)
+
+
+@dataclass(frozen=True)
+class OscillatorOperatingPoint:
+    """Steady-state characteristics of the STO at one drive current.
+
+    Attributes:
+        current: Drive current [A].
+        supercriticality: zeta = I / I_th [-].
+        power: Normalised precession power p0 in [0, 1).
+        frequency: Oscillation frequency [Hz].
+        linewidth: Full generation linewidth [Hz].
+        output_power: Electrical output power into a matched load [W].
+    """
+
+    current: float
+    supercriticality: float
+    power: float
+    frequency: float
+    linewidth: float
+    output_power: float
+
+
+class MSSOscillator:
+    """Spin-torque oscillator built from a tilted MSS pillar.
+
+    Args:
+        material: Free layer material.
+        geometry: Pillar geometry (memory-sized pillar).
+        bias_field: In-plane bias field [A/m]; must be below H_k,eff.
+        temperature: Temperature [K] (sets linewidth).
+        nonlinear_damping: Slavin Q coefficient (1-3 typical).
+        nonlinear_shift: dimensionless nonlinear frequency-shift
+            coefficient nu = N / Gamma_p; negative = red shift, the
+            common case for this geometry.
+        resistance: Junction resistance at the operating point [ohm]
+            (for the output-power estimate).
+        magnetoresistance_swing: Fractional resistance oscillation
+            amplitude at full power (~TMR/2 projected on the
+            precession cone).
+    """
+
+    def __init__(
+        self,
+        material: FreeLayerMaterial,
+        geometry: PillarGeometry,
+        bias_field: float,
+        temperature: float = ROOM_TEMPERATURE,
+        nonlinear_damping: float = 2.0,
+        nonlinear_shift: float = -1.5,
+        resistance: float = 2000.0,
+        magnetoresistance_swing: float = 0.3,
+    ):
+        self.material = material
+        self.geometry = geometry
+        self.bias_field = bias_field
+        self.temperature = temperature
+        self.nonlinear_damping = nonlinear_damping
+        self.nonlinear_shift = nonlinear_shift
+        self.resistance = resistance
+        self.magnetoresistance_swing = magnetoresistance_swing
+        self._hk = geometry.effective_anisotropy_field(material)
+        if self._hk <= 0.0:
+            raise ValueError("oscillator pillar has no perpendicular anisotropy")
+        if not 0.0 <= bias_field < self._hk:
+            raise ValueError(
+                "oscillator mode requires bias field below H_k,eff "
+                "(got %.3g of %.3g A/m)" % (bias_field, self._hk)
+            )
+
+    @property
+    def normalized_bias(self) -> float:
+        """h = H_bias / H_k,eff in [0, 1)."""
+        return self.bias_field / self._hk
+
+    @property
+    def tilt_angle(self) -> float:
+        """Static tilt angle of the free layer [rad]."""
+        return equilibrium_tilt(self.normalized_bias)
+
+    def _energy_curvatures(self) -> Tuple[float, float]:
+        """Reduced-energy curvatures (e_theta_theta, e_phi_phi) at
+        equilibrium, normalised by mu0 Ms Hk V.
+
+        e(theta, phi) = 1/2 sin^2(theta) - h sin(theta) cos(phi)
+        evaluated at phi = 0, sin(theta0) = h:
+            e_tt = cos(2 theta0) + h sin(theta0) = 1 - h^2
+            e_pp = h sin(theta0)                = h^2
+        For h -> 0 the phi direction degenerates (axial symmetry); we
+        floor it to keep the FMR frequency finite and equal to the
+        uniaxial value gamma0 * Hk.
+        """
+        h = self.normalized_bias
+        e_tt = 1.0 - h * h
+        e_pp = h * h
+        return e_tt, max(e_pp, 1e-12)
+
+    @property
+    def fmr_frequency(self) -> float:
+        """Small-angle precession (FMR) frequency at the tilt point [Hz].
+
+        omega = gamma0 * Hk * sqrt(e_tt * e_pp) / sin(theta0); for the
+        tilted state this evaluates to gamma0 * Hk * h * sqrt(1 - h^2) /
+        h = gamma0 * Hk * sqrt(1 - h^2).
+        """
+        h = self.normalized_bias
+        if h == 0.0:
+            return GILBERT_GYROMAGNETIC * self._hk / (2.0 * math.pi)
+        e_tt, e_pp = self._energy_curvatures()
+        omega = GILBERT_GYROMAGNETIC * self._hk * math.sqrt(e_tt * e_pp) / h
+        return omega / (2.0 * math.pi)
+
+    @property
+    def damping_rate(self) -> float:
+        """Positive (Gilbert) damping rate Gamma_G [1/s]."""
+        return self.material.damping * 2.0 * math.pi * self.fmr_frequency
+
+    @property
+    def threshold_current(self) -> float:
+        """Current at which spin torque compensates damping [A].
+
+        From a_j(I_th) = alpha * H_stiff with the Slonczewski torque
+        amplitude a_j = hbar * eta * I / (2 e mu0 Ms V).
+        """
+        h_stiff = 2.0 * math.pi * self.fmr_frequency / GILBERT_GYROMAGNETIC
+        aj_per_ampere = (
+            HBAR
+            * self.material.polarization
+            / (2.0 * ELEMENTARY_CHARGE * MU_0 * self.material.ms * self.geometry.volume)
+        )
+        return self.material.damping * h_stiff / aj_per_ampere
+
+    def oscillation_energy(self, power: float) -> float:
+        """Energy stored in the precession at normalised power p [J]."""
+        return power * MU_0 * self.material.ms * self._hk * self.geometry.volume
+
+    def operating_point(self, current: float) -> OscillatorOperatingPoint:
+        """Steady-state oscillator characteristics at a drive current.
+
+        Below threshold the device is a damped resonator: zero power,
+        FMR frequency, thermal (FMR) linewidth.
+        """
+        if current <= 0.0:
+            raise ValueError("drive current must be positive")
+        zeta = current / self.threshold_current
+        q = self.nonlinear_damping
+        f0 = self.fmr_frequency
+        if zeta <= 1.0:
+            linewidth = self.damping_rate / math.pi
+            return OscillatorOperatingPoint(
+                current=current,
+                supercriticality=zeta,
+                power=0.0,
+                frequency=f0,
+                linewidth=linewidth,
+                output_power=0.0,
+            )
+        p0 = (zeta - 1.0) / (zeta + q)
+        # Nonlinear frequency shift: f = f0 * (1 + nu_f * p0) with the
+        # dimensionless shift folded into nonlinear_shift.
+        frequency = f0 * (1.0 + self.nonlinear_shift * self.material.damping * p0 / 0.01)
+        frequency = max(frequency, 0.05 * f0)
+        # Restoration rate of power fluctuations and generation linewidth
+        # (Slavin-Tiberkevich Eq. for Delta f), broadened by the
+        # amplitude-phase coupling factor (1 + nu^2).
+        restoration = self.damping_rate * p0 * (zeta + q) / (zeta if zeta > 0 else 1.0)
+        energy = self.oscillation_energy(p0)
+        thermal_ratio = BOLTZMANN * self.temperature / max(energy, 1e-30)
+        nu = self.nonlinear_shift
+        linewidth = (restoration / (2.0 * math.pi)) * thermal_ratio * (1.0 + nu * nu)
+        # Electrical output: resistance oscillation converts the DC drive
+        # into an AC voltage; matched-load power = (I * dR)^2 / (8 R).
+        dr = self.resistance * self.magnetoresistance_swing * math.sqrt(p0)
+        output_power = (current * dr) ** 2 / (8.0 * self.resistance)
+        return OscillatorOperatingPoint(
+            current=current,
+            supercriticality=zeta,
+            power=p0,
+            frequency=frequency,
+            linewidth=linewidth,
+            output_power=output_power,
+        )
+
+    def tuning_curve(self, currents: np.ndarray) -> np.ndarray:
+        """Frequency vs drive current [Hz]."""
+        return np.asarray([self.operating_point(i).frequency for i in currents])
+
+
+def oscillator_bias_field_rule(anisotropy_field: float, fraction: float = 0.5) -> float:
+    """Paper design rule: bias field ~ half of H_k,eff [A/m]."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("oscillator bias fraction must be in (0, 1)")
+    return fraction * anisotropy_field

@@ -1,0 +1,190 @@
+"""STT switching statics and statistics of the MSS in memory mode.
+
+Everything the memory-path experiments (Table 1, Figs. 7-9) need from
+the device lives here:
+
+* the Slonczewski critical current I_c0,
+* the mean switching time vs overdrive (precessional regime) and
+  vs sub-critical current (thermally-activated regime),
+* the write-error-rate WER(t, I) — probability the free layer has NOT
+  reversed after a pulse of width t,
+* the read-disturb probability — probability the (small) read current
+  accidentally reverses the cell during the read period (Fig. 9).
+
+Model choices follow the Koch/Sun macrospin treatment that underpins
+essentially all STT-MRAM compact models (and the paper's own VAET-STT
+reference [6]).
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.core.geometry import PillarGeometry
+from repro.core.material import FreeLayerMaterial
+from repro.core.thermal import ATTEMPT_TIME, ThermalStability
+from repro.utils.constants import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    GILBERT_GYROMAGNETIC,
+    HBAR,
+    ROOM_TEMPERATURE,
+)
+
+
+@dataclass(frozen=True)
+class SwitchingModel:
+    """Analytic STT switching model for one MSS pillar.
+
+    Attributes:
+        material: Free layer material.
+        geometry: Pillar geometry.
+        temperature: Operating temperature [K].
+    """
+
+    material: FreeLayerMaterial
+    geometry: PillarGeometry
+    temperature: float = ROOM_TEMPERATURE
+
+    @property
+    def stability(self) -> ThermalStability:
+        """Thermal stability helper bound to the same device."""
+        return ThermalStability(self.material, self.geometry, self.temperature)
+
+    @property
+    def critical_current(self) -> float:
+        """Zero-temperature critical current I_c0 [A].
+
+        I_c0 = (4 e / hbar) * (alpha / eta) * Delta * k_B T
+
+        which is the Slonczewski result rewritten through the thermal
+        stability factor — the form that makes the retention/write-current
+        trade-off of the paper explicit (larger diameter => larger Delta
+        => larger I_c0).
+        """
+        delta = self.stability.delta
+        return (
+            4.0
+            * ELEMENTARY_CHARGE
+            * self.material.damping
+            * delta
+            * BOLTZMANN
+            * self.temperature
+            / (HBAR * self.material.polarization)
+        )
+
+    @property
+    def critical_current_density(self) -> float:
+        """Critical current density J_c0 [A/m^2]."""
+        return self.critical_current / self.geometry.area
+
+    def relaxation_rate(self, overdrive: float) -> float:
+        """Precessional growth rate 1/tau for I > I_c0 [1/s].
+
+        1/tau = (alpha * gamma0 * H_k,eff / (1 + alpha^2)) * (i - 1)
+
+        where i = I / I_c0.  The amplitude of the precession cone grows
+        exponentially with this rate until reversal.
+        """
+        if overdrive <= 1.0:
+            raise ValueError("precessional regime requires I > I_c0")
+        alpha = self.material.damping
+        hk = self.geometry.effective_anisotropy_field(self.material)
+        return alpha * GILBERT_GYROMAGNETIC * hk / (1.0 + alpha * alpha) * (overdrive - 1.0)
+
+    def mean_switching_time(self, current: float) -> float:
+        """Mean time to reverse under a constant current [s].
+
+        Precessional (Sun) expression above threshold; Neel-Brown with a
+        linearly lowered barrier below threshold.
+        """
+        if current <= 0.0:
+            raise ValueError("switching current must be positive")
+        overdrive = current / self.critical_current
+        delta = self.stability.delta
+        if overdrive > 1.0:
+            # Time to amplify the thermal cone angle theta0 to pi/2:
+            # t = ln(pi / (2 theta0)) / rate, theta0 = 1/sqrt(2 Delta).
+            theta0 = 1.0 / math.sqrt(2.0 * delta)
+            return math.log(math.pi / (2.0 * theta0)) / self.relaxation_rate(overdrive)
+        return self.stability.relaxation_time(overdrive)
+
+    def write_error_rate(self, pulse_width: float, current: float) -> float:
+        """WER: probability the bit has NOT switched after the pulse.
+
+        Above threshold the Koch-Sun initial-angle distribution gives
+
+            WER(t, I) = 1 - exp( -(pi^2 Delta / 4) * exp(-2 t / tau) )
+
+        (tau from :meth:`relaxation_rate`), so log(WER) falls linearly
+        with pulse width — the straight tail VAET-STT margins against.
+        Below threshold the Neel-Brown switching probability applies.
+        """
+        if pulse_width < 0.0:
+            raise ValueError("pulse width must be non-negative")
+        if current <= 0.0:
+            raise ValueError("write current must be positive")
+        overdrive = current / self.critical_current
+        delta = self.stability.delta
+        if overdrive > 1.0:
+            rate = self.relaxation_rate(overdrive)
+            envelope = (math.pi * math.pi * delta / 4.0) * math.exp(-2.0 * rate * pulse_width)
+            if envelope > 700.0:
+                return 1.0
+            return -math.expm1(-envelope)
+        tau = self.stability.relaxation_time(overdrive)
+        if math.isinf(tau):
+            return 1.0
+        ratio = pulse_width / tau
+        # P(switch) = 1 - exp(-t/tau); WER = exp(-t/tau).
+        if ratio > 700.0:
+            return 0.0
+        return math.exp(-ratio)
+
+    def pulse_width_for_wer(self, wer_target: float, current: float) -> float:
+        """Invert WER(t, I) for the pulse width hitting a WER target [s].
+
+        Only defined in the precessional regime (the regime used for
+        writes); raises otherwise.
+        """
+        if not 0.0 < wer_target < 1.0:
+            raise ValueError("WER target must be in (0, 1)")
+        overdrive = current / self.critical_current
+        if overdrive <= 1.0:
+            raise ValueError("write current below I_c0 cannot reach arbitrary WER")
+        delta = self.stability.delta
+        rate = self.relaxation_rate(overdrive)
+        envelope = -math.log1p(-wer_target)
+        # envelope = (pi^2 Delta / 4) exp(-2 rate t)
+        argument = (math.pi * math.pi * delta / 4.0) / envelope
+        if argument <= 1.0:
+            return 0.0
+        return math.log(argument) / (2.0 * rate)
+
+    def read_disturb_probability(self, read_period: float, read_current: float) -> float:
+        """Probability a read pulse of given width flips the cell (Fig. 9).
+
+        The read current is well below I_c0, so the disturb is a
+        thermally-activated event over the current-lowered barrier:
+
+            P = 1 - exp(-t_read / tau(I_read))
+        """
+        if read_period < 0.0:
+            raise ValueError("read period must be non-negative")
+        if read_current < 0.0:
+            raise ValueError("read current must be non-negative")
+        overdrive = read_current / self.critical_current
+        if overdrive >= 1.0:
+            return 1.0
+        tau = self.stability.relaxation_time(overdrive)
+        if math.isinf(tau):
+            return 0.0
+        ratio = read_period / tau
+        if ratio > 700.0:
+            return 1.0
+        return -math.expm1(-ratio)
+
+    def write_energy(self, pulse_width: float, current: float, resistance: float) -> float:
+        """Joule energy of one write pulse I^2 R t [J]."""
+        if resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+        return current * current * resistance * pulse_width

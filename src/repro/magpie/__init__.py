@@ -1,0 +1,18 @@
+"""MAGPIE cross-layer hybrid-memory exploration flow (Figs. 10-12)."""
+
+from repro.magpie.scenarios import Scenario, build_scenario
+from repro.magpie.flow import L2_LINE_BITS, MagpieFlow, ScenarioResult
+from repro.magpie.report import fig11_breakdown, fig12_relative
+from repro.magpie.iot import DutyCyclePoint, IoTNodeStudy
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "L2_LINE_BITS",
+    "MagpieFlow",
+    "ScenarioResult",
+    "fig11_breakdown",
+    "fig12_relative",
+    "DutyCyclePoint",
+    "IoTNodeStudy",
+]

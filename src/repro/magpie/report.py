@@ -1,0 +1,61 @@
+"""Fig. 11 / Fig. 12 report rendering for MAGPIE results."""
+
+from typing import Dict, List, Tuple
+
+from repro.magpie.flow import ScenarioResult
+from repro.magpie.scenarios import Scenario
+from repro.mcpat.components import Component
+from repro.utils.table import Table
+
+
+def fig11_breakdown(
+    results: Dict[Tuple[str, Scenario], ScenarioResult], kernel: str
+) -> Table:
+    """Energy breakdown by component across scenarios (Fig. 11).
+
+    Raises:
+        KeyError: If the kernel was not evaluated under every scenario.
+    """
+    table = Table(
+        ["component (mJ)"] + [s.value for s in Scenario],
+        title="Fig. 11 — energy breakdown, %s" % kernel,
+    )
+    for component in Component:
+        row = [component.value]
+        for scenario in Scenario:
+            result = results[(kernel, scenario)]
+            row.append(result.energy.component_total(component) * 1e3)
+        table.add_row(row)
+    row = ["total"]
+    for scenario in Scenario:
+        row.append(results[(kernel, scenario)].energy.total_energy * 1e3)
+    table.add_row(row)
+    return table
+
+
+def fig12_relative(
+    results: Dict[Tuple[str, Scenario], ScenarioResult], kernels: List[str]
+) -> Table:
+    """Per-kernel time/energy/EDP relative to Full-SRAM (Fig. 12)."""
+    table = Table(
+        ["kernel", "scenario", "time ratio", "energy ratio", "EDP ratio"],
+        title="Fig. 12 — normalised to Full-SRAM",
+    )
+    for kernel in kernels:
+        reference = results[(kernel, Scenario.FULL_SRAM)].energy
+        for scenario in (
+            Scenario.LITTLE_L2_STT,
+            Scenario.BIG_L2_STT,
+            Scenario.FULL_L2_STT,
+        ):
+            candidate = results[(kernel, scenario)].energy
+            table.add_row(
+                [
+                    kernel,
+                    scenario.value,
+                    candidate.exec_time / reference.exec_time,
+                    candidate.total_energy / reference.total_energy,
+                    candidate.edp / reference.edp,
+                ]
+            )
+    return table

@@ -1,0 +1,68 @@
+"""The four L2-technology scenarios of the paper's evaluation.
+
+Sec. IV-D: "big.LITTLE architecture where all cache memories are in
+SRAM (i.e., our reference scenario, referred to as Full-SRAM); similar
+architecture but the L2 cache of the LITTLE cluster is now in
+STT-MRAM (LITTLE-L2-STT-MRAM), similar architecture but the L2 of the
+big cluster is in STT-MRAM (big-L2-STT-MRAM), and similar architecture
+where L2 caches of both clusters are in STT-MRAM (Full-L2-STT-MRAM)."
+
+STT-MRAM replaces SRAM at *iso-area*: the ~4x denser cell buys ~4x the
+capacity in the same silicon, which is where the LITTLE-cluster
+speedups come from.
+"""
+
+import enum
+
+from repro.archsim.memtech import MemoryTechnology
+from repro.archsim.soc import SoCConfig
+
+
+class Scenario(enum.Enum):
+    """L2 technology assignment per cluster."""
+
+    FULL_SRAM = "Full-SRAM"
+    LITTLE_L2_STT = "LITTLE-L2-STT-MRAM"
+    BIG_L2_STT = "big-L2-STT-MRAM"
+    FULL_L2_STT = "Full-L2-STT-MRAM"
+
+    @property
+    def little_uses_stt(self) -> bool:
+        """True if the LITTLE cluster's L2 is STT-MRAM."""
+        return self in (Scenario.LITTLE_L2_STT, Scenario.FULL_L2_STT)
+
+    @property
+    def big_uses_stt(self) -> bool:
+        """True if the big cluster's L2 is STT-MRAM."""
+        return self in (Scenario.BIG_L2_STT, Scenario.FULL_L2_STT)
+
+
+def build_scenario(
+    scenario: Scenario,
+    sram_l2: MemoryTechnology,
+    stt_l2: MemoryTechnology,
+    base: SoCConfig = None,
+) -> SoCConfig:
+    """Instantiate the SoC for one scenario.
+
+    Args:
+        scenario: Which L2s are swapped to STT-MRAM.
+        sram_l2: SRAM L2 macro record (from NVSim).
+        stt_l2: STT-MRAM L2 macro record (from VAET-STT).
+        base: Baseline platform (defaults to the Full-SRAM reference).
+
+    Returns:
+        The configured SoC, with iso-area capacity scaling applied to
+        every STT-MRAM L2.
+    """
+    import dataclasses
+
+    base = base or SoCConfig.full_sram()
+    density = sram_l2.area_per_mb / stt_l2.area_per_mb
+    big = dataclasses.replace(base.big, l2_tech=sram_l2)
+    little = dataclasses.replace(base.little, l2_tech=sram_l2)
+    if scenario.big_uses_stt:
+        big = big.with_l2(base.big.l2_mb * round(density), stt_l2)
+    if scenario.little_uses_stt:
+        little = little.with_l2(base.little.l2_mb * round(density), stt_l2)
+    return dataclasses.replace(base, big=big, little=little)

@@ -1,0 +1,12 @@
+"""McPAT-class component power/energy roll-up."""
+
+from repro.mcpat.components import Component, EnergyBreakdown, estimate_energy
+from repro.mcpat.report import render_breakdown, render_summary
+
+__all__ = [
+    "Component",
+    "EnergyBreakdown",
+    "estimate_energy",
+    "render_breakdown",
+    "render_summary",
+]

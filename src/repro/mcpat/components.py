@@ -1,0 +1,121 @@
+"""Component-wise energy accounting (the McPAT substitute).
+
+McPAT "allows us to analyze not only the energy consumption related to
+the memory components, but also to evaluate the energy of the complete
+system including the processor cores, buses, and memory controller"
+(Sec. IV-C).  Components here mirror the Fig. 11 breakdown: big cores,
+LITTLE cores, L1 caches, the two L2 caches, interconnect, memory
+controller and DRAM.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.archsim.soc import SoCConfig
+from repro.archsim.stats import ActivityReport
+
+
+class Component(enum.Enum):
+    """Energy breakdown components (the bars of Fig. 11)."""
+
+    BIG_CORES = "big-cores"
+    LITTLE_CORES = "little-cores"
+    L1_CACHES = "l1-caches"
+    L2_BIG = "l2-big"
+    L2_LITTLE = "l2-little"
+    INTERCONNECT = "interconnect"
+    MEMORY_CONTROLLER = "memory-controller"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component dynamic + static energy of one run.
+
+    Attributes:
+        workload: Kernel name.
+        exec_time: Run time the static energy integrates over [s].
+        dynamic: Dynamic energy per component [J].
+        static: Leakage energy per component [J].
+    """
+
+    workload: str
+    exec_time: float
+    dynamic: Dict[Component, float]
+    static: Dict[Component, float]
+
+    def component_total(self, component: Component) -> float:
+        """Dynamic + static energy of one component [J]."""
+        return self.dynamic.get(component, 0.0) + self.static.get(component, 0.0)
+
+    @property
+    def total_energy(self) -> float:
+        """Whole-SoC energy [J]."""
+        return sum(self.dynamic.values()) + sum(self.static.values())
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product [J*s] (the Fig. 12 merit)."""
+        return self.total_energy * self.exec_time
+
+
+def estimate_energy(soc: SoCConfig, report: ActivityReport) -> EnergyBreakdown:
+    """Roll an activity report up into the component energy breakdown."""
+    time = report.exec_time
+    dynamic: Dict[Component, float] = {}
+    static: Dict[Component, float] = {}
+
+    # Cores: EPI * instructions + per-core leakage over the run.
+    for component, cluster_cfg, activity in (
+        (Component.BIG_CORES, soc.big, report.big),
+        (Component.LITTLE_CORES, soc.little, report.little),
+    ):
+        core = cluster_cfg.core
+        dynamic[component] = core.energy_per_instruction * activity.instructions
+        static[component] = core.leakage_power * cluster_cfg.num_cores * time
+
+    # L1: per-access energy + leakage for num_cores private caches.
+    l1_dynamic = 0.0
+    l1_static = 0.0
+    for cluster_cfg, activity in ((soc.big, report.big), (soc.little, report.little)):
+        tech = cluster_cfg.l1_tech
+        accesses = activity.l1_reads + activity.l1_writes
+        l1_dynamic += accesses * tech.read_energy
+        capacity_mb = cluster_cfg.l1_kb / 1024.0 * cluster_cfg.num_cores
+        l1_static += tech.leakage_per_mb * capacity_mb * time
+    dynamic[Component.L1_CACHES] = l1_dynamic
+    static[Component.L1_CACHES] = l1_static
+
+    # L2 slices: technology-dependent access energies and leakage —
+    # the terms the SRAM -> STT-MRAM swap changes.
+    for component, cluster_cfg, activity in (
+        (Component.L2_BIG, soc.big, report.big),
+        (Component.L2_LITTLE, soc.little, report.little),
+    ):
+        tech = cluster_cfg.l2_tech
+        dynamic[component] = (
+            activity.l2_reads * tech.read_energy
+            + activity.l2_writes * tech.write_energy
+        )
+        static[component] = tech.leakage_per_mb * cluster_cfg.l2_mb * time
+
+    # Interconnect and memory path.
+    l2_traffic = report.big.l2_accesses + report.little.l2_accesses
+    dram_accesses = (
+        report.big.dram_reads + report.big.dram_writes
+        + report.little.dram_reads + report.little.dram_writes
+    )
+    dynamic[Component.INTERCONNECT] = soc.bus_energy_per_access * (
+        l2_traffic + dram_accesses
+    )
+    static[Component.INTERCONNECT] = 5e-3 * time
+    dynamic[Component.MEMORY_CONTROLLER] = 8e-12 * dram_accesses
+    static[Component.MEMORY_CONTROLLER] = soc.memory_controller_leakage * time
+    dram_tech = soc.dram
+    dynamic[Component.DRAM] = dram_accesses * dram_tech.read_energy
+    static[Component.DRAM] = 60e-3 * time  # LPDDR background/refresh.
+
+    return EnergyBreakdown(
+        workload=report.workload, exec_time=time, dynamic=dynamic, static=static
+    )

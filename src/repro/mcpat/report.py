@@ -1,0 +1,42 @@
+"""Rendering helpers for energy breakdowns."""
+
+from typing import Iterable, List
+
+from repro.mcpat.components import Component, EnergyBreakdown
+from repro.utils.table import Table
+
+
+def render_breakdown(breakdowns: List[EnergyBreakdown], title: str) -> str:
+    """Tabulate component energies across scenarios (Fig.-11 style).
+
+    Args:
+        breakdowns: One breakdown per scenario (same workload).
+        title: Table title; scenario columns are numbered in order.
+    """
+    headers = ["component"] + [b.workload for b in breakdowns]
+    table = Table(headers, title=title)
+    for component in Component:
+        row = [component.value]
+        for breakdown in breakdowns:
+            row.append(breakdown.component_total(component) * 1e3)
+        table.add_row(row)
+    totals = ["total (mJ)"] + [b.total_energy * 1e3 for b in breakdowns]
+    table.add_row(totals)
+    return table.render()
+
+
+def render_summary(breakdowns: Iterable[EnergyBreakdown], title: str) -> str:
+    """Tabulate time/energy/EDP of several runs (Fig.-12 style)."""
+    table = Table(
+        ["workload", "time (ms)", "energy (mJ)", "EDP (uJ*s)"], title=title
+    )
+    for breakdown in breakdowns:
+        table.add_row(
+            [
+                breakdown.workload,
+                breakdown.exec_time * 1e3,
+                breakdown.total_energy * 1e3,
+                breakdown.edp * 1e6,
+            ]
+        )
+    return table.render()

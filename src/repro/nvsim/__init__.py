@@ -1,0 +1,38 @@
+"""NVSim-class circuit-level memory latency/energy/area model."""
+
+from repro.nvsim.config import CellKind, MemoryConfig, MemoryType, PAPER_ARRAY
+from repro.nvsim.wire import (
+    WireSegment,
+    driver_resistance,
+    global_wire,
+    intermediate_wire,
+    local_wire,
+)
+from repro.nvsim.decoder import DecoderEstimate, decoder_estimate
+from repro.nvsim.senseamp_model import SenseAmpEstimate, sense_amp_estimate
+from repro.nvsim.subarray import SubarrayModel, SubarrayTiming
+from repro.nvsim.bank import BankModel, BankTiming
+from repro.nvsim.result import MemoryEstimate
+from repro.nvsim.estimator import NVSimEstimator
+
+__all__ = [
+    "CellKind",
+    "MemoryConfig",
+    "MemoryType",
+    "PAPER_ARRAY",
+    "WireSegment",
+    "driver_resistance",
+    "global_wire",
+    "intermediate_wire",
+    "local_wire",
+    "DecoderEstimate",
+    "decoder_estimate",
+    "SenseAmpEstimate",
+    "sense_amp_estimate",
+    "SubarrayModel",
+    "SubarrayTiming",
+    "BankModel",
+    "BankTiming",
+    "MemoryEstimate",
+    "NVSimEstimator",
+]

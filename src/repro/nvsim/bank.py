@@ -1,0 +1,87 @@
+"""Bank assembly: subarrays + decoders + H-tree routing.
+
+A bank is a grid of subarrays; an access decodes the row/column
+address, routes through the intra-bank H-tree to the selected
+subarrays, performs the leaf access, and drives the word back out.
+Word bits are striped across as many subarrays as needed.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.nvsim.config import MemoryConfig
+from repro.nvsim.decoder import DecoderEstimate, decoder_estimate
+from repro.nvsim.subarray import SubarrayModel
+from repro.nvsim.wire import driver_resistance, intermediate_wire
+from repro.pdk.kit import ProcessDesignKit
+
+
+@dataclass(frozen=True)
+class BankTiming:
+    """Bank-level access decomposition.
+
+    Attributes:
+        decoder: Row-decoder estimate.
+        htree_delay: One-way H-tree routing delay [s].
+        htree_energy: H-tree switching energy per access (word-wide) [J].
+        output_delay: Output driver delay [s].
+    """
+
+    decoder: DecoderEstimate
+    htree_delay: float
+    htree_energy: float
+    output_delay: float
+
+    @property
+    def overhead_delay(self) -> float:
+        """Total non-leaf delay added to every access [s]."""
+        return self.decoder.delay + self.htree_delay + self.output_delay
+
+
+class BankModel:
+    """Analytic model of one bank built from :class:`SubarrayModel`.
+
+    Args:
+        pdk: Hybrid PDK.
+        config: Memory organisation.
+        cell_config: Optional characterised bit-cell (else analytic).
+    """
+
+    def __init__(self, pdk: ProcessDesignKit, config: MemoryConfig, cell_config=None):
+        self.pdk = pdk
+        self.config = config
+        self.tech = pdk.tech
+        self.subarray = SubarrayModel(pdk, config, cell_config)
+
+    def bank_side_um(self) -> float:
+        """Physical side length of the (square-ish) bank [um]."""
+        total_area = self.subarray.area() * self.config.subarrays_per_bank
+        return math.sqrt(total_area) * 1e6
+
+    def timing(self) -> BankTiming:
+        """Bank-level overhead timing/energy."""
+        side = self.bank_side_um()
+        wordline_load = self.subarray.wordline.capacitance
+        decoder = decoder_estimate(self.tech, self.config.address_bits, wordline_load * 2.0)
+        # H-tree: address in + data out, ~half the bank side each way.
+        tree = intermediate_wire(self.tech, 0.5 * side)
+        r_drv = driver_resistance(self.tech, 10.0 * self.tech.min_width_um)
+        htree_delay = tree.elmore_delay(r_drv, 8e-15)
+        # Data H-tree: the word is heavily multiplexed onto a narrower
+        # differential bus (factor 8), as in NVSim's internal-sensing
+        # organisations; full-width point-to-point routing would dwarf
+        # every other energy term.
+        data_lines = max(8, self.config.word_bits // 8)
+        htree_energy = tree.switching_energy(self.tech.vdd, 8e-15) * data_lines
+        output_delay = 2.0 * self.tech.gate_delay_fo4
+        return BankTiming(
+            decoder=decoder,
+            htree_delay=htree_delay,
+            htree_energy=htree_energy,
+            output_delay=output_delay,
+        )
+
+    def area(self) -> float:
+        """Bank area [m^2] including routing overhead."""
+        leaf = self.subarray.area() * self.config.subarrays_per_bank
+        return leaf * 1.12

@@ -1,0 +1,97 @@
+"""Memory organisation configuration for the NVSim-class estimator.
+
+Mirrors the knobs of NVSim (paper ref. [3]): array capacity and shape,
+word width, bank/mat/subarray organisation, memory role (RAM vs cache)
+and the cell type occupying the subarrays.
+"""
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class MemoryType(enum.Enum):
+    """What the memory is used as (affects periphery assumptions)."""
+
+    RAM = "ram"
+    CACHE = "cache"
+
+
+class CellKind(enum.Enum):
+    """Bit-cell technology filling the array."""
+
+    STT_MRAM = "stt-mram"
+    SRAM = "sram"
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Organisation of one memory macro.
+
+    Attributes:
+        rows: Total bit rows (e.g. 1024 for the paper's Table 1 array).
+        cols: Total bit columns.
+        word_bits: Bits accessed per operation.
+        banks: Independently addressable banks.
+        subarray_rows: Rows per subarray (wordline segmentation).
+        subarray_cols: Columns per subarray (bitline segmentation).
+        memory_type: RAM or cache periphery.
+        cell: Bit-cell technology.
+    """
+
+    rows: int = 1024
+    cols: int = 1024
+    word_bits: int = 64
+    banks: int = 1
+    subarray_rows: int = 256
+    subarray_cols: int = 256
+    memory_type: MemoryType = MemoryType.RAM
+    cell: CellKind = CellKind.STT_MRAM
+
+    def __post_init__(self) -> None:
+        for name in ("rows", "cols", "word_bits", "banks", "subarray_rows", "subarray_cols"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError("%s must be a positive power of two, got %r" % (name, value))
+        if self.subarray_rows > self.rows:
+            raise ValueError("subarray_rows exceeds total rows")
+        if self.subarray_cols > self.cols:
+            raise ValueError("subarray_cols exceeds total cols")
+        if self.word_bits > self.cols:
+            raise ValueError("word wider than the array")
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total capacity [bits]."""
+        return self.rows * self.cols * self.banks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity [bytes]."""
+        return self.capacity_bits // 8
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        """Subarray count in one bank."""
+        return (self.rows // self.subarray_rows) * (self.cols // self.subarray_cols)
+
+    @property
+    def active_subarrays(self) -> int:
+        """Subarrays activated per access (word striped across them)."""
+        return max(1, self.word_bits // min(self.word_bits, self.subarray_cols))
+
+    @property
+    def address_bits(self) -> int:
+        """Row + column address width."""
+        words_per_row = self.cols // self.word_bits
+        return int(math.log2(self.rows)) + int(math.log2(max(words_per_row, 1)))
+
+    def with_word_bits(self, word_bits: int) -> "MemoryConfig":
+        """Copy with a different word width."""
+        from dataclasses import replace
+
+        return replace(self, word_bits=word_bits)
+
+
+#: The array evaluated throughout Sec. III (Table 1, Figs. 7-9).
+PAPER_ARRAY = MemoryConfig(rows=1024, cols=1024, word_bits=64)

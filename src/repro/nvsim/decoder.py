@@ -1,0 +1,71 @@
+"""Row/column decoder timing and energy via logical effort.
+
+NVSim models decoders as chains of predecoders and final drivers; the
+clean abstraction is logical effort: total path effort F = G*B*H, with
+optimal stage count N ~ log4(F) and delay N * tau * (F^(1/N) + p).
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.pdk.technology import CMOSTechnology
+
+#: Parasitic delay per stage in units of tau (inverter self-loading).
+STAGE_PARASITIC = 1.0
+
+#: Logical effort of the NAND-style decode stages (per input ~ 4/3).
+DECODE_STAGE_EFFORT = 1.33
+
+
+@dataclass(frozen=True)
+class DecoderEstimate:
+    """Timing/energy summary of one decoder.
+
+    Attributes:
+        delay: Address-to-wordline-select delay [s].
+        energy: Switched energy per decode [J].
+        stages: Chosen stage count.
+    """
+
+    delay: float
+    energy: float
+    stages: int
+
+
+def decoder_estimate(
+    tech: CMOSTechnology,
+    address_bits: int,
+    load_capacitance: float,
+) -> DecoderEstimate:
+    """Estimate a decoder driving ``load_capacitance``.
+
+    Args:
+        tech: CMOS technology node.
+        address_bits: Address width feeding the decoder.
+        load_capacitance: Capacitance of the selected output line [F].
+
+    Returns:
+        Logical-effort delay and CV^2 energy.
+    """
+    if address_bits < 1:
+        raise ValueError("decoder needs at least one address bit")
+    if load_capacitance <= 0.0:
+        raise ValueError("load capacitance must be positive")
+    tau = tech.gate_delay_fo4 / 5.0  # FO4 ~ 5 tau.
+    input_cap = tech.gate_cap_per_um * 4.0 * tech.min_width_um
+    electrical_effort = load_capacitance / input_cap
+    # Branching: each address bit fans to true/complement plus the
+    # decode tree; approximate total branching 2^bits spread over the
+    # predecode levels.
+    branching = 2.0 ** (address_bits / 2.0)
+    logical_effort = DECODE_STAGE_EFFORT ** max(1, address_bits // 2)
+    path_effort = max(logical_effort * branching * electrical_effort, 1.0)
+    stages = max(2, int(round(math.log(path_effort, 4.0))))
+    stage_effort = path_effort ** (1.0 / stages)
+    delay = stages * tau * (stage_effort + STAGE_PARASITIC)
+    # Energy: the active decode path switches ~stages gates of growing
+    # size; geometric series dominated by the final driver.
+    driver_cap = load_capacitance / 3.0
+    switched_cap = input_cap * address_bits * 2.0 + driver_cap * 1.5 + load_capacitance
+    energy = switched_cap * tech.vdd * tech.vdd
+    return DecoderEstimate(delay=delay, energy=energy, stages=stages)

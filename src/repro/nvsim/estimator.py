@@ -1,0 +1,73 @@
+"""Top-level NVSim-class estimator.
+
+Combines bank overhead and subarray leaf access into the macro-level
+read/write latency, per-access energy, leakage and area — the numbers
+the "Nominal" column of Table 1 reports and the inputs MAGPIE's memory
+level consumes.
+"""
+
+from repro.cells.cellconfig import CellConfig
+from repro.nvsim.bank import BankModel
+from repro.nvsim.config import MemoryConfig
+from repro.nvsim.result import MemoryEstimate
+from repro.pdk.kit import ProcessDesignKit
+
+
+class NVSimEstimator:
+    """Variation-unaware memory macro estimator.
+
+    Args:
+        pdk: Hybrid PDK (node + MSS device).
+        config: Memory organisation.
+        cell_config: Optional characterised bit cell; when omitted the
+            cell parameters are derived analytically from the PDK.
+    """
+
+    def __init__(
+        self,
+        pdk: ProcessDesignKit,
+        config: MemoryConfig,
+        cell_config: CellConfig = None,
+    ):
+        self.pdk = pdk
+        self.config = config
+        self.bank = BankModel(pdk, config, cell_config)
+        self.subarray = self.bank.subarray
+
+    def estimate(self) -> MemoryEstimate:
+        """Produce the macro estimate."""
+        bank_timing = self.bank.timing()
+        leaf = self.subarray.timing()
+        overhead = bank_timing.overhead_delay
+
+        read_latency = overhead + leaf.read_latency
+        write_latency = overhead + leaf.write_latency
+
+        word = self.config.word_bits
+        active = self.config.active_subarrays
+        read_energy = (
+            bank_timing.decoder.energy
+            + bank_timing.htree_energy
+            + active * self.subarray.wordline_energy()
+            + word * self.subarray.read_energy_per_bit()
+        )
+        write_energy = (
+            bank_timing.decoder.energy
+            + bank_timing.htree_energy
+            + active * self.subarray.wordline_energy()
+            + word * self.subarray.write_energy_per_bit()
+        )
+        leakage = (
+            self.config.banks
+            * self.config.subarrays_per_bank
+            * self.subarray.leakage_power()
+        )
+        area = self.config.banks * self.bank.area()
+        return MemoryEstimate(
+            read_latency=read_latency,
+            write_latency=write_latency,
+            read_energy=read_energy,
+            write_energy=write_energy,
+            leakage_power=leakage,
+            area=area,
+        )

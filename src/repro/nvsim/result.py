@@ -1,0 +1,40 @@
+"""Result records of the NVSim-class estimator."""
+
+from dataclasses import dataclass
+
+from repro.utils.table import Table
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Nominal (variation-unaware) estimate of one memory macro.
+
+    This is the "Nominal" column of Table 1 — what plain NVSim reports
+    before VAET-STT layers the variation analysis on top.
+
+    Attributes:
+        read_latency: Access time for reads [s].
+        write_latency: Access time for writes [s].
+        read_energy: Energy per read access [J].
+        write_energy: Energy per write access [J].
+        leakage_power: Total static power [W].
+        area: Total macro area [m^2].
+    """
+
+    read_latency: float
+    write_latency: float
+    read_energy: float
+    write_energy: float
+    leakage_power: float
+    area: float
+
+    def render(self, title: str = "memory estimate") -> str:
+        """Human-readable summary table."""
+        table = Table(["metric", "value"], title=title)
+        table.add_row(["read latency (ns)", self.read_latency * 1e9])
+        table.add_row(["write latency (ns)", self.write_latency * 1e9])
+        table.add_row(["read energy (pJ)", self.read_energy * 1e12])
+        table.add_row(["write energy (pJ)", self.write_energy * 1e12])
+        table.add_row(["leakage (mW)", self.leakage_power * 1e3])
+        table.add_row(["area (mm^2)", self.area * 1e6])
+        return table.render()

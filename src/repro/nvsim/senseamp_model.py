@@ -1,0 +1,63 @@
+"""Analytic sense-amplifier model for the array estimator.
+
+Voltage-mode sensing: the selected cell discharges/holds the bitline
+against a reference; the sense amplifier fires once the differential
+reaches its offset-dominated threshold, then regenerates to full swing.
+
+    t_develop = C_bl * dV_sense / I_signal
+    t_regen   = tau_sa * ln(Vdd / (2 dV_sense))
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.pdk.technology import CMOSTechnology
+
+
+@dataclass(frozen=True)
+class SenseAmpEstimate:
+    """Sense stage summary.
+
+    Attributes:
+        delay: Develop + regenerate delay [s].
+        energy: Energy per sense operation [J].
+        develop_time: Signal development component [s].
+    """
+
+    delay: float
+    energy: float
+    develop_time: float
+
+
+def sense_amp_estimate(
+    tech: CMOSTechnology,
+    bitline_capacitance: float,
+    signal_current: float,
+    sense_margin_voltage: float = 0.05,
+) -> SenseAmpEstimate:
+    """Estimate the sense stage.
+
+    Args:
+        tech: CMOS node.
+        bitline_capacitance: Bitline + sense node capacitance [F].
+        signal_current: Differential cell-vs-reference current [A].
+        sense_margin_voltage: Differential the latch needs [V] (offset
+            plus noise margin).
+
+    Returns:
+        Delay/energy estimate.
+    """
+    if signal_current <= 0.0:
+        raise ValueError("signal current must be positive")
+    if bitline_capacitance <= 0.0:
+        raise ValueError("bitline capacitance must be positive")
+    develop = bitline_capacitance * sense_margin_voltage / signal_current
+    tau_sa = 2.0 * tech.gate_delay_fo4 / 5.0
+    regen = tau_sa * math.log(tech.vdd / (2.0 * sense_margin_voltage))
+    # Energy: bitline partial swing + latch full swing on internal caps.
+    latch_cap = 12.0 * tech.gate_cap_per_um * tech.min_width_um
+    energy = (
+        bitline_capacitance * sense_margin_voltage * tech.vdd
+        + latch_cap * tech.vdd * tech.vdd
+    )
+    return SenseAmpEstimate(delay=develop + regen, energy=energy, develop_time=develop)

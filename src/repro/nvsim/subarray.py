@@ -1,0 +1,257 @@
+"""Subarray timing/energy/area model.
+
+The subarray is the leaf of the NVSim organisation: a rows x cols cell
+matrix with its wordline drivers, bitline muxes, sense amplifiers and
+write drivers.  All Table-1-relevant physics concentrates here: the
+write pulse (from the MSS switching model) rides on top of the
+wordline/bitline RC, and the read is bitline development + sensing.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.cells.cellconfig import CellConfig
+from repro.core.switching import SwitchingModel
+from repro.nvsim.config import CellKind, MemoryConfig
+from repro.nvsim.senseamp_model import SenseAmpEstimate, sense_amp_estimate
+from repro.nvsim.wire import WireSegment, driver_resistance, local_wire
+from repro.pdk.kit import ProcessDesignKit
+
+#: Periphery area overhead of a subarray relative to its cell matrix.
+SUBARRAY_AREA_OVERHEAD = 0.35
+
+#: Wordline driver width [um-multiples of min width].
+WL_DRIVER_FACTOR = 8.0
+
+#: Array write-driver width factor (shared per column, area-constrained,
+#: hence much weaker than the characterisation bench driver).
+WRITE_DRIVER_FACTOR = 1.2
+
+#: Read bias applied to the bitline during sensing [V].
+READ_BIAS = 0.06
+
+#: Differential voltage the sense latch needs to fire reliably [V].
+SENSE_MARGIN = 0.03
+
+
+@dataclass(frozen=True)
+class SubarrayTiming:
+    """Per-subarray access decomposition.
+
+    Attributes:
+        wordline_delay: WL driver + RC delay [s].
+        bitline_delay: BL charge/precharge delay [s].
+        sense: Sense stage estimate (reads).
+        write_pulse: Cell switching pulse width [s] (writes).
+        write_current: Current delivered to one cell during writes [A].
+        read_current: Cell read current [A].
+    """
+
+    wordline_delay: float
+    bitline_delay: float
+    sense: SenseAmpEstimate
+    write_pulse: float
+    write_current: float
+    read_current: float
+
+    @property
+    def read_latency(self) -> float:
+        """WL + BL + sense [s]."""
+        return self.wordline_delay + self.bitline_delay + self.sense.delay
+
+    @property
+    def write_latency(self) -> float:
+        """WL + BL + two switching pulses [s].
+
+        Row writes are two-phase: the shared source line per column
+        group can only drive one polarity at a time, so all '0' bits
+        are written first, then all '1' bits.
+        """
+        return self.wordline_delay + self.bitline_delay + 2.0 * self.write_pulse
+
+
+class SubarrayModel:
+    """Analytic model of one subarray.
+
+    Args:
+        pdk: Hybrid PDK (CMOS node + MSS device).
+        config: Memory organisation (subarray shape taken from it).
+        cell_config: Characterised bit-cell (None = derive analytically
+            from the PDK device models).
+    """
+
+    def __init__(
+        self,
+        pdk: ProcessDesignKit,
+        config: MemoryConfig,
+        cell_config: CellConfig = None,
+    ):
+        self.pdk = pdk
+        self.config = config
+        self.tech = pdk.tech
+        self.cell_config = cell_config
+        if config.cell is CellKind.STT_MRAM:
+            self._cell_area = self.tech.mram_cell_area()
+        else:
+            self._cell_area = self.tech.sram_cell_area()
+        self._cell_pitch_um = math.sqrt(self._cell_area) * 1e6
+        self._switching = pdk.switching_model()
+        self._transport = pdk.mtj_transport()
+
+    # -- geometry -----------------------------------------------------
+
+    @property
+    def wordline(self) -> WireSegment:
+        """Wordline wire across the subarray."""
+        return local_wire(self.tech, self.config.subarray_cols * self._cell_pitch_um)
+
+    @property
+    def bitline(self) -> WireSegment:
+        """Bitline wire down the subarray."""
+        return local_wire(self.tech, self.config.subarray_rows * self._cell_pitch_um)
+
+    def area(self) -> float:
+        """Subarray area including periphery [m^2]."""
+        matrix = self.config.subarray_rows * self.config.subarray_cols * self._cell_area
+        return matrix * (1.0 + SUBARRAY_AREA_OVERHEAD)
+
+    # -- electrical ---------------------------------------------------
+
+    def _wordline_delay(self) -> float:
+        gate_load = (
+            self.config.subarray_cols
+            * self.tech.gate_cap_per_um
+            * 4.0
+            * self.tech.min_width_um
+        )
+        r_drv = driver_resistance(self.tech, WL_DRIVER_FACTOR * self.tech.min_width_um)
+        return self.wordline.elmore_delay(r_drv, gate_load)
+
+    def _bitline_delay(self, voltage_swing: float) -> float:
+        r_drv = driver_resistance(
+            self.tech, WRITE_DRIVER_FACTOR * self.tech.min_width_um
+        )
+        # Swing-scaled RC charge time.
+        base = self.bitline.elmore_delay(r_drv, 2e-15)
+        return base * max(voltage_swing / self.tech.vdd, 0.2)
+
+    def _mtj_path_resistance(self, antiparallel: bool, bias: float) -> float:
+        r_mtj = self._transport.state_resistance(antiparallel, bias)
+        r_access = self.tech.vdd / self.tech.on_current(4.0 * self.tech.min_width_um)
+        r_driver = self.tech.vdd / self.tech.on_current(
+            WRITE_DRIVER_FACTOR * self.tech.min_width_um
+        )
+        return r_mtj + r_access + r_driver + self.bitline.resistance
+
+    def write_current(self) -> float:
+        """Nominal current delivered to one cell during a write [A].
+
+        Worst-case polarity: writing toward AP sees the AP resistance
+        for most of the pulse and source degeneration in the access
+        device (folded into the path resistance).
+        """
+        if self.cell_config is not None:
+            # Scale the characterised bench current by the ratio of bench
+            # to in-array path resistance.
+            bench_r = self.cell_config.resistance_antiparallel
+            array_r = self._mtj_path_resistance(True, 0.5 * self.tech.vdd)
+            return self.cell_config.switching_current * (
+                (bench_r + 2000.0) / (array_r + 2000.0)
+            )
+        return self.tech.vdd / self._mtj_path_resistance(True, 0.5 * self.tech.vdd)
+
+    def read_current(self) -> float:
+        """Cell read current at the read bias [A]."""
+        return READ_BIAS / self._mtj_path_resistance(True, READ_BIAS)
+
+    def timing(self) -> SubarrayTiming:
+        """Nominal (variation-unaware) subarray timing."""
+        if self.config.cell is CellKind.SRAM:
+            return self._sram_timing()
+        write_current = self.write_current()
+        write_pulse = self._switching.mean_switching_time(write_current)
+        read_current = self.read_current()
+        # Differential signal current between the two states.
+        i_p = READ_BIAS / self._mtj_path_resistance(False, READ_BIAS)
+        i_ap = READ_BIAS / self._mtj_path_resistance(True, READ_BIAS)
+        signal = 0.5 * (i_p - i_ap)
+        sense = sense_amp_estimate(
+            self.tech, self.bitline.capacitance + 2e-15, signal,
+            sense_margin_voltage=SENSE_MARGIN,
+        )
+        return SubarrayTiming(
+            wordline_delay=self._wordline_delay(),
+            bitline_delay=self._bitline_delay(self.tech.vdd),
+            sense=sense,
+            write_pulse=write_pulse,
+            write_current=write_current,
+            read_current=read_current,
+        )
+
+    def _sram_timing(self) -> SubarrayTiming:
+        """6T SRAM leaf timing (the MAGPIE baseline cell)."""
+        cell_current = self.tech.on_current(1.5 * self.tech.min_width_um)
+        sense = sense_amp_estimate(
+            self.tech, self.bitline.capacitance + 4e-15, cell_current * 0.5
+        )
+        fo4 = self.tech.gate_delay_fo4
+        return SubarrayTiming(
+            wordline_delay=self._wordline_delay(),
+            bitline_delay=self._bitline_delay(0.3 * self.tech.vdd),
+            sense=sense,
+            write_pulse=2.0 * fo4,
+            write_current=cell_current,
+            read_current=cell_current,
+        )
+
+    # -- energy -------------------------------------------------------
+
+    def read_energy_per_bit(self) -> float:
+        """Energy of reading one bit [J]."""
+        timing = self.timing()
+        if self.config.cell is CellKind.STT_MRAM:
+            read_bias = READ_BIAS
+        else:
+            read_bias = 0.3 * self.tech.vdd
+        bitline = self.bitline.capacitance * read_bias * self.tech.vdd
+        return (
+            bitline
+            + timing.sense.energy
+            + timing.read_current * read_bias * timing.sense.develop_time
+        )
+
+    def write_energy_per_bit(self) -> float:
+        """Energy of writing one bit [J]."""
+        timing = self.timing()
+        if self.config.cell is CellKind.SRAM:
+            return self.bitline.switching_energy(self.tech.vdd) * 0.5
+        cell = timing.write_current * self.tech.vdd * timing.write_pulse
+        bitline = self.bitline.switching_energy(self.tech.vdd)
+        return cell + bitline
+
+    def wordline_energy(self) -> float:
+        """Energy of one wordline activation [J]."""
+        gate_load = (
+            self.config.subarray_cols
+            * self.tech.gate_cap_per_um
+            * 4.0
+            * self.tech.min_width_um
+        )
+        return self.wordline.switching_energy(self.tech.vdd, gate_load)
+
+    def leakage_power(self) -> float:
+        """Static power of the subarray [W].
+
+        STT-MRAM cells do not leak; SRAM cells dominate their arrays.
+        Periphery (drivers, sense amps) leaks in both.
+        """
+        cells = self.config.subarray_rows * self.config.subarray_cols
+        periphery_width = (
+            self.config.subarray_rows * WL_DRIVER_FACTOR
+            + self.config.subarray_cols * (WRITE_DRIVER_FACTOR + 6.0)
+        ) * self.tech.min_width_um
+        periphery = periphery_width * self.tech.leakage_per_um * self.tech.vdd
+        if self.config.cell is CellKind.SRAM:
+            cell_leak = cells * 2.0 * self.tech.min_width_um * self.tech.leakage_per_um * self.tech.vdd * 0.3
+            return periphery + cell_leak
+        return periphery

@@ -1,0 +1,96 @@
+"""Interconnect RC models (wordlines, bitlines, H-trees).
+
+NVSim's delay methodology: distributed-RC lines evaluated with the
+Elmore approximation,
+
+    t_50% = 0.69 R_drv (C_wire + C_load) + 0.38 R_wire C_wire
+            + 0.69 R_wire C_load,
+
+which is accurate to a few percent for monotone step responses and —
+more importantly — has exactly the scaling behaviour the cross-node
+comparison of Table 1 relies on.
+"""
+
+from dataclasses import dataclass
+
+from repro.pdk.technology import CMOSTechnology
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One routed wire segment.
+
+    Attributes:
+        length_um: Routed length [um].
+        res_per_um: Resistance per micron [ohm/um].
+        cap_per_um: Capacitance per micron [F/um].
+    """
+
+    length_um: float
+    res_per_um: float
+    cap_per_um: float
+
+    def __post_init__(self) -> None:
+        if self.length_um < 0.0:
+            raise ValueError("wire length must be non-negative")
+
+    @property
+    def resistance(self) -> float:
+        """Total wire resistance [ohm]."""
+        return self.length_um * self.res_per_um
+
+    @property
+    def capacitance(self) -> float:
+        """Total wire capacitance [F]."""
+        return self.length_um * self.cap_per_um
+
+    def elmore_delay(self, driver_resistance: float, load_capacitance: float) -> float:
+        """50 % step delay through the segment [s]."""
+        r_w, c_w = self.resistance, self.capacitance
+        return (
+            0.69 * driver_resistance * (c_w + load_capacitance)
+            + 0.38 * r_w * c_w
+            + 0.69 * r_w * load_capacitance
+        )
+
+    def switching_energy(self, voltage: float, load_capacitance: float = 0.0) -> float:
+        """CV^2 energy of one full-swing transition [J]."""
+        return (self.capacitance + load_capacitance) * voltage * voltage
+
+
+def local_wire(tech: CMOSTechnology, length_um: float) -> WireSegment:
+    """Local-layer wire (wordlines/bitlines): tighter pitch, higher RC."""
+    return WireSegment(
+        length_um=length_um,
+        res_per_um=tech.wire_res_per_um * 2.0,
+        cap_per_um=tech.wire_cap_per_um * 1.15,
+    )
+
+
+def intermediate_wire(tech: CMOSTechnology, length_um: float) -> WireSegment:
+    """Intermediate-layer wire (intra-bank H-tree)."""
+    return WireSegment(
+        length_um=length_um,
+        res_per_um=tech.wire_res_per_um,
+        cap_per_um=tech.wire_cap_per_um,
+    )
+
+
+def global_wire(tech: CMOSTechnology, length_um: float) -> WireSegment:
+    """Global-layer wire (bank interconnect): wide and fast."""
+    return WireSegment(
+        length_um=length_um,
+        res_per_um=tech.wire_res_per_um * 0.35,
+        cap_per_um=tech.wire_cap_per_um * 1.3,
+    )
+
+
+def driver_resistance(tech: CMOSTechnology, width_um: float) -> float:
+    """Equivalent switching resistance of an inverter driver [ohm].
+
+    R_drv ~ Vdd / I_on(W); the standard effective-resistance abstraction
+    used by logical-effort timing.
+    """
+    if width_um <= 0.0:
+        raise ValueError("driver width must be positive")
+    return tech.vdd / tech.on_current(width_um)

@@ -1,0 +1,46 @@
+"""Process design kit: CMOS nodes, transistor model, corners, variation."""
+
+from repro.pdk.technology import (
+    CMOSTechnology,
+    TECH_45NM,
+    TECH_65NM,
+    TECHNOLOGY_NODES,
+    technology_for_node,
+)
+from repro.pdk.transistor import THERMAL_VOLTAGE, TransistorParams
+from repro.pdk.corners import (
+    CMOS_CORNERS,
+    CMOSCorner,
+    CornerName,
+    MAGNETIC_CORNERS,
+    MagneticCorner,
+    MagneticCornerName,
+)
+from repro.pdk.variation import (
+    CMOSVariation,
+    MTJVariation,
+    ProcessVariation,
+    variation_for_node,
+)
+from repro.pdk.kit import ProcessDesignKit
+
+__all__ = [
+    "CMOSTechnology",
+    "TECH_45NM",
+    "TECH_65NM",
+    "TECHNOLOGY_NODES",
+    "technology_for_node",
+    "THERMAL_VOLTAGE",
+    "TransistorParams",
+    "CMOS_CORNERS",
+    "CMOSCorner",
+    "CornerName",
+    "MAGNETIC_CORNERS",
+    "MagneticCorner",
+    "MagneticCornerName",
+    "CMOSVariation",
+    "MTJVariation",
+    "ProcessVariation",
+    "variation_for_node",
+    "ProcessDesignKit",
+]

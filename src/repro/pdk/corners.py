@@ -1,0 +1,114 @@
+"""Process corners for the hybrid CMOS + magnetic PDK.
+
+Corner analysis is the deterministic half of Sec. III's variability
+story: the CMOS process shifts threshold voltages and transconductance
+(TT/FF/SS/FS/SF), while the magnetic process shifts the MTJ's RA
+product, TMR and anisotropy.  Statistical (within-die) variation lives
+in :mod:`repro.pdk.variation`.
+"""
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.core.material import BarrierMaterial, FreeLayerMaterial
+from repro.pdk.technology import CMOSTechnology
+
+
+class CornerName(enum.Enum):
+    """The five classic CMOS corners."""
+
+    TT = "tt"
+    FF = "ff"
+    SS = "ss"
+    FS = "fs"
+    SF = "sf"
+
+
+@dataclass(frozen=True)
+class CMOSCorner:
+    """Multiplicative shifts applied to a nominal technology.
+
+    Attributes:
+        name: Corner label.
+        vth_n_shift: Additive NMOS threshold shift [V].
+        vth_p_shift: Additive PMOS threshold shift [V].
+        k_prime_scale: Multiplicative mobility/transconductance factor.
+    """
+
+    name: CornerName
+    vth_n_shift: float
+    vth_p_shift: float
+    k_prime_scale: float
+
+    def apply(self, tech: CMOSTechnology) -> CMOSTechnology:
+        """Return the technology shifted to this corner."""
+        return replace(
+            tech,
+            vth_n=tech.vth_n + self.vth_n_shift,
+            vth_p=tech.vth_p + self.vth_p_shift,
+            k_prime_n=tech.k_prime_n * self.k_prime_scale,
+            k_prime_p=tech.k_prime_p * self.k_prime_scale,
+        )
+
+
+#: Standard corner set; +/-40 mV threshold, +/-12 % transconductance.
+CMOS_CORNERS: Dict[CornerName, CMOSCorner] = {
+    CornerName.TT: CMOSCorner(CornerName.TT, 0.0, 0.0, 1.0),
+    CornerName.FF: CMOSCorner(CornerName.FF, -0.04, -0.04, 1.12),
+    CornerName.SS: CMOSCorner(CornerName.SS, +0.04, +0.04, 0.88),
+    CornerName.FS: CMOSCorner(CornerName.FS, -0.04, +0.04, 1.0),
+    CornerName.SF: CMOSCorner(CornerName.SF, +0.04, -0.04, 1.0),
+}
+
+
+class MagneticCornerName(enum.Enum):
+    """Magnetic-process corners of the MSS module."""
+
+    NOMINAL = "nominal"
+    HIGH_RA = "high_ra"
+    LOW_RA = "low_ra"
+    WEAK_PMA = "weak_pma"
+    STRONG_PMA = "strong_pma"
+
+
+@dataclass(frozen=True)
+class MagneticCorner:
+    """Multiplicative shifts of the magnetic stack parameters.
+
+    Attributes:
+        name: Corner label.
+        ra_scale: RA-product factor (MgO thickness variation; RA is
+            exponential in t_MgO so +/-20 % is a mild corner).
+        tmr_scale: TMR factor.
+        anisotropy_scale: Interfacial-PMA factor (annealing spread).
+    """
+
+    name: MagneticCornerName
+    ra_scale: float
+    tmr_scale: float
+    anisotropy_scale: float
+
+    def apply_barrier(self, barrier: BarrierMaterial) -> BarrierMaterial:
+        """Return the barrier shifted to this corner."""
+        return barrier.with_updates(
+            resistance_area_product=barrier.resistance_area_product * self.ra_scale,
+            tmr_zero_bias=barrier.tmr_zero_bias * self.tmr_scale,
+        )
+
+    def apply_free_layer(self, material: FreeLayerMaterial) -> FreeLayerMaterial:
+        """Return the free layer shifted to this corner."""
+        return material.with_updates(
+            interfacial_anisotropy=material.interfacial_anisotropy
+            * self.anisotropy_scale
+        )
+
+
+#: Magnetic corner set used by the PDK.
+MAGNETIC_CORNERS: Dict[MagneticCornerName, MagneticCorner] = {
+    MagneticCornerName.NOMINAL: MagneticCorner(MagneticCornerName.NOMINAL, 1.0, 1.0, 1.0),
+    MagneticCornerName.HIGH_RA: MagneticCorner(MagneticCornerName.HIGH_RA, 1.2, 1.05, 1.0),
+    MagneticCornerName.LOW_RA: MagneticCorner(MagneticCornerName.LOW_RA, 0.8, 0.92, 1.0),
+    MagneticCornerName.WEAK_PMA: MagneticCorner(MagneticCornerName.WEAK_PMA, 1.0, 1.0, 0.95),
+    MagneticCornerName.STRONG_PMA: MagneticCorner(MagneticCornerName.STRONG_PMA, 1.0, 1.0, 1.05),
+}

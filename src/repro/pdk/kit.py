@@ -1,0 +1,111 @@
+"""The hybrid Process Design Kit (PDK).
+
+Sec. II / Fig. 10: "First, a Process Design Kit (PDK) is developed with
+the device-level parameters ... This PDK is then used as an input for
+circuit-level simulation through SPICE."
+
+A :class:`ProcessDesignKit` bundles everything a circuit or memory
+designer instantiates devices from:
+
+* a CMOS technology node (+ corner),
+* the MSS magnetic stack (free layer, barrier, default pillar),
+* statistical variation models for both processes.
+
+Factory helpers build SPICE-ready transistor parameter sets and MSS
+device instances so downstream code never touches raw constants.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.geometry import PillarGeometry
+from repro.core.material import (
+    BarrierMaterial,
+    FreeLayerMaterial,
+    MSS_BARRIER,
+    MSS_FREE_LAYER,
+)
+from repro.core.mtj import MTJTransport
+from repro.core.switching import SwitchingModel
+from repro.pdk.corners import (
+    CMOS_CORNERS,
+    CMOSCorner,
+    CornerName,
+    MAGNETIC_CORNERS,
+    MagneticCorner,
+    MagneticCornerName,
+)
+from repro.pdk.technology import CMOSTechnology, technology_for_node
+from repro.pdk.transistor import TransistorParams
+from repro.pdk.variation import ProcessVariation, variation_for_node
+
+
+@dataclass(frozen=True)
+class ProcessDesignKit:
+    """Hybrid CMOS + MSS process design kit.
+
+    Attributes:
+        tech: CMOS technology (already shifted to ``cmos_corner``).
+        free_layer: MSS free layer material.
+        barrier: MSS tunnel barrier.
+        memory_pillar: Default memory-mode pillar geometry.
+        variation: Statistical variation bundle.
+        cmos_corner: Name of the applied CMOS corner.
+        magnetic_corner: Name of the applied magnetic corner.
+    """
+
+    tech: CMOSTechnology
+    free_layer: FreeLayerMaterial = MSS_FREE_LAYER
+    barrier: BarrierMaterial = MSS_BARRIER
+    memory_pillar: PillarGeometry = field(default_factory=PillarGeometry)
+    variation: ProcessVariation = field(default_factory=ProcessVariation)
+    cmos_corner: CornerName = CornerName.TT
+    magnetic_corner: MagneticCornerName = MagneticCornerName.NOMINAL
+
+    @classmethod
+    def for_node(
+        cls,
+        node_nm: int,
+        cmos_corner: CornerName = CornerName.TT,
+        magnetic_corner: MagneticCornerName = MagneticCornerName.NOMINAL,
+        pillar_diameter: float = 40e-9,
+    ) -> "ProcessDesignKit":
+        """Build the PDK for a shipped node, optionally at a corner."""
+        tech = technology_for_node(node_nm)
+        tech = CMOS_CORNERS[cmos_corner].apply(tech)
+        magnetic = MAGNETIC_CORNERS[magnetic_corner]
+        free_layer = magnetic.apply_free_layer(MSS_FREE_LAYER)
+        barrier = magnetic.apply_barrier(MSS_BARRIER)
+        return cls(
+            tech=tech,
+            free_layer=free_layer,
+            barrier=barrier,
+            memory_pillar=PillarGeometry(diameter=pillar_diameter),
+            variation=variation_for_node(tech),
+            cmos_corner=cmos_corner,
+            magnetic_corner=magnetic_corner,
+        )
+
+    def nmos(self, width_um: float, length_um: Optional[float] = None) -> TransistorParams:
+        """Instantiate an NMOS of the given width."""
+        return TransistorParams.nmos(self.tech, width_um, length_um)
+
+    def pmos(self, width_um: float, length_um: Optional[float] = None) -> TransistorParams:
+        """Instantiate a PMOS of the given width."""
+        return TransistorParams.pmos(self.tech, width_um, length_um)
+
+    def mtj_transport(self, geometry: Optional[PillarGeometry] = None) -> MTJTransport:
+        """Transport model of the memory-mode MTJ."""
+        return MTJTransport(geometry or self.memory_pillar, self.barrier)
+
+    def switching_model(self, geometry: Optional[PillarGeometry] = None) -> SwitchingModel:
+        """Switching statistics of the memory-mode MTJ."""
+        return SwitchingModel(self.free_layer, geometry or self.memory_pillar)
+
+    def sample_mtj_instance(self, rng: np.random.Generator) -> MTJTransport:
+        """Sample one varied MTJ transport instance (for Monte Carlo)."""
+        geometry = self.variation.mtj.sample_geometry(self.memory_pillar, rng)
+        barrier = self.variation.mtj.sample_barrier(self.barrier, rng)
+        return MTJTransport(geometry, barrier)

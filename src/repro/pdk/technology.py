@@ -1,0 +1,157 @@
+"""CMOS technology descriptions for the hybrid PDK.
+
+The paper evaluates the MSS memory path at the 65 nm and 45 nm nodes
+(Table 1).  Each :class:`CMOSTechnology` carries the device- and
+wire-level parameters every higher layer consumes: the SPICE transistor
+model (via :mod:`repro.pdk.transistor`), the NVSim-class array model
+(wire RC, gate capacitances) and the McPAT-class system estimator
+(per-access energies, leakage densities).
+
+Values are representative planar-bulk numbers assembled from the public
+ITRS tables and the NVSim/McPAT default technology files — adequate for
+reproducing *relative* behaviour across nodes, which is all the paper's
+evaluation uses them for.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CMOSTechnology:
+    """One CMOS technology node.
+
+    Attributes:
+        node_nm: Feature size label [nm].
+        vdd: Nominal supply voltage [V].
+        vth_n: NMOS threshold voltage [V].
+        vth_p: PMOS threshold voltage magnitude [V].
+        k_prime_n: NMOS transconductance parameter u_n Cox [A/V^2].
+        k_prime_p: PMOS transconductance parameter [A/V^2].
+        velocity_saturation_alpha: Alpha-power-law exponent (2 = ideal
+            square law; ~1.3 at deep submicron).
+        gate_cap_per_um: Gate capacitance per micron of width [F/um].
+        drain_cap_per_um: Drain junction capacitance per micron [F/um].
+        wire_res_per_um: Intermediate-layer wire resistance [ohm/um].
+        wire_cap_per_um: Intermediate-layer wire capacitance [F/um].
+        min_width_um: Minimum transistor width [um].
+        contacted_gate_pitch_um: Contacted gate pitch [um] (area model).
+        cell_height_tracks: Standard-cell height in metal tracks.
+        leakage_per_um: Subthreshold leakage per micron of width at
+            nominal Vdd and 300 K [A/um].
+        sram_cell_area_f2: 6T SRAM cell area in F^2.
+        mram_cell_area_f2: 1T-1MTJ STT-MRAM cell area in F^2 (denser —
+            the origin of the iso-area capacity advantage in Sec. IV).
+    """
+
+    node_nm: int
+    vdd: float
+    vth_n: float
+    vth_p: float
+    k_prime_n: float
+    k_prime_p: float
+    velocity_saturation_alpha: float
+    gate_cap_per_um: float
+    drain_cap_per_um: float
+    wire_res_per_um: float
+    wire_cap_per_um: float
+    min_width_um: float
+    contacted_gate_pitch_um: float
+    cell_height_tracks: int
+    leakage_per_um: float
+    sram_cell_area_f2: float
+    mram_cell_area_f2: float
+
+    @property
+    def feature_size_m(self) -> float:
+        """Feature size in metres."""
+        return self.node_nm * 1e-9
+
+    @property
+    def gate_delay_fo4(self) -> float:
+        """Fanout-of-4 inverter delay estimate [s].
+
+        The classic 0.5 ps/nm rule of thumb, used to sanity-check the
+        logical-effort decoder timing in the array model.
+        """
+        return 0.5e-12 * self.node_nm
+
+    def sram_cell_area(self) -> float:
+        """6T SRAM bit-cell area [m^2]."""
+        f = self.feature_size_m
+        return self.sram_cell_area_f2 * f * f
+
+    def mram_cell_area(self) -> float:
+        """1T-1MTJ bit-cell area [m^2]."""
+        f = self.feature_size_m
+        return self.mram_cell_area_f2 * f * f
+
+    def on_current(self, width_um: float) -> float:
+        """Saturation drive current of an NMOS of the given width [A]."""
+        overdrive = self.vdd - self.vth_n
+        return (
+            0.5
+            * self.k_prime_n
+            * (width_um / (self.node_nm * 1e-3))
+            * overdrive ** self.velocity_saturation_alpha
+        )
+
+
+#: 65 nm planar bulk node.
+TECH_65NM = CMOSTechnology(
+    node_nm=65,
+    vdd=1.2,
+    vth_n=0.35,
+    vth_p=0.35,
+    k_prime_n=3.2e-4,
+    k_prime_p=1.5e-4,
+    velocity_saturation_alpha=1.4,
+    gate_cap_per_um=1.1e-15,
+    drain_cap_per_um=0.9e-15,
+    wire_res_per_um=1.2,
+    wire_cap_per_um=0.20e-15,
+    min_width_um=0.09,
+    contacted_gate_pitch_um=0.22,
+    cell_height_tracks=9,
+    leakage_per_um=2.0e-7,
+    sram_cell_area_f2=146.0,
+    mram_cell_area_f2=40.0,
+)
+
+#: 45 nm planar bulk node.
+TECH_45NM = CMOSTechnology(
+    node_nm=45,
+    vdd=1.1,
+    vth_n=0.32,
+    vth_p=0.32,
+    k_prime_n=4.0e-4,
+    k_prime_p=1.9e-4,
+    velocity_saturation_alpha=1.35,
+    gate_cap_per_um=1.0e-15,
+    drain_cap_per_um=0.8e-15,
+    wire_res_per_um=2.2,
+    wire_cap_per_um=0.19e-15,
+    min_width_um=0.065,
+    contacted_gate_pitch_um=0.16,
+    cell_height_tracks=9,
+    leakage_per_um=4.0e-7,
+    sram_cell_area_f2=146.0,
+    mram_cell_area_f2=40.0,
+)
+
+#: All nodes the PDK ships, keyed by the nanometre label.
+TECHNOLOGY_NODES: Dict[int, CMOSTechnology] = {65: TECH_65NM, 45: TECH_45NM}
+
+
+def technology_for_node(node_nm: int) -> CMOSTechnology:
+    """Look up a shipped technology node.
+
+    Raises:
+        KeyError: If the node is not one of the PDK's nodes (65, 45).
+    """
+    if node_nm not in TECHNOLOGY_NODES:
+        raise KeyError(
+            "unknown technology node %d nm; available: %s"
+            % (node_nm, sorted(TECHNOLOGY_NODES))
+        )
+    return TECHNOLOGY_NODES[node_nm]

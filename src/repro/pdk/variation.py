@@ -1,0 +1,139 @@
+"""Statistical (within-die) variation models for CMOS and MTJ devices.
+
+Sec. III: "Like any nano-scale device, STT-MRAM is also affected by
+manufacturing variations as the technology scales down in the magnetic
+fabrication process as well as the CMOS process."  This module defines
+the distributions VAET-STT samples:
+
+* CMOS — Pelgrom-law threshold mismatch, sigma_VT = A_VT / sqrt(W L),
+  plus a global transconductance spread;
+* MTJ — pillar-diameter (CD) spread from patterning and MgO-thickness
+  spread from deposition.  RA is *exponential* in t_MgO, so a small
+  thickness sigma creates the long resistance tail characteristic of
+  measured STT-MRAM arrays.
+
+Smaller nodes vary more: the Pelgrom area shrinks and the relative CD
+control worsens, which is exactly why Table 1 shows larger latency
+sigma at 45 nm than at 65 nm.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.geometry import PillarGeometry
+from repro.core.material import BarrierMaterial
+from repro.pdk.technology import CMOSTechnology
+
+
+@dataclass(frozen=True)
+class CMOSVariation:
+    """Statistical CMOS device variation.
+
+    Attributes:
+        pelgrom_avt: Pelgrom threshold-mismatch coefficient [V*um].
+        k_prime_sigma_rel: Relative sigma of the transconductance.
+    """
+
+    pelgrom_avt: float = 3.5e-3
+    k_prime_sigma_rel: float = 0.04
+
+    def vth_sigma(self, width_um: float, length_um: float) -> float:
+        """Threshold mismatch sigma for a device of the given area [V]."""
+        if width_um <= 0.0 or length_um <= 0.0:
+            raise ValueError("device dimensions must be positive")
+        return self.pelgrom_avt / math.sqrt(width_um * length_um)
+
+    def sample_vth_shift(
+        self, width_um: float, length_um: float, rng: np.random.Generator, size: Optional[int] = None
+    ):
+        """Sample additive threshold shifts [V]."""
+        return rng.normal(0.0, self.vth_sigma(width_um, length_um), size=size)
+
+    def sample_k_prime_scale(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Sample multiplicative transconductance factors."""
+        return rng.normal(1.0, self.k_prime_sigma_rel, size=size)
+
+
+@dataclass(frozen=True)
+class MTJVariation:
+    """Statistical MTJ device variation.
+
+    Attributes:
+        diameter_sigma_rel: Relative sigma of the pillar diameter (CD
+            control of the magnetic patterning step).
+        mgo_thickness_sigma_rel: Relative sigma of the MgO thickness.
+        ra_thickness_sensitivity: d(ln RA) / d(t/t0) — RA is exponential
+            in barrier thickness; ~12 means a 1 % thickness shift moves
+            RA by ~12 %.
+        tmr_sigma_rel: Relative sigma of the TMR ratio.
+        anisotropy_sigma_rel: Relative sigma of the interfacial PMA.
+    """
+
+    diameter_sigma_rel: float = 0.05
+    mgo_thickness_sigma_rel: float = 0.01
+    ra_thickness_sensitivity: float = 12.0
+    tmr_sigma_rel: float = 0.03
+    anisotropy_sigma_rel: float = 0.02
+
+    def sample_geometry(
+        self, nominal: PillarGeometry, rng: np.random.Generator
+    ) -> PillarGeometry:
+        """Sample one pillar geometry instance."""
+        diameter = nominal.diameter * max(
+            0.3, 1.0 + rng.normal(0.0, self.diameter_sigma_rel)
+        )
+        return PillarGeometry(
+            diameter=diameter, free_layer_thickness=nominal.free_layer_thickness
+        )
+
+    def sample_resistance_scale(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Sample the lognormal RA factor from MgO-thickness spread."""
+        sigma_ln = self.ra_thickness_sensitivity * self.mgo_thickness_sigma_rel
+        return np.exp(rng.normal(0.0, sigma_ln, size=size))
+
+    def sample_barrier(
+        self, nominal: BarrierMaterial, rng: np.random.Generator
+    ) -> BarrierMaterial:
+        """Sample one barrier instance (RA lognormal, TMR normal)."""
+        ra_scale = float(self.sample_resistance_scale(rng))
+        tmr_scale = max(0.2, 1.0 + rng.normal(0.0, self.tmr_sigma_rel))
+        return nominal.with_updates(
+            resistance_area_product=nominal.resistance_area_product * ra_scale,
+            tmr_zero_bias=nominal.tmr_zero_bias * tmr_scale,
+        )
+
+
+def variation_for_node(tech: CMOSTechnology) -> "ProcessVariation":
+    """Node-scaled statistical variation.
+
+    The 45 nm magnetic patterning has worse relative CD control than
+    65 nm (same absolute edge roughness on a smaller pillar), and the
+    Pelgrom coefficient improves only mildly — so the smaller node is
+    noisier overall, reproducing the sigma ordering of Table 1.
+    """
+    scale = 65.0 / tech.node_nm
+    cmos = CMOSVariation(
+        pelgrom_avt=3.5e-3 * (0.9 + 0.1 * scale),
+        k_prime_sigma_rel=0.12 * math.sqrt(scale),
+    )
+    mtj = MTJVariation(
+        diameter_sigma_rel=0.02 * scale ** 0.75,
+        mgo_thickness_sigma_rel=0.012 * math.sqrt(scale),
+    )
+    return ProcessVariation(cmos=cmos, mtj=mtj)
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """Bundle of the CMOS and MTJ statistical models.
+
+    Attributes:
+        cmos: CMOS mismatch model.
+        mtj: MTJ variation model.
+    """
+
+    cmos: CMOSVariation = CMOSVariation()
+    mtj: MTJVariation = MTJVariation()

@@ -1,0 +1,62 @@
+"""SPICE-class circuit simulation substrate (MNA + Newton + MDL)."""
+
+from repro.spice.netlist import Circuit, Element
+from repro.spice.mna import ConvergenceError, GMIN, MNASystem, solve_nonlinear
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    DC,
+    Pulse,
+    PWL,
+    Resistor,
+    VoltageSource,
+    Waveform,
+)
+from repro.spice.mosfet import MOSFET
+from repro.spice.mtj_element import MTJElement
+from repro.spice.analysis import TransientResult, dc_operating_point, transient
+from repro.spice.waveform import Trace, WaveformSet
+from repro.spice.mdl import (
+    CrossEvent,
+    Delay,
+    Energy,
+    Expression,
+    Extreme,
+    Integral,
+    Measurement,
+    MeasurementScript,
+    When,
+)
+
+__all__ = [
+    "Circuit",
+    "Element",
+    "ConvergenceError",
+    "GMIN",
+    "MNASystem",
+    "solve_nonlinear",
+    "Capacitor",
+    "CurrentSource",
+    "DC",
+    "Pulse",
+    "PWL",
+    "Resistor",
+    "VoltageSource",
+    "Waveform",
+    "MOSFET",
+    "MTJElement",
+    "TransientResult",
+    "dc_operating_point",
+    "transient",
+    "Trace",
+    "WaveformSet",
+    "CrossEvent",
+    "Delay",
+    "Energy",
+    "Expression",
+    "Extreme",
+    "Integral",
+    "Measurement",
+    "MeasurementScript",
+    "When",
+]

@@ -1,0 +1,127 @@
+"""DC and transient analyses over a :class:`repro.spice.netlist.Circuit`.
+
+The transient uses a fixed timestep with backward-Euler companion
+models and a Newton loop per step — the robust, boring choice that
+never ringings itself to death on the strongly nonlinear MTJ + MOSFET
+netlists of the cell library.
+"""
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.spice.elements import VoltageSource
+from repro.spice.mna import ConvergenceError, MNASystem, solve_nonlinear
+from repro.spice.netlist import Circuit
+from repro.spice.waveform import WaveformSet
+
+
+def dc_operating_point(circuit: Circuit, damping: float = 1.0) -> MNASystem:
+    """Solve the DC operating point.
+
+    Capacitors are open; sources sit at their t=0 values.  Uses a
+    gmin-stepping retry ladder if plain Newton fails (floating nodes
+    through off transistors are common in the cell netlists).
+
+    Returns:
+        The solved :class:`MNASystem` (query voltages/currents from it).
+    """
+    system = MNASystem(circuit)
+    for attempt_damping in (damping, 0.5, 0.2, 0.05):
+        try:
+            solve_nonlinear(system, max_iterations=200, damping=attempt_damping)
+            return system
+        except ConvergenceError:
+            system.solution[:] = 0.0
+    raise ConvergenceError("DC operating point failed for %r" % circuit.title)
+
+
+class TransientResult:
+    """Waveforms plus the final solved system of a transient run."""
+
+    def __init__(self, waveforms: WaveformSet, system: MNASystem):
+        self.waveforms = waveforms
+        self.system = system
+
+
+def transient(
+    circuit: Circuit,
+    stop_time: float,
+    timestep: float,
+    record_currents_of: Optional[Iterable[str]] = None,
+    use_dc_initial: bool = True,
+    newton_damping: float = 1.0,
+) -> TransientResult:
+    """Run a fixed-step transient analysis.
+
+    Args:
+        circuit: The netlist to simulate.
+        stop_time: End time [s].
+        timestep: Fixed integration step [s].
+        record_currents_of: Names of voltage-source elements whose branch
+            currents should be recorded as ``i(<name>)`` traces.
+        use_dc_initial: Solve a DC operating point first (True) or start
+            from all-zero node voltages (False).
+        newton_damping: Damping for the per-step Newton loops.
+
+    Returns:
+        A :class:`TransientResult` with one voltage trace per node plus
+        the requested current traces.
+    """
+    if stop_time <= 0.0 or timestep <= 0.0:
+        raise ValueError("stop_time and timestep must be positive")
+    steps = int(round(stop_time / timestep))
+    current_names = list(record_currents_of or [])
+    current_elements = [circuit.element(name) for name in current_names]
+    for element in current_elements:
+        if not isinstance(element, VoltageSource):
+            raise TypeError(
+                "can only record branch currents of voltage sources, got %r"
+                % element
+            )
+
+    if use_dc_initial:
+        dc_system = dc_operating_point(circuit)
+        initial = dc_system.solution.copy()
+        # Let capacitors remember their DC voltage before time starts.
+        for element in circuit.elements:
+            element.finish_step(dc_system)
+    else:
+        initial = np.zeros(circuit.size)
+
+    node_names = list(circuit.node_names())
+    times = [0.0]
+    samples = {name: [initial[circuit.index_of(name)]] for name in node_names}
+    branch_samples = {name: [] for name in current_names}
+    # Initial branch currents from a zero-time assembly.
+    boot = MNASystem(circuit, solution=initial.copy(), time=0.0, dt=timestep)
+    for name, element in zip(current_names, current_elements):
+        branch_samples[name].append(element.current(boot))
+
+    system = MNASystem(circuit, solution=initial.copy(), time=0.0, dt=timestep)
+    for step in range(1, steps + 1):
+        time = step * timestep
+        system.time = time
+        system.dt = timestep
+        for element in circuit.elements:
+            element.begin_step(time, timestep)
+        try:
+            solve_nonlinear(system, max_iterations=120, damping=newton_damping)
+        except ConvergenceError:
+            # One retry with heavy damping; MTJ switching instants can
+            # make a single step stiff.
+            solve_nonlinear(system, max_iterations=400, damping=0.2)
+        for element in circuit.elements:
+            element.finish_step(system)
+        times.append(time)
+        for name in node_names:
+            samples[name].append(float(system.solution[circuit.index_of(name)]))
+        for name, element in zip(current_names, current_elements):
+            branch_samples[name].append(element.current(system))
+
+    waveforms = WaveformSet(times)
+    for name in node_names:
+        waveforms.add("v(%s)" % name, samples[name])
+    for name in current_names:
+        waveforms.add("i(%s)" % name, branch_samples[name])
+    return TransientResult(waveforms, system)

@@ -1,0 +1,79 @@
+"""Behavioural controlled sources for mixed-level cell modelling.
+
+Periphery circuits that are not the object of a characterisation run
+(e.g. the output comparator behind a sense node) can be modelled with a
+smooth behavioural element instead of a full transistor netlist — the
+same trade the paper's Verilog-A flow makes.  The element is a voltage
+source whose value is an arbitrary differentiable function of node
+voltages; the Jacobian entries are supplied analytically or by secant.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.spice.mna import MNASystem
+from repro.spice.netlist import Element
+
+#: Signature: node-voltage dict -> output voltage.
+TransferFunction = Callable[[Dict[str, float]], float]
+
+
+class BehavioralVoltage(Element):
+    """Voltage source v(out) = f(controlling node voltages).
+
+    Args:
+        name: Element name.
+        node_p: Positive output node.
+        node_n: Negative output node (usually ground).
+        controls: Names of controlling nodes passed to ``function``.
+        function: Transfer function mapping control voltages to the
+            source value.  Must be smooth; Newton differentiates it by
+            secant with a 1 mV step.
+    """
+
+    num_branches = 1
+
+    def __init__(
+        self,
+        name: str,
+        node_p: str,
+        node_n: str,
+        controls: List[str],
+        function: TransferFunction,
+    ):
+        super().__init__(name, [node_p, node_n])
+        self.controls = list(controls)
+        self.function = function
+
+    def _control_voltages(self, system: MNASystem) -> Dict[str, float]:
+        return {node: system.voltage(node) for node in self.controls}
+
+    def stamp(self, system: MNASystem) -> None:
+        branch = system.circuit.branch_index(self)
+        p = system.circuit.index_of(self.nodes[0])
+        n = system.circuit.index_of(self.nodes[1])
+        voltages = self._control_voltages(system)
+        value = self.function(voltages)
+        # Branch equation: v_p - v_n - sum(df/dvc * vc) = value - sum(df/dvc * vc0)
+        # i.e. linearised v_p - v_n = f(vc) around the guess.
+        if p >= 0:
+            system.matrix[branch, p] += 1.0
+            system.matrix[p, branch] += 1.0
+        if n >= 0:
+            system.matrix[branch, n] -= 1.0
+            system.matrix[n, branch] -= 1.0
+        rhs_value = value
+        step = 1e-3
+        for control in self.controls:
+            index = system.circuit.index_of(control)
+            if index < 0:
+                continue
+            perturbed = dict(voltages)
+            perturbed[control] = voltages[control] + step
+            derivative = (self.function(perturbed) - value) / step
+            system.matrix[branch, index] -= derivative
+            rhs_value -= derivative * voltages[control]
+        system.rhs[branch] += rhs_value
+
+    def current(self, system: MNASystem) -> float:
+        """Output branch current (into the positive terminal) [A]."""
+        return system.branch_current(self)

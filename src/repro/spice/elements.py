@@ -1,0 +1,195 @@
+"""Linear elements and independent sources.
+
+Stimulus waveforms mirror the SPICE primitives the paper's flow would
+use from a Cadence testbench: DC, PULSE and PWL sources.
+"""
+
+import bisect
+from typing import List, Sequence, Tuple
+
+from repro.spice.mna import MNASystem
+from repro.spice.netlist import Element
+
+
+class Resistor(Element):
+    """Ideal two-terminal resistor."""
+
+    def __init__(self, name: str, node_p: str, node_n: str, resistance: float):
+        if resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+        super().__init__(name, [node_p, node_n])
+        self.resistance = resistance
+
+    def stamp(self, system: MNASystem) -> None:
+        a = system.circuit.index_of(self.nodes[0])
+        b = system.circuit.index_of(self.nodes[1])
+        system.add_conductance(a, b, 1.0 / self.resistance)
+
+    def current(self, system: MNASystem) -> float:
+        """Current from node_p to node_n in the present solution [A]."""
+        v = system.voltage(self.nodes[0]) - system.voltage(self.nodes[1])
+        return v / self.resistance
+
+
+class Capacitor(Element):
+    """Ideal capacitor (backward-Euler companion in transient)."""
+
+    def __init__(self, name: str, node_p: str, node_n: str, capacitance: float,
+                 initial_voltage: float = 0.0):
+        if capacitance <= 0.0:
+            raise ValueError("capacitance must be positive")
+        super().__init__(name, [node_p, node_n])
+        self.capacitance = capacitance
+        self._previous_voltage = initial_voltage
+
+    def stamp(self, system: MNASystem) -> None:
+        if not system.is_transient:
+            return  # Open circuit in DC.
+        a = system.circuit.index_of(self.nodes[0])
+        b = system.circuit.index_of(self.nodes[1])
+        g_eq = self.capacitance / system.dt
+        system.add_conductance(a, b, g_eq)
+        system.add_current(a, g_eq * self._previous_voltage)
+        system.add_current(b, -g_eq * self._previous_voltage)
+
+    def finish_step(self, system: MNASystem) -> None:
+        self._previous_voltage = (
+            system.voltage(self.nodes[0]) - system.voltage(self.nodes[1])
+        )
+
+    def set_initial_voltage(self, voltage: float) -> None:
+        """Set the pre-transient capacitor voltage (IC= in SPICE)."""
+        self._previous_voltage = voltage
+
+
+class Waveform:
+    """Base class of source waveforms: value(t)."""
+
+    def value(self, time: float) -> float:
+        """Source value at time ``time`` [V or A]."""
+        raise NotImplementedError
+
+
+class DC(Waveform):
+    """Constant source."""
+
+    def __init__(self, level: float):
+        self.level = level
+
+    def value(self, time: float) -> float:
+        return self.level
+
+
+class Pulse(Waveform):
+    """SPICE PULSE(v1 v2 td tr tf pw per) waveform."""
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        delay: float,
+        rise: float,
+        fall: float,
+        width: float,
+        period: float = 0.0,
+    ):
+        if rise < 0.0 or fall < 0.0 or width < 0.0:
+            raise ValueError("pulse edges and width must be non-negative")
+        self.low = low
+        self.high = high
+        self.delay = delay
+        self.rise = max(rise, 1e-15)
+        self.fall = max(fall, 1e-15)
+        self.width = width
+        self.period = period
+
+    def value(self, time: float) -> float:
+        t = time - self.delay
+        if t < 0.0:
+            return self.low
+        if self.period > 0.0:
+            t = t % self.period
+        if t < self.rise:
+            return self.low + (self.high - self.low) * t / self.rise
+        t -= self.rise
+        if t < self.width:
+            return self.high
+        t -= self.width
+        if t < self.fall:
+            return self.high + (self.low - self.high) * t / self.fall
+        return self.low
+
+
+class PWL(Waveform):
+    """Piecewise-linear waveform from (time, value) points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("PWL needs at least two points")
+        times = [p[0] for p in points]
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+        self.times: List[float] = list(times)
+        self.values: List[float] = [p[1] for p in points]
+
+    def value(self, time: float) -> float:
+        if time <= self.times[0]:
+            return self.values[0]
+        if time >= self.times[-1]:
+            return self.values[-1]
+        hi = bisect.bisect_right(self.times, time)
+        lo = hi - 1
+        span = self.times[hi] - self.times[lo]
+        t = (time - self.times[lo]) / span
+        return self.values[lo] + t * (self.values[hi] - self.values[lo])
+
+
+class VoltageSource(Element):
+    """Independent voltage source (adds one MNA branch unknown)."""
+
+    num_branches = 1
+
+    def __init__(self, name: str, node_p: str, node_n: str, waveform: Waveform):
+        super().__init__(name, [node_p, node_n])
+        self.waveform = waveform
+        self._value = waveform.value(0.0)
+
+    def begin_step(self, time: float, dt: float) -> None:
+        self._value = self.waveform.value(time)
+
+    def stamp(self, system: MNASystem) -> None:
+        branch = system.circuit.branch_index(self)
+        p = system.circuit.index_of(self.nodes[0])
+        n = system.circuit.index_of(self.nodes[1])
+        if not system.is_transient:
+            self._value = self.waveform.value(system.time)
+        system.add_branch_voltage(branch, p, n, self._value)
+
+    def current(self, system: MNASystem) -> float:
+        """Current flowing *out of* the positive terminal [A].
+
+        MNA convention: the branch unknown is the current entering the
+        positive terminal from the circuit, so supply current delivered
+        by the source is ``-branch``.
+        """
+        return system.branch_current(self)
+
+
+class CurrentSource(Element):
+    """Independent current source (current from node_p to node_n)."""
+
+    def __init__(self, name: str, node_p: str, node_n: str, waveform: Waveform):
+        super().__init__(name, [node_p, node_n])
+        self.waveform = waveform
+        self._value = waveform.value(0.0)
+
+    def begin_step(self, time: float, dt: float) -> None:
+        self._value = self.waveform.value(time)
+
+    def stamp(self, system: MNASystem) -> None:
+        p = system.circuit.index_of(self.nodes[0])
+        n = system.circuit.index_of(self.nodes[1])
+        if not system.is_transient:
+            self._value = self.waveform.value(system.time)
+        system.add_current(p, -self._value)
+        system.add_current(n, self._value)

@@ -1,0 +1,209 @@
+"""Measurement Descriptive Language (MDL) layer.
+
+Sec. IV-A: "a template file is created for the netlist, stimulus and
+Measurement Descriptive Language (MDL) ... the SPICE simulation
+generates output measurement file that is then parsed to extract the
+required cell level parameters such as switching current, delay and
+energy values."
+
+This module is that measurement layer: declarative measurement objects
+evaluated against a :class:`repro.spice.waveform.WaveformSet`, plus a
+:class:`MeasurementScript` that bundles them and renders/parses the
+"output measurement file" format the characterisation flow consumes.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.spice.waveform import WaveformSet
+
+
+@dataclass(frozen=True)
+class CrossEvent:
+    """A threshold-crossing event specification.
+
+    Attributes:
+        signal: Trace name, e.g. ``"v(out)"``.
+        level: Threshold value.
+        edge: "rise", "fall" or "either".
+        occurrence: 1-based index of the crossing to select; -1 = last.
+    """
+
+    signal: str
+    level: float
+    edge: str = "either"
+    occurrence: int = 1
+
+    def locate(self, waveforms: WaveformSet) -> float:
+        """Return the event time [s].
+
+        Raises:
+            ValueError: If the requested crossing does not occur.
+        """
+        crossings = waveforms.trace(self.signal).crossings(self.level, self.edge)
+        if not crossings:
+            raise ValueError(
+                "signal %s never crosses %.4g (%s)" % (self.signal, self.level, self.edge)
+            )
+        index = self.occurrence - 1 if self.occurrence > 0 else self.occurrence
+        try:
+            return crossings[index]
+        except IndexError:
+            raise ValueError(
+                "signal %s crosses %.4g only %d time(s), wanted occurrence %d"
+                % (self.signal, self.level, len(crossings), self.occurrence)
+            )
+
+
+class Measurement:
+    """Base class: named measurement evaluated on a waveform set."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, waveforms: WaveformSet) -> float:
+        """Compute the measurement value."""
+        raise NotImplementedError
+
+
+class Delay(Measurement):
+    """Trigger-to-target delay (SPICE ``.measure trig ... targ ...``)."""
+
+    def __init__(self, name: str, trigger: CrossEvent, target: CrossEvent):
+        super().__init__(name)
+        self.trigger = trigger
+        self.target = target
+
+    def evaluate(self, waveforms: WaveformSet) -> float:
+        return self.target.locate(waveforms) - self.trigger.locate(waveforms)
+
+
+class When(Measurement):
+    """Absolute time of one crossing event."""
+
+    def __init__(self, name: str, event: CrossEvent):
+        super().__init__(name)
+        self.event = event
+
+    def evaluate(self, waveforms: WaveformSet) -> float:
+        return self.event.locate(waveforms)
+
+
+class Extreme(Measurement):
+    """Min/max/peak-to-peak/average of a signal in a window."""
+
+    def __init__(self, name: str, signal: str, kind: str,
+                 t0: Optional[float] = None, t1: Optional[float] = None):
+        if kind not in ("min", "max", "pp", "avg"):
+            raise ValueError("kind must be min, max, pp or avg")
+        super().__init__(name)
+        self.signal = signal
+        self.kind = kind
+        self.t0 = t0
+        self.t1 = t1
+
+    def evaluate(self, waveforms: WaveformSet) -> float:
+        trace = waveforms.trace(self.signal)
+        if self.kind == "min":
+            return trace.minimum(self.t0, self.t1)
+        if self.kind == "max":
+            return trace.maximum(self.t0, self.t1)
+        if self.kind == "pp":
+            return trace.maximum(self.t0, self.t1) - trace.minimum(self.t0, self.t1)
+        return trace.average(self.t0, self.t1)
+
+
+class Integral(Measurement):
+    """Trapezoidal integral of a signal (e.g. charge from a current)."""
+
+    def __init__(self, name: str, signal: str,
+                 t0: Optional[float] = None, t1: Optional[float] = None,
+                 scale: float = 1.0):
+        super().__init__(name)
+        self.signal = signal
+        self.t0 = t0
+        self.t1 = t1
+        self.scale = scale
+
+    def evaluate(self, waveforms: WaveformSet) -> float:
+        return self.scale * waveforms.trace(self.signal).integral(self.t0, self.t1)
+
+
+class Energy(Measurement):
+    """Supply energy: integral of -i(source) * v_supply over a window.
+
+    The branch current of a voltage source is defined *into* its
+    positive terminal, so delivered energy carries a minus sign.
+    """
+
+    def __init__(self, name: str, source_current_signal: str, supply_voltage: float,
+                 t0: Optional[float] = None, t1: Optional[float] = None):
+        super().__init__(name)
+        self.signal = source_current_signal
+        self.supply_voltage = supply_voltage
+        self.t0 = t0
+        self.t1 = t1
+
+    def evaluate(self, waveforms: WaveformSet) -> float:
+        charge = waveforms.trace(self.signal).integral(self.t0, self.t1)
+        return -charge * self.supply_voltage
+
+
+class Expression(Measurement):
+    """Arbitrary function of the waveform set (escape hatch)."""
+
+    def __init__(self, name: str, function: Callable[[WaveformSet], float]):
+        super().__init__(name)
+        self.function = function
+
+    def evaluate(self, waveforms: WaveformSet) -> float:
+        return self.function(waveforms)
+
+
+class MeasurementScript:
+    """Ordered collection of measurements — one "MDL file"."""
+
+    def __init__(self, measurements: Optional[List[Measurement]] = None):
+        self.measurements: List[Measurement] = list(measurements or [])
+
+    def add(self, measurement: Measurement) -> "MeasurementScript":
+        """Append a measurement (chainable)."""
+        self.measurements.append(measurement)
+        return self
+
+    def run(self, waveforms: WaveformSet) -> Dict[str, float]:
+        """Evaluate every measurement.
+
+        Measurements whose events never occur evaluate to ``nan`` rather
+        than aborting the script (matching SPICE ``.measure`` failure
+        semantics).
+        """
+        results: Dict[str, float] = {}
+        for measurement in self.measurements:
+            try:
+                results[measurement.name] = measurement.evaluate(waveforms)
+            except (ValueError, KeyError):
+                results[measurement.name] = float("nan")
+        return results
+
+    @staticmethod
+    def render_output_file(results: Dict[str, float]) -> str:
+        """Render the "output measurement file" text format."""
+        lines = ["* MDL measurement results"]
+        for name in sorted(results):
+            lines.append("%s = %.6e" % (name, results[name]))
+        return "\n".join(lines)
+
+    @staticmethod
+    def parse_output_file(text: str) -> Dict[str, float]:
+        """Parse the text format back (the flow's "File Parser" box)."""
+        results: Dict[str, float] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("*"):
+                continue
+            if "=" not in line:
+                raise ValueError("malformed measurement line: %r" % line)
+            name, _, value = line.partition("=")
+            results[name.strip()] = float(value.strip())
+        return results

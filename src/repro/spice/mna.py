@@ -1,0 +1,174 @@
+"""Modified nodal analysis system assembly and Newton solver.
+
+The :class:`MNASystem` is the mutable context elements stamp into: a
+dense conductance matrix ``G`` and right-hand side ``rhs`` such that
+``G @ x = rhs`` with ``x`` holding node voltages then branch currents.
+Nonlinear elements stamp their linearisation around the present guess
+(:attr:`MNASystem.solution`); :func:`solve_nonlinear` iterates to
+convergence with source-free gmin regularisation for robustness.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.spice.netlist import Circuit
+
+#: Conductance from every node to ground added for matrix conditioning.
+GMIN = 1e-12
+
+
+class MNASystem:
+    """One assembly of the MNA equations at a given operating point.
+
+    Attributes:
+        circuit: The circuit being solved.
+        solution: Current solution guess (Newton linearisation point).
+        time: Transient time of this solve [s] (0 for DC).
+        dt: Transient timestep [s] (0 for DC — capacitors stamp open).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        solution: Optional[np.ndarray] = None,
+        time: float = 0.0,
+        dt: float = 0.0,
+    ):
+        self.circuit = circuit
+        size = circuit.size
+        self.matrix = np.zeros((size, size))
+        self.rhs = np.zeros(size)
+        self.solution = solution if solution is not None else np.zeros(size)
+        self.time = time
+        self.dt = dt
+
+    @property
+    def is_transient(self) -> bool:
+        """True when assembling a transient (companion-model) step."""
+        return self.dt > 0.0
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` in the present guess [V]."""
+        index = self.circuit.index_of(node)
+        if index < 0:
+            return 0.0
+        return float(self.solution[index])
+
+    def branch_current(self, element) -> float:
+        """Branch current of a source element in the present guess [A]."""
+        return float(self.solution[self.circuit.branch_index(element)])
+
+    def add_conductance(self, node_a: int, node_b: int, conductance: float) -> None:
+        """Stamp a two-terminal conductance between matrix rows.
+
+        Rows are matrix indices (use ``circuit.index_of``); -1 = ground.
+        """
+        if node_a >= 0:
+            self.matrix[node_a, node_a] += conductance
+        if node_b >= 0:
+            self.matrix[node_b, node_b] += conductance
+        if node_a >= 0 and node_b >= 0:
+            self.matrix[node_a, node_b] -= conductance
+            self.matrix[node_b, node_a] -= conductance
+
+    def add_transconductance(
+        self, out_p: int, out_n: int, in_p: int, in_n: int, gm: float
+    ) -> None:
+        """Stamp a VCCS: current gm * (v_inp - v_inn) from out_p to out_n."""
+        for out_row, out_sign in ((out_p, 1.0), (out_n, -1.0)):
+            if out_row < 0:
+                continue
+            if in_p >= 0:
+                self.matrix[out_row, in_p] += out_sign * gm
+            if in_n >= 0:
+                self.matrix[out_row, in_n] -= out_sign * gm
+
+    def add_current(self, node: int, current: float) -> None:
+        """Stamp a current *into* the node (onto the RHS)."""
+        if node >= 0:
+            self.rhs[node] += current
+
+    def add_branch_voltage(
+        self, branch: int, node_p: int, node_n: int, voltage: float
+    ) -> None:
+        """Stamp a voltage-source branch equation v_p - v_n = voltage."""
+        if node_p >= 0:
+            self.matrix[branch, node_p] += 1.0
+            self.matrix[node_p, branch] += 1.0
+        if node_n >= 0:
+            self.matrix[branch, node_n] -= 1.0
+            self.matrix[node_n, branch] -= 1.0
+        self.rhs[branch] += voltage
+
+    def assemble(self) -> None:
+        """Zero and restamp the full system at the current guess."""
+        self.matrix[:, :] = 0.0
+        self.rhs[:] = 0.0
+        node_count = len(self.circuit.node_index)
+        for i in range(node_count):
+            self.matrix[i, i] += GMIN
+        for element in self.circuit.elements:
+            element.stamp(self)
+
+    def solve_once(self) -> np.ndarray:
+        """Assemble and solve one linear system."""
+        self.assemble()
+        return np.linalg.solve(self.matrix, self.rhs)
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+def solve_nonlinear(
+    system: MNASystem,
+    max_iterations: int = 100,
+    voltage_tolerance: float = 1e-6,
+    damping: float = 1.0,
+    max_voltage_step: float = 0.3,
+) -> np.ndarray:
+    """Newton-iterate the MNA system to convergence.
+
+    Uses SPICE-style voltage step limiting: node-voltage updates are
+    clipped to ``max_voltage_step`` per iteration, which converts the
+    divergent overshoot of exponential/power-law device models into a
+    monotone walk toward the solution.  Branch currents (source rows)
+    are not limited.
+
+    Args:
+        system: The assembled-on-demand system (its ``solution`` is the
+            initial guess and is updated in place).
+        max_iterations: Iteration cap before declaring failure.
+        voltage_tolerance: Convergence threshold on the max update [V].
+        damping: Update damping factor in (0, 1] for stubborn circuits.
+        max_voltage_step: Per-iteration clamp on node-voltage updates [V].
+
+    Returns:
+        The converged solution vector.
+
+    Raises:
+        ConvergenceError: If the iteration does not settle.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must be in (0, 1]")
+    node_count = len(system.circuit.node_index)
+    worst = float("inf")
+    for _ in range(max_iterations):
+        new_solution = system.solve_once()
+        delta = new_solution - system.solution
+        worst = float(np.max(np.abs(delta))) if delta.size else 0.0
+        limited = damping * delta
+        np.clip(
+            limited[:node_count],
+            -max_voltage_step,
+            max_voltage_step,
+            out=limited[:node_count],
+        )
+        system.solution = system.solution + limited
+        if worst < voltage_tolerance:
+            return system.solution
+    raise ConvergenceError(
+        "Newton failed to converge within %d iterations (last delta %.3g V)"
+        % (max_iterations, worst)
+    )

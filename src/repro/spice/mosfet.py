@@ -1,0 +1,104 @@
+"""MOSFET circuit element wrapping the PDK alpha-power-law model.
+
+Newton linearisation: at each iteration the drain current is expanded
+around the present (V_GS, V_DS) guess,
+
+    I_D ~ I_D0 + g_m dV_GS + g_ds dV_DS,
+
+stamped as a VCCS (g_m), an output conductance (g_ds) and an equivalent
+current source.
+
+The element is **source/drain symmetric**, like a physical MOSFET: for
+an NMOS, whichever of the two diffusion terminals sits at the lower
+potential acts as the source (the opposite for PMOS).  This matters in
+MRAM bit cells, where the access transistor conducts in both write
+polarities — the famous source-degeneration asymmetry of STT-MRAM
+writes emerges from exactly this swap.
+"""
+
+from repro.pdk.transistor import TransistorParams
+from repro.spice.mna import MNASystem
+from repro.spice.netlist import Element
+
+
+class MOSFET(Element):
+    """Three-terminal MOSFET (drain, gate, source); bulk implicit.
+
+    Args:
+        name: Element name.
+        drain: Drain node (label only — conduction is symmetric).
+        gate: Gate node.
+        source: Source node.
+        params: PDK transistor parameters.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 params: TransistorParams):
+        super().__init__(name, [drain, gate, source])
+        self.params = params
+
+    def _oriented_terminals(self, system: MNASystem):
+        """Return (high_node, low_node) as (drain, source) for NMOS.
+
+        For NMOS the effective source is the lower-potential diffusion;
+        for PMOS the higher-potential one.  Ties keep the declared
+        orientation.
+        """
+        vd = system.voltage(self.nodes[0])
+        vs = system.voltage(self.nodes[2])
+        if self.params.is_nmos:
+            swapped = vd < vs
+        else:
+            swapped = vd > vs
+        if swapped:
+            return self.nodes[2], self.nodes[0]
+        return self.nodes[0], self.nodes[2]
+
+    def drain_current(self, system: MNASystem) -> float:
+        """Conduction current flowing from the declared drain node to
+        the declared source node at the present solution [A]."""
+        drain, source = self._oriented_terminals(system)
+        vd = system.voltage(drain)
+        vg = system.voltage(self.nodes[1])
+        vs = system.voltage(source)
+        if self.params.is_nmos:
+            magnitude = self.params.drain_current(vg - vs, vd - vs)
+        else:
+            magnitude = self.params.drain_current(vs - vg, vs - vd)
+        # Current flows high->low diffusion for NMOS (low->high for
+        # PMOS); translate back to the declared orientation.
+        sign = 1.0 if drain == self.nodes[0] else -1.0
+        if not self.params.is_nmos:
+            sign = -sign
+        return sign * magnitude
+
+    def stamp(self, system: MNASystem) -> None:
+        drain, source = self._oriented_terminals(system)
+        d = system.circuit.index_of(drain)
+        g = system.circuit.index_of(self.nodes[1])
+        s = system.circuit.index_of(source)
+        vd = system.voltage(drain)
+        vg = system.voltage(self.nodes[1])
+        vs = system.voltage(source)
+        if self.params.is_nmos:
+            vgs, vds = vg - vs, vd - vs
+            i0 = self.params.drain_current(vgs, vds)
+            gm = self.params.transconductance(vgs, vds)
+            gds = self.params.output_conductance(vgs, vds)
+            # Current flows (effective) drain -> source inside the device.
+            system.add_transconductance(d, s, g, s, gm)
+            system.add_conductance(d, s, max(gds, 0.0))
+            i_eq = i0 - gm * vgs - gds * vds
+            system.add_current(d, -i_eq)
+            system.add_current(s, i_eq)
+        else:
+            vsg, vsd = vs - vg, vs - vd
+            i0 = self.params.drain_current(vsg, vsd)
+            gm = self.params.transconductance(vsg, vsd)
+            gds = self.params.output_conductance(vsg, vsd)
+            # Current flows (effective) source -> drain inside the device.
+            system.add_transconductance(s, d, s, g, gm)
+            system.add_conductance(s, d, max(gds, 0.0))
+            i_eq = i0 - gm * vsg - gds * vsd
+            system.add_current(s, -i_eq)
+            system.add_current(d, i_eq)

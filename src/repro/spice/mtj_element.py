@@ -1,0 +1,77 @@
+"""MTJ circuit element for the SPICE substrate.
+
+Wraps a compact model from :mod:`repro.core.compact` as a two-terminal
+nonlinear resistor.  Within one transient step the junction is a
+voltage-dependent resistor (TMR roll-off); after the step converges the
+magnetisation state is advanced with the step's current, so switching
+events appear in the waveform exactly as in a Verilog-A co-simulation.
+"""
+
+from typing import List, Tuple, Union
+
+from repro.core.compact import BehavioralMTJModel, PhysicalMTJModel
+from repro.spice.mna import MNASystem
+from repro.spice.netlist import Element
+
+CompactModel = Union[BehavioralMTJModel, PhysicalMTJModel]
+
+
+class MTJElement(Element):
+    """Two-terminal MTJ (free-layer terminal first, reference second).
+
+    Positive terminal current (node_p -> node_n) is taken as the
+    AP -> P switching polarity, consistent with the compact models.
+
+    Attributes:
+        model: The wrapped compact model (behavioural or physical).
+        switch_log: (time, new_state_is_ap) tuples of observed switches.
+    """
+
+    def __init__(self, name: str, node_p: str, node_n: str, model: CompactModel):
+        super().__init__(name, [node_p, node_n])
+        self.model = model
+        self.switch_log: List[Tuple[float, bool]] = []
+        self._time = 0.0
+        self._dt = 0.0
+
+    def begin_step(self, time: float, dt: float) -> None:
+        self._time = time
+        self._dt = dt
+
+    def _bias(self, system: MNASystem) -> float:
+        return system.voltage(self.nodes[0]) - system.voltage(self.nodes[1])
+
+    def resistance(self, system: MNASystem) -> float:
+        """Junction resistance at the present bias guess [ohm]."""
+        return self.model.resistance(self._bias(system))
+
+    def current(self, system: MNASystem) -> float:
+        """Junction current at the present solution [A]."""
+        return self._bias(system) / self.resistance(system)
+
+    def stamp(self, system: MNASystem) -> None:
+        voltage = self._bias(system)
+        p = system.circuit.index_of(self.nodes[0])
+        n = system.circuit.index_of(self.nodes[1])
+        # Secant linearisation of I(V) = V / R(V) around the guess.
+        delta = 1e-3
+        i0 = voltage / self.model.resistance(voltage)
+        i1 = (voltage + delta) / self.model.resistance(voltage + delta)
+        conductance = max((i1 - i0) / delta, 1e-9)
+        i_eq = i0 - conductance * voltage
+        system.add_conductance(p, n, conductance)
+        system.add_current(p, -i_eq)
+        system.add_current(n, i_eq)
+
+    def finish_step(self, system: MNASystem) -> None:
+        if self._dt <= 0.0:
+            return
+        current = self.current(system)
+        switched = self.model.advance(current, self._dt)
+        if switched:
+            self.switch_log.append((self._time, self.model.state.antiparallel))
+
+    @property
+    def is_antiparallel(self) -> bool:
+        """Present logical state of the junction."""
+        return self.model.state.antiparallel

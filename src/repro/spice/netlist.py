@@ -1,0 +1,144 @@
+"""Circuit netlist container for the SPICE substrate.
+
+A :class:`Circuit` is an ordered collection of elements connected by
+named nodes.  Node ``"0"`` (alias ``"gnd"``) is ground.  The circuit
+assigns matrix indices: node voltages first, then one extra unknown per
+source branch (standard MNA ordering).
+"""
+
+from typing import Dict, Iterable, List, Sequence
+
+GROUND_NAMES = ("0", "gnd", "GND", "vss!", "ground")
+
+
+class Circuit:
+    """A flat netlist of circuit elements.
+
+    Elements are appended with :meth:`add`; the node-to-index map is
+    rebuilt lazily whenever the element set changes.
+    """
+
+    def __init__(self, title: str = "untitled"):
+        self.title = title
+        self.elements: List["Element"] = []
+        self._node_index: Dict[str, int] = {}
+        self._branch_offset: Dict[int, int] = {}
+        self._dirty = True
+
+    def add(self, element: "Element") -> "Element":
+        """Append an element and return it (for chaining/handles)."""
+        if any(e.name == element.name for e in self.elements):
+            raise ValueError("duplicate element name %r" % element.name)
+        self.elements.append(element)
+        self._dirty = True
+        return element
+
+    def element(self, name: str) -> "Element":
+        """Look up an element by name.
+
+        Raises:
+            KeyError: If no element has that name.
+        """
+        for candidate in self.elements:
+            if candidate.name == name:
+                return candidate
+        raise KeyError("no element named %r" % name)
+
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        """True if the node name denotes the ground reference."""
+        return node in GROUND_NAMES
+
+    def _rebuild(self) -> None:
+        self._node_index = {}
+        for element in self.elements:
+            for node in element.nodes:
+                if self.is_ground(node):
+                    continue
+                if node not in self._node_index:
+                    self._node_index[node] = len(self._node_index)
+        self._branch_offset = {}
+        next_branch = len(self._node_index)
+        for position, element in enumerate(self.elements):
+            if element.num_branches:
+                self._branch_offset[position] = next_branch
+                next_branch += element.num_branches
+        self._size = next_branch
+        self._dirty = False
+
+    @property
+    def node_index(self) -> Dict[str, int]:
+        """Map from node name to matrix row (ground excluded)."""
+        if self._dirty:
+            self._rebuild()
+        return self._node_index
+
+    @property
+    def size(self) -> int:
+        """Total number of MNA unknowns (nodes + source branches)."""
+        if self._dirty:
+            self._rebuild()
+        return self._size
+
+    def branch_index(self, element: "Element") -> int:
+        """Matrix row of an element's first branch unknown.
+
+        Raises:
+            ValueError: If the element has no branch unknowns.
+        """
+        if self._dirty:
+            self._rebuild()
+        position = self.elements.index(element)
+        if position not in self._branch_offset:
+            raise ValueError("element %r has no branch current" % element.name)
+        return self._branch_offset[position]
+
+    def index_of(self, node: str) -> int:
+        """Matrix row of a node; -1 for ground."""
+        if self.is_ground(node):
+            return -1
+        return self.node_index[node]
+
+    def node_names(self) -> Sequence[str]:
+        """All non-ground node names in index order."""
+        index = self.node_index
+        ordered = sorted(index, key=index.get)
+        return ordered
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:
+        return "Circuit(%r, %d elements, %d nodes)" % (
+            self.title,
+            len(self.elements),
+            len(self.node_index),
+        )
+
+
+class Element:
+    """Base class for all circuit elements.
+
+    Subclasses define ``nodes`` (terminal node names), ``num_branches``
+    (extra MNA unknowns), and :meth:`stamp`.
+    """
+
+    #: Number of extra branch-current unknowns this element adds.
+    num_branches = 0
+
+    def __init__(self, name: str, nodes: Iterable[str]):
+        self.name = name
+        self.nodes = list(nodes)
+
+    def stamp(self, system: "MNASystem") -> None:
+        """Stamp the element's linearised companion into the system."""
+        raise NotImplementedError
+
+    def begin_step(self, time: float, dt: float) -> None:
+        """Hook called once before each transient step's Newton loop."""
+
+    def finish_step(self, system: "MNASystem") -> None:
+        """Hook called after a transient step converges (state update)."""
+
+    def __repr__(self) -> str:
+        return "%s(%r, %s)" % (type(self).__name__, self.name, self.nodes)

@@ -1,0 +1,126 @@
+"""Simulation result waveforms.
+
+A :class:`WaveformSet` holds the sampled node voltages and source
+branch currents of one analysis, with interpolating accessors that the
+MDL measurement layer builds on.
+"""
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class Trace:
+    """One named signal sampled on the common time axis."""
+
+    def __init__(self, name: str, times: np.ndarray, values: np.ndarray):
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        self.name = name
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+
+    def at(self, time: float) -> float:
+        """Linear-interpolated value at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+    def crossings(self, level: float, edge: str = "either") -> List[float]:
+        """Times where the signal crosses ``level``.
+
+        Args:
+            level: Threshold value.
+            edge: "rise", "fall" or "either".
+        """
+        if edge not in ("rise", "fall", "either"):
+            raise ValueError("edge must be rise, fall or either")
+        v = self.values - level
+        times: List[float] = []
+        for i in range(1, len(v)):
+            if v[i - 1] == v[i]:
+                continue
+            if v[i - 1] < 0.0 <= v[i]:
+                direction = "rise"
+            elif v[i - 1] >= 0.0 > v[i]:
+                direction = "fall"
+            else:
+                continue
+            if edge != "either" and direction != edge:
+                continue
+            # Linear interpolation of the crossing instant.
+            t = self.times[i - 1] + (self.times[i] - self.times[i - 1]) * (
+                -v[i - 1] / (v[i] - v[i - 1])
+            )
+            times.append(float(t))
+        return times
+
+    def minimum(self, t0: float = None, t1: float = None) -> float:
+        """Minimum value in the (optional) window."""
+        return float(np.min(self._window(t0, t1)))
+
+    def maximum(self, t0: float = None, t1: float = None) -> float:
+        """Maximum value in the (optional) window."""
+        return float(np.max(self._window(t0, t1)))
+
+    def average(self, t0: float = None, t1: float = None) -> float:
+        """Time-weighted average over the (optional) window."""
+        mask = self._mask(t0, t1)
+        times = self.times[mask]
+        values = self.values[mask]
+        if len(times) < 2:
+            return float(values[0]) if len(values) else 0.0
+        return float(np.trapezoid(values, times) / (times[-1] - times[0]))
+
+    def integral(self, t0: float = None, t1: float = None) -> float:
+        """Trapezoidal integral over the (optional) window."""
+        mask = self._mask(t0, t1)
+        if mask.sum() < 2:
+            return 0.0
+        return float(np.trapezoid(self.values[mask], self.times[mask]))
+
+    def _mask(self, t0, t1) -> np.ndarray:
+        lo = self.times[0] if t0 is None else t0
+        hi = self.times[-1] if t1 is None else t1
+        return (self.times >= lo) & (self.times <= hi)
+
+    def _window(self, t0, t1) -> np.ndarray:
+        window = self.values[self._mask(t0, t1)]
+        if len(window) == 0:
+            raise ValueError("empty measurement window")
+        return window
+
+
+class WaveformSet:
+    """All traces produced by one analysis."""
+
+    def __init__(self, times: Sequence[float]):
+        self.times = np.asarray(times, dtype=float)
+        self._traces: Dict[str, np.ndarray] = {}
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        """Register a signal sampled on the common time axis."""
+        values = np.asarray(values, dtype=float)
+        if len(values) != len(self.times):
+            raise ValueError(
+                "trace %r has %d samples, axis has %d"
+                % (name, len(values), len(self.times))
+            )
+        self._traces[name] = values
+
+    def trace(self, name: str) -> Trace:
+        """Fetch one signal.
+
+        Raises:
+            KeyError: Unknown signal name (lists the available ones).
+        """
+        if name not in self._traces:
+            raise KeyError(
+                "no trace %r; available: %s" % (name, sorted(self._traces))
+            )
+        return Trace(name, self.times, self._traces[name])
+
+    def names(self) -> List[str]:
+        """All registered signal names."""
+        return sorted(self._traces)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces

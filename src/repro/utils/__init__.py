@@ -1,0 +1,58 @@
+"""Shared utilities: physical constants, unit helpers, math, and tables.
+
+These helpers are deliberately dependency-light so that every other
+subpackage (device physics, SPICE substrate, memory estimators, system
+simulator) can use them without import cycles.
+"""
+
+from repro.utils.constants import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    GILBERT_GYROMAGNETIC,
+    GYROMAGNETIC_RATIO,
+    HBAR,
+    MU_0,
+    MU_B,
+    ROOM_TEMPERATURE,
+)
+from repro.utils.units import (
+    from_oersted,
+    to_oersted,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    db,
+    undb,
+)
+from repro.utils.mathx import (
+    clamp,
+    lerp,
+    log_interp,
+    q_function,
+    q_function_inverse,
+    smooth_step,
+)
+from repro.utils.table import Table
+
+__all__ = [
+    "BOLTZMANN",
+    "ELEMENTARY_CHARGE",
+    "GILBERT_GYROMAGNETIC",
+    "GYROMAGNETIC_RATIO",
+    "HBAR",
+    "MU_0",
+    "MU_B",
+    "ROOM_TEMPERATURE",
+    "from_oersted",
+    "to_oersted",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "db",
+    "undb",
+    "clamp",
+    "lerp",
+    "log_interp",
+    "q_function",
+    "q_function_inverse",
+    "smooth_step",
+    "Table",
+]

@@ -1,0 +1,32 @@
+"""Physical constants in SI units.
+
+Values follow CODATA 2018.  Only constants actually used by the device
+and circuit models are defined; everything is a plain float so the
+constants can be used inside numpy expressions without casting.
+"""
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Reduced Planck constant [J*s].
+HBAR = 1.054571817e-34
+
+#: Vacuum permeability [H/m] (exact value pre-2019 redefinition is fine
+#: at compact-model accuracy).
+MU_0 = 1.25663706212e-6
+
+#: Bohr magneton [J/T].
+MU_B = 9.2740100783e-24
+
+#: Electron gyromagnetic ratio magnitude [rad/(s*T)].
+GYROMAGNETIC_RATIO = 1.760859630e11
+
+#: Gyromagnetic ratio conventionally used in LLG with fields in A/m:
+#: gamma0 = mu0 * gamma [m/(A*s)].
+GILBERT_GYROMAGNETIC = MU_0 * GYROMAGNETIC_RATIO
+
+#: Default ambient temperature for all thermal models [K].
+ROOM_TEMPERATURE = 300.0

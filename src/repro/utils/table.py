@@ -1,0 +1,64 @@
+"""Minimal text-table renderer for benchmark and report output.
+
+The paper's evaluation artefacts are tables (Table 1) and series plots
+(Figs. 7-9, 11-12).  Benchmarks print the same rows/series in text form;
+this class keeps the formatting consistent everywhere.
+"""
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["node", "latency"])
+    >>> t.add_row(["45nm", 4.9])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    node | latency
+    -----+--------
+    45nm | 4.9
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified with compact float formatting."""
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                "row has %d cells, table has %d columns" % (len(row), len(self.headers))
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0.0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1e4 or magnitude < 1e-3:
+                return "%.3g" % cell
+            return "%.4g" % cell
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

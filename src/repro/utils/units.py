@@ -1,0 +1,44 @@
+"""Unit conversion helpers.
+
+The spintronics literature mixes CGS (Oe, emu) and SI units; the paper
+quotes bias fields in kOe ("in the order of half of the effective
+perpendicular anisotropy field (~1 kOe)").  All internal computation is
+SI (A/m for fields); these helpers convert at the boundary.
+"""
+
+import math
+
+#: One oersted expressed in A/m.
+OERSTED_IN_A_PER_M = 1e3 / (4.0 * math.pi)
+
+
+def from_oersted(field_oe: float) -> float:
+    """Convert a magnetic field from oersted to A/m."""
+    return field_oe * OERSTED_IN_A_PER_M
+
+
+def to_oersted(field_a_per_m: float) -> float:
+    """Convert a magnetic field from A/m to oersted."""
+    return field_a_per_m / OERSTED_IN_A_PER_M
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return temp_c + 273.15
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return temp_k - 273.15
+
+
+def db(ratio: float) -> float:
+    """Express a power ratio in decibel."""
+    if ratio <= 0.0:
+        raise ValueError("power ratio must be positive, got %r" % ratio)
+    return 10.0 * math.log10(ratio)
+
+
+def undb(value_db: float) -> float:
+    """Convert a decibel value back to a power ratio."""
+    return 10.0 ** (value_db / 10.0)

@@ -1,0 +1,55 @@
+"""VAET-STT: variation-aware estimation for STT-MRAM (Table 1, Figs. 7-9)."""
+
+from repro.vaet.variation_model import CellSamples, VariationModel, oblate_demag_factor_vec
+from repro.vaet.distributions import (
+    DistributionSummary,
+    exceedance_quantile,
+    summarize,
+)
+from repro.vaet.montecarlo import MonteCarloEngine, ReadSamples, WriteSamples
+from repro.vaet.error_rates import (
+    ErrorRateAnalysis,
+    ReadMarginResult,
+    WriteMarginResult,
+)
+from repro.vaet.ecc import (
+    ECCAnalysis,
+    ECCPoint,
+    bch_parity_bits,
+    block_failure_probability,
+    per_bit_budget,
+)
+from repro.vaet.read_disturb import ReadDisturbAnalysis, ReadDisturbPoint
+from repro.vaet.estimator import VAETSTT, VariationAwareEstimate
+from repro.vaet.retention_faults import FIT_HOURS, RetentionFaultModel, ScrubPoint
+from repro.vaet.explorer import DesignConstraints, DesignPoint, DesignSpaceExplorer
+
+__all__ = [
+    "CellSamples",
+    "VariationModel",
+    "oblate_demag_factor_vec",
+    "DistributionSummary",
+    "exceedance_quantile",
+    "summarize",
+    "MonteCarloEngine",
+    "ReadSamples",
+    "WriteSamples",
+    "ErrorRateAnalysis",
+    "ReadMarginResult",
+    "WriteMarginResult",
+    "ECCAnalysis",
+    "ECCPoint",
+    "bch_parity_bits",
+    "block_failure_probability",
+    "per_bit_budget",
+    "ReadDisturbAnalysis",
+    "ReadDisturbPoint",
+    "VAETSTT",
+    "VariationAwareEstimate",
+    "FIT_HOURS",
+    "RetentionFaultModel",
+    "ScrubPoint",
+    "DesignConstraints",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+]

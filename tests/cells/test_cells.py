@@ -1,0 +1,209 @@
+"""Tests for the MSS cell library: bit cell, SA, driver, NVFF, I-source."""
+
+import math
+
+import pytest
+
+from repro.cells import (
+    CellConfig,
+    NonVolatileFlipFlop,
+    ProgrammableCurrentSource,
+    build_driver_write_path,
+    build_read_cell,
+    build_sense_path,
+    build_write_cell,
+    reference_resistance,
+)
+from repro.pdk import ProcessDesignKit
+from repro.spice import transient
+
+
+@pytest.fixture(scope="module")
+def pdk():
+    return ProcessDesignKit.for_node(45)
+
+
+class TestBitCellWrite:
+    @pytest.mark.parametrize("to_ap", [True, False])
+    def test_both_polarities_switch(self, pdk, to_ap):
+        handles = build_write_cell(pdk, write_to_antiparallel=to_ap)
+        transient(handles.circuit, stop_time=8e-9, timestep=2e-11)
+        assert handles.mtj.is_antiparallel == to_ap
+        assert len(handles.mtj.switch_log) == 1
+
+    def test_no_pulse_no_switch(self, pdk):
+        handles = build_write_cell(pdk, write_to_antiparallel=True, pulse_delay=50e-9)
+        transient(handles.circuit, stop_time=5e-9, timestep=2e-11)
+        assert not handles.mtj.is_antiparallel
+
+
+class TestBitCellRead:
+    @pytest.mark.parametrize("stored_ap", [True, False])
+    def test_read_current_distinguishes_states(self, pdk, stored_ap):
+        handles = build_read_cell(pdk, stored_antiparallel=stored_ap)
+        result = transient(
+            handles.circuit, stop_time=4e-9, timestep=2e-11,
+            record_currents_of=["vbl"],
+        )
+        current = abs(result.waveforms.trace("i(vbl)").average(1e-9, 3.5e-9))
+        transport = pdk.mtj_transport()
+        # AP (higher R) must draw visibly less current than P.
+        if stored_ap:
+            assert current < 0.08 / transport.parallel_resistance
+        else:
+            assert current > 0.08 / transport.antiparallel_resistance
+
+    def test_read_preserves_state(self, pdk):
+        handles = build_read_cell(pdk, stored_antiparallel=True)
+        transient(handles.circuit, stop_time=4e-9, timestep=2e-11)
+        assert handles.mtj.is_antiparallel
+        assert handles.mtj.switch_log == []
+
+
+class TestSensePath:
+    @pytest.mark.parametrize("stored_ap", [True, False])
+    def test_comparator_resolves_state(self, pdk, stored_ap):
+        handles = build_sense_path(pdk, stored_antiparallel=stored_ap)
+        result = transient(handles.circuit, stop_time=4e-9, timestep=2e-11)
+        out = result.waveforms.trace("v(%s)" % handles.output_node)
+        final = out.values[-1]
+        vdd = pdk.tech.vdd
+        if stored_ap:
+            assert final > 0.8 * vdd
+        else:
+            assert final < 0.2 * vdd
+
+    def test_read_does_not_disturb(self, pdk):
+        handles = build_sense_path(pdk, stored_antiparallel=True)
+        transient(handles.circuit, stop_time=4e-9, timestep=2e-11)
+        assert handles.mtj.is_antiparallel
+
+    def test_reference_resistance_is_geometric_mean(self, pdk):
+        transport = pdk.mtj_transport()
+        r_ref = reference_resistance(pdk)
+        r_p = transport.state_resistance(False, 0.1)
+        r_ap = transport.state_resistance(True, 0.1)
+        assert r_p < r_ref < r_ap
+
+
+class TestWriteDriver:
+    def test_driver_writes_ap(self, pdk):
+        handles = build_driver_write_path(pdk, write_to_antiparallel=True)
+        transient(handles.circuit, stop_time=8e-9, timestep=2e-11)
+        assert handles.mtj.is_antiparallel
+
+    def test_driver_writes_p(self, pdk):
+        handles = build_driver_write_path(pdk, write_to_antiparallel=False)
+        transient(handles.circuit, stop_time=8e-9, timestep=2e-11)
+        assert not handles.mtj.is_antiparallel
+
+    def test_weak_corner_slows_switching(self, pdk):
+        nominal = build_driver_write_path(pdk, True)
+        weak = build_driver_write_path(pdk, True, vth_shift_n=0.1, k_prime_scale=0.75)
+        transient(nominal.circuit, stop_time=10e-9, timestep=2e-11)
+        transient(weak.circuit, stop_time=10e-9, timestep=2e-11)
+        t_nominal = nominal.mtj.switch_log[0][0]
+        t_weak = weak.mtj.switch_log[0][0]
+        assert t_weak > t_nominal
+
+
+class TestNVFF:
+    def test_store_restore_roundtrip(self, pdk):
+        for bit in (True, False):
+            ff = NonVolatileFlipFlop(pdk)
+            ff.clock(bit)
+            ff.store()
+            ff.power_down()
+            assert ff.restore() == bit
+
+    def test_power_down_blocks_clock(self, pdk):
+        ff = NonVolatileFlipFlop(pdk)
+        ff.power_down()
+        with pytest.raises(RuntimeError):
+            ff.clock(True)
+
+    def test_store_requires_power(self, pdk):
+        ff = NonVolatileFlipFlop(pdk)
+        ff.power_down()
+        with pytest.raises(RuntimeError):
+            ff.store()
+
+    def test_store_is_idempotent(self, pdk):
+        ff = NonVolatileFlipFlop(pdk)
+        ff.clock(True)
+        ff.store()
+        ff.store()
+        ff.power_down()
+        assert ff.restore() is True
+
+    def test_characterization_numbers(self, pdk):
+        timings = NonVolatileFlipFlop(pdk).characterize()
+        assert 0.0 < timings.store_delay < 50e-9
+        assert timings.store_energy > timings.dynamic_energy
+        assert timings.restore_delay > 0.0
+        assert timings.leakage_power > 0.0
+
+    def test_rejects_subcritical_store_current(self, pdk):
+        ic0 = pdk.switching_model().critical_current
+        with pytest.raises(ValueError):
+            NonVolatileFlipFlop(pdk, write_current=0.5 * ic0)
+
+
+class TestProgrammableCurrentSource:
+    def test_level_count(self, pdk):
+        source = ProgrammableCurrentSource(pdk, num_junctions=3)
+        assert len(source.levels()) == 8
+
+    def test_levels_sorted_and_distinct(self, pdk):
+        source = ProgrammableCurrentSource(pdk, num_junctions=4)
+        currents = [level.current for level in source.levels()]
+        assert currents == sorted(currents)
+        assert source.resolution() > 0.0
+
+    def test_all_ap_is_minimum_current(self, pdk):
+        source = ProgrammableCurrentSource(pdk, num_junctions=3)
+        source.program(0b111)
+        low = source.output_current()
+        source.program(0b000)
+        high = source.output_current()
+        assert low < high
+
+    def test_program_validation(self, pdk):
+        source = ProgrammableCurrentSource(pdk, num_junctions=2)
+        with pytest.raises(ValueError):
+            source.program(4)
+
+    def test_dynamic_range(self, pdk):
+        source = ProgrammableCurrentSource(pdk, num_junctions=4)
+        assert source.dynamic_range() > 1.5
+
+    def test_levels_restore_state(self, pdk):
+        source = ProgrammableCurrentSource(pdk, num_junctions=3)
+        source.program(0b101)
+        before = list(source.states)
+        source.levels()
+        assert source.states == before
+
+    def test_rejects_bad_reference(self, pdk):
+        with pytest.raises(ValueError):
+            ProgrammableCurrentSource(pdk, reference_voltage=0.9)
+
+
+class TestCellConfig:
+    def test_render_parse_roundtrip(self, pdk):
+        config = CellConfig(
+            node_nm=45, pillar_diameter_nm=40.0,
+            resistance_parallel=4774.0, resistance_antiparallel=10031.0,
+            switching_current=1e-4, critical_current=1.5e-5,
+            switching_delay=1.2e-9, write_pulse_width=6e-9,
+            write_energy=1.4e-12, read_current=2.3e-5,
+            read_delay=1e-10, read_energy=1.4e-14,
+            leakage_current=1e-7, thermal_stability=34.7,
+        )
+        parsed = CellConfig.parse(config.render())
+        assert parsed == config
+        assert parsed.tmr() == pytest.approx(config.tmr())
+
+    def test_parse_rejects_missing_key(self):
+        with pytest.raises(ValueError):
+            CellConfig.parse("node_nm = 45")

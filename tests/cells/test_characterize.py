@@ -1,0 +1,59 @@
+"""Tests for the SPICE + MDL characterisation flow (Sec. IV-A)."""
+
+import pytest
+
+from repro.cells import CharacterizationSettings, characterize_cell
+from repro.pdk import ProcessDesignKit
+
+
+@pytest.fixture(scope="module")
+def config45():
+    return characterize_cell(ProcessDesignKit.for_node(45))
+
+
+class TestCharacterizationFlow:
+    def test_resistances_match_transport(self, config45):
+        pdk = ProcessDesignKit.for_node(45)
+        transport = pdk.mtj_transport()
+        assert config45.resistance_parallel == pytest.approx(
+            transport.state_resistance(False, 0.15), rel=1e-6
+        )
+        assert config45.resistance_antiparallel > config45.resistance_parallel
+
+    def test_write_current_physical(self, config45):
+        # Tens of microamps through the bit cell, well above I_c0.
+        assert 20e-6 < config45.switching_current < 500e-6
+        assert config45.switching_current > 2.0 * config45.critical_current
+
+    def test_switching_delay_nanosecond(self, config45):
+        assert 0.1e-9 < config45.switching_delay < 6e-9
+
+    def test_write_energy_picojoule(self, config45):
+        assert 0.05e-12 < config45.write_energy < 20e-12
+
+    def test_read_nondestructive_and_fast(self, config45):
+        assert 0.0 < config45.read_delay < 2e-9
+        assert config45.read_current < config45.switching_current
+
+    def test_read_energy_much_below_write(self, config45):
+        assert config45.read_energy < 0.1 * config45.write_energy
+
+    def test_thermal_stability_carried_over(self, config45):
+        pdk = ProcessDesignKit.for_node(45)
+        assert config45.thermal_stability == pytest.approx(
+            pdk.switching_model().stability.delta
+        )
+
+    def test_node_recorded(self, config45):
+        assert config45.node_nm == 45
+
+    def test_settings_respected(self):
+        pdk = ProcessDesignKit.for_node(45)
+        settings = CharacterizationSettings(write_pulse_width=4e-9)
+        config = characterize_cell(pdk, settings)
+        assert config.write_pulse_width == 4e-9
+
+    def test_65nm_also_characterizes(self):
+        config = characterize_cell(ProcessDesignKit.for_node(65))
+        assert config.node_nm == 65
+        assert config.switching_current > 0.0

@@ -1,0 +1,216 @@
+"""Tests for bias magnets, sensor mode and oscillator mode."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BiasMagnetPair,
+    COCR,
+    MSS_BARRIER,
+    MSS_FREE_LAYER,
+    MSSFieldSensor,
+    MSSOscillator,
+    NDFEB,
+    PillarGeometry,
+    design_bias_magnets,
+    equilibrium_tilt,
+    oscillator_bias_field_rule,
+    rectangular_pole_face_field,
+    sensor_bias_field_rule,
+)
+
+
+class TestPoleFaceField:
+    def test_field_decays_with_distance(self):
+        m = COCR.magnetization
+        near = rectangular_pole_face_field(m, 200e-9, 60e-9, 20e-9)
+        far = rectangular_pole_face_field(m, 200e-9, 60e-9, 200e-9)
+        assert near > far > 0.0
+
+    def test_close_limit_is_half_magnetization(self):
+        # Solid angle -> 2 pi at contact: H -> M/2.
+        m = COCR.magnetization
+        field = rectangular_pole_face_field(m, 1e-6, 1e-6, 1e-10)
+        assert field == pytest.approx(m / 2.0, rel=1e-3)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            rectangular_pole_face_field(1e5, 1e-7, 1e-7, 0.0)
+
+
+class TestBiasMagnetPair:
+    def test_field_decreases_with_gap(self):
+        narrow = BiasMagnetPair(gap=60e-9)
+        wide = BiasMagnetPair(gap=400e-9)
+        assert narrow.field_at_center() > wide.field_at_center()
+
+    def test_ndfeb_stronger_than_cocr(self):
+        cocr = BiasMagnetPair(material=COCR)
+        ndfeb = BiasMagnetPair(material=NDFEB)
+        assert ndfeb.field_at_center() > cocr.field_at_center()
+
+    def test_field_vector_along_x(self):
+        pair = BiasMagnetPair()
+        vector = pair.field_vector()
+        assert vector[1] == 0.0 and vector[2] == 0.0
+        assert vector[0] == pair.field_at_center()
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BiasMagnetPair(gap=0.0)
+
+    def test_design_hits_target(self):
+        hk = PillarGeometry(diameter=40e-9).effective_anisotropy_field(MSS_FREE_LAYER)
+        target = 0.5 * hk
+        pair = design_bias_magnets(target)
+        assert pair.field_at_center() == pytest.approx(target, rel=1e-4)
+
+    def test_design_rejects_unreachable_target(self):
+        with pytest.raises(ValueError):
+            design_bias_magnets(COCR.magnetization)  # >> any achievable field
+
+
+class TestDesignRules:
+    def test_oscillator_rule_half(self):
+        assert oscillator_bias_field_rule(1e5) == pytest.approx(5e4)
+
+    def test_sensor_rule_above_hk(self):
+        assert sensor_bias_field_rule(1e5) > 1e5
+
+    def test_rules_reject_bad_fractions(self):
+        with pytest.raises(ValueError):
+            oscillator_bias_field_rule(1e5, fraction=1.5)
+        with pytest.raises(ValueError):
+            sensor_bias_field_rule(1e5, margin=0.9)
+
+
+@pytest.fixture
+def sensor():
+    geometry = PillarGeometry(diameter=150e-9)
+    hk = geometry.effective_anisotropy_field(MSS_FREE_LAYER)
+    return MSSFieldSensor(MSS_FREE_LAYER, geometry, MSS_BARRIER, bias_field=1.1 * hk)
+
+
+class TestSensorMode:
+    def test_requires_bias_above_hk(self):
+        geometry = PillarGeometry(diameter=150e-9)
+        hk = geometry.effective_anisotropy_field(MSS_FREE_LAYER)
+        with pytest.raises(ValueError):
+            MSSFieldSensor(MSS_FREE_LAYER, geometry, MSS_BARRIER, bias_field=0.5 * hk)
+
+    def test_zero_field_pulls_in_plane(self, sensor):
+        point = sensor.operating_point(0.0)
+        assert abs(point.mz) < 1e-3
+
+    def test_small_signal_linearity(self, sensor):
+        h_small = 0.02 * sensor.linear_range
+        up = sensor.operating_point(h_small)
+        down = sensor.operating_point(-h_small)
+        expected = h_small * sensor.small_signal_mz_sensitivity
+        assert up.mz == pytest.approx(expected, rel=0.05)
+        assert down.mz == pytest.approx(-expected, rel=0.05)
+
+    def test_small_signal_slope_is_stoner_wohlfarth(self, sensor):
+        # mz = hz / (hx - 1) in reduced units.
+        expected = 1.0 / (sensor.bias_field - sensor.anisotropy_field)
+        assert sensor.small_signal_mz_sensitivity == pytest.approx(expected)
+
+    def test_saturation_beyond_linear_range(self, sensor):
+        # Stoner-Wohlfarth saturation is soft: m_z keeps growing past
+        # the linear range and approaches 1 only for H_z >> H_k.
+        mild = sensor.operating_point(3.0 * sensor.linear_range).mz
+        strong = sensor.operating_point(10.0 * sensor.anisotropy_field).mz
+        assert 0.5 < mild < strong
+        assert strong > 0.9
+
+    def test_transfer_curve_monotone(self, sensor):
+        fields = np.linspace(-0.5, 0.5, 11) * sensor.linear_range
+        curve = sensor.transfer_curve(fields)
+        # Positive H_z aligns the free layer with the reference (+z),
+        # lowering the resistance.
+        assert np.all(np.diff(curve) < 0.0)
+
+    def test_sensitivity_sign_negative(self, sensor):
+        assert sensor.sensitivity < 0.0
+
+    def test_noise_floors_positive(self, sensor):
+        assert sensor.thermal_field_noise_density() > 0.0
+        assert sensor.johnson_field_noise_density() > 0.0
+        assert sensor.detectivity() >= sensor.thermal_field_noise_density()
+
+    def test_digitize_inverts_transfer(self, sensor):
+        h_true = 0.05 * sensor.linear_range
+        resistance = sensor.operating_point(h_true).resistance
+        h_est = sensor.digitize(resistance)
+        assert h_est == pytest.approx(h_true, rel=0.08)
+
+    def test_larger_pillar_is_quieter(self):
+        def make(diameter):
+            geometry = PillarGeometry(diameter=diameter)
+            hk = geometry.effective_anisotropy_field(MSS_FREE_LAYER)
+            return MSSFieldSensor(
+                MSS_FREE_LAYER, geometry, MSS_BARRIER, bias_field=1.1 * hk
+            )
+
+        small, large = make(100e-9), make(200e-9)
+        assert large.thermal_field_noise_density() < small.thermal_field_noise_density()
+
+
+@pytest.fixture
+def oscillator():
+    geometry = PillarGeometry(diameter=40e-9)
+    hk = geometry.effective_anisotropy_field(MSS_FREE_LAYER)
+    return MSSOscillator(MSS_FREE_LAYER, geometry, bias_field=0.5 * hk)
+
+
+class TestOscillatorMode:
+    def test_paper_tilt_thirty_degrees(self, oscillator):
+        assert math.degrees(oscillator.tilt_angle) == pytest.approx(30.0, abs=0.01)
+
+    def test_equilibrium_tilt_function(self):
+        assert equilibrium_tilt(0.5) == pytest.approx(math.radians(30.0))
+        with pytest.raises(ValueError):
+            equilibrium_tilt(1.2)
+
+    def test_requires_subcritical_bias(self):
+        geometry = PillarGeometry(diameter=40e-9)
+        hk = geometry.effective_anisotropy_field(MSS_FREE_LAYER)
+        with pytest.raises(ValueError):
+            MSSOscillator(MSS_FREE_LAYER, geometry, bias_field=1.5 * hk)
+
+    def test_fmr_frequency_gigahertz(self, oscillator):
+        assert 1e9 < oscillator.fmr_frequency < 20e9
+
+    def test_threshold_current_physical(self, oscillator):
+        assert 1e-6 < oscillator.threshold_current < 1e-3
+
+    def test_below_threshold_no_power(self, oscillator):
+        point = oscillator.operating_point(0.5 * oscillator.threshold_current)
+        assert point.power == 0.0
+        assert point.output_power == 0.0
+
+    def test_power_grows_with_supercriticality(self, oscillator):
+        p1 = oscillator.operating_point(1.5 * oscillator.threshold_current).power
+        p2 = oscillator.operating_point(3.0 * oscillator.threshold_current).power
+        assert 0.0 < p1 < p2 < 1.0
+
+    def test_frequency_red_shifts_with_power(self, oscillator):
+        f1 = oscillator.operating_point(1.2 * oscillator.threshold_current).frequency
+        f2 = oscillator.operating_point(3.0 * oscillator.threshold_current).frequency
+        assert f2 < f1 <= oscillator.fmr_frequency
+
+    def test_linewidth_narrows_above_threshold(self, oscillator):
+        below = oscillator.operating_point(0.9 * oscillator.threshold_current)
+        above = oscillator.operating_point(2.5 * oscillator.threshold_current)
+        assert above.linewidth < below.linewidth
+
+    def test_tuning_curve_shape(self, oscillator):
+        currents = np.linspace(1.2, 3.0, 8) * oscillator.threshold_current
+        curve = oscillator.tuning_curve(currents)
+        assert np.all(np.diff(curve) < 0.0)
+
+    def test_rejects_nonpositive_current(self, oscillator):
+        with pytest.raises(ValueError):
+            oscillator.operating_point(0.0)

@@ -1,0 +1,116 @@
+"""Tests for the co-integration cross-talk analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    BiasMagnetPair,
+    CrosstalkAnalysis,
+    MSS_FREE_LAYER,
+    PillarGeometry,
+    astroid_switching_field,
+    barrier_degradation_factor,
+    design_sensor_mss,
+    stray_field_on_axis,
+)
+
+
+@pytest.fixture(scope="module")
+def aggressor():
+    return design_sensor_mss().bias_magnets
+
+
+@pytest.fixture(scope="module")
+def analysis(aggressor):
+    return CrosstalkAnalysis(aggressor, MSS_FREE_LAYER, PillarGeometry(diameter=45e-9))
+
+
+class TestStrayField:
+    def test_decays_with_distance(self, aggressor):
+        near = stray_field_on_axis(aggressor, 400e-9)
+        far = stray_field_on_axis(aggressor, 2000e-9)
+        assert near > far > 0.0
+
+    def test_rejects_point_inside_magnets(self, aggressor):
+        inside = aggressor.gap / 2.0 + aggressor.length / 2.0
+        with pytest.raises(ValueError):
+            stray_field_on_axis(aggressor, inside)
+
+    def test_far_field_dipole_like(self, aggressor):
+        # Far away the quadruple-face sum decays fast (> quadratically).
+        f1 = stray_field_on_axis(aggressor, 1e-6)
+        f2 = stray_field_on_axis(aggressor, 2e-6)
+        assert f1 / f2 > 4.0
+
+
+class TestBarrierDegradation:
+    def test_no_field_no_degradation(self):
+        assert barrier_degradation_factor(0.0) == 1.0
+
+    def test_full_field_kills_barrier(self):
+        assert barrier_degradation_factor(1.0) == 0.0
+        assert barrier_degradation_factor(2.0) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=0.99))
+    def test_stoner_wohlfarth_square_law(self, h):
+        assert barrier_degradation_factor(h) == pytest.approx((1.0 - h) ** 2)
+
+    def test_rejects_negative_field(self):
+        with pytest.raises(ValueError):
+            barrier_degradation_factor(-0.1)
+
+
+class TestAstroid:
+    def test_easy_axis_value(self):
+        assert astroid_switching_field(0.0) == pytest.approx(1.0)
+
+    def test_hard_axis_value(self):
+        assert astroid_switching_field(math.pi / 2.0) == pytest.approx(1.0)
+
+    def test_minimum_at_45_degrees(self):
+        assert astroid_switching_field(math.pi / 4.0) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=0.0, max_value=math.pi))
+    def test_bounded(self, angle):
+        value = astroid_switching_field(angle)
+        assert 0.5 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestKeepOut:
+    def test_delta_recovers_with_distance(self, analysis):
+        d1 = analysis.disturbed_delta(400e-9)
+        d2 = analysis.disturbed_delta(1500e-9)
+        assert d1 < d2 <= analysis.undisturbed_delta
+
+    def test_retention_monotone_in_distance(self, analysis):
+        assert analysis.retention_at_distance(500e-9) < analysis.retention_at_distance(
+            1500e-9
+        )
+
+    def test_keep_out_distance_sub_micron(self, analysis):
+        keep_out = analysis.keep_out_distance(0.95)
+        assert 200e-9 < keep_out < 2000e-9
+        # The rule actually delivers the promised Delta.
+        assert analysis.disturbed_delta(keep_out) == pytest.approx(
+            0.95 * analysis.undisturbed_delta, rel=0.01
+        )
+
+    def test_tighter_budget_larger_keep_out(self, analysis):
+        assert analysis.keep_out_distance(0.99) > analysis.keep_out_distance(0.90)
+
+    def test_budget_validation(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.keep_out_distance(1.5)
+
+    def test_stronger_magnets_larger_keep_out(self):
+        from repro.core import NDFEB
+        import dataclasses
+
+        weak_pair = design_sensor_mss().bias_magnets
+        strong_pair = dataclasses.replace(weak_pair, material=NDFEB)
+        victim = PillarGeometry(diameter=45e-9)
+        weak = CrosstalkAnalysis(weak_pair, MSS_FREE_LAYER, victim)
+        strong = CrosstalkAnalysis(strong_pair, MSS_FREE_LAYER, victim)
+        assert strong.keep_out_distance(0.95) > weak.keep_out_distance(0.95)

@@ -1,0 +1,98 @@
+"""Tests for pillar geometry and demagnetising factors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    MSS_FREE_LAYER,
+    PillarGeometry,
+    oblate_spheroid_demag_factor,
+)
+
+
+class TestDemagFactor:
+    def test_sphere_limit(self):
+        assert oblate_spheroid_demag_factor(1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_near_sphere_continuity(self):
+        assert oblate_spheroid_demag_factor(1.001) == pytest.approx(1.0 / 3.0, rel=1e-2)
+
+    def test_thin_film_limit(self):
+        assert oblate_spheroid_demag_factor(1e4) > 0.999
+
+    def test_monotone_in_aspect(self):
+        values = [oblate_spheroid_demag_factor(m) for m in (1.5, 3.0, 10.0, 40.0)]
+        assert values == sorted(values)
+
+    def test_prolate_branch_below_one_third(self):
+        assert oblate_spheroid_demag_factor(0.5) < 1.0 / 3.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            oblate_spheroid_demag_factor(0.0)
+
+    @given(st.floats(min_value=1.01, max_value=1e3))
+    def test_oblate_range(self, m):
+        nz = oblate_spheroid_demag_factor(m)
+        assert 1.0 / 3.0 < nz < 1.0
+
+
+class TestPillarGeometry:
+    def test_area_and_volume(self):
+        geometry = PillarGeometry(diameter=40e-9, free_layer_thickness=1.3e-9)
+        assert geometry.area == pytest.approx(math.pi * (20e-9) ** 2)
+        assert geometry.volume == pytest.approx(geometry.area * 1.3e-9)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            PillarGeometry(diameter=0.0)
+        with pytest.raises(ValueError):
+            PillarGeometry(free_layer_thickness=-1e-9)
+
+    def test_demag_factors_sum_to_one(self):
+        geometry = PillarGeometry(diameter=60e-9)
+        total = geometry.demag_factor_z + 2.0 * geometry.demag_factor_inplane
+        assert total == pytest.approx(1.0)
+
+    def test_anisotropy_field_decreases_with_diameter(self):
+        # Bigger pillar -> more demag -> weaker perpendicular anisotropy:
+        # the paper's reason for larger sensor pillars.
+        small = PillarGeometry(diameter=30e-9)
+        large = PillarGeometry(diameter=150e-9)
+        hk_small = small.effective_anisotropy_field(MSS_FREE_LAYER)
+        hk_large = large.effective_anisotropy_field(MSS_FREE_LAYER)
+        assert hk_small > hk_large > 0.0
+
+    def test_anisotropy_field_is_kilo_oersted_scale(self):
+        # The paper quotes ~1 kOe (~8e4 A/m) for the effective field.
+        geometry = PillarGeometry(diameter=40e-9)
+        hk = geometry.effective_anisotropy_field(MSS_FREE_LAYER)
+        assert 5e4 < hk < 4e5
+
+    def test_domain_wall_width_positive(self):
+        geometry = PillarGeometry(diameter=40e-9)
+        wall = geometry.domain_wall_width(MSS_FREE_LAYER)
+        assert 10e-9 < wall < 200e-9
+
+    def test_thermally_relevant_volume_capped(self):
+        small = PillarGeometry(diameter=30e-9)
+        huge = PillarGeometry(diameter=120e-9)
+        v_small = small.thermally_relevant_volume(MSS_FREE_LAYER)
+        assert v_small == pytest.approx(small.volume)
+        v_huge = huge.thermally_relevant_volume(MSS_FREE_LAYER)
+        assert v_huge < huge.volume
+
+    def test_with_diameter_copies(self):
+        geometry = PillarGeometry(diameter=40e-9)
+        changed = geometry.with_diameter(80e-9)
+        assert changed.diameter == 80e-9
+        assert geometry.diameter == 40e-9
+
+    @given(st.floats(min_value=15e-9, max_value=200e-9))
+    def test_aspect_ratio_consistency(self, diameter):
+        geometry = PillarGeometry(diameter=diameter)
+        assert geometry.aspect_ratio == pytest.approx(
+            diameter / geometry.free_layer_thickness
+        )

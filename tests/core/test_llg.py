@@ -1,0 +1,166 @@
+"""Tests for the macrospin LLGS solver."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    LLGConfig,
+    MacrospinLLG,
+    MSS_FREE_LAYER,
+    PillarGeometry,
+    thermal_equilibrium_angle,
+)
+from repro.core.llg import normalize
+from repro.utils.constants import GILBERT_GYROMAGNETIC
+
+
+def make_solver(**overrides):
+    config = LLGConfig(
+        material=MSS_FREE_LAYER,
+        geometry=PillarGeometry(diameter=40e-9),
+        **overrides,
+    )
+    return MacrospinLLG(config)
+
+
+class TestNormalize:
+    def test_unit_output(self):
+        v = normalize(np.array([3.0, 4.0, 0.0]))
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalize(np.zeros(3))
+
+
+class TestDeterministicDynamics:
+    def test_equilibrium_is_stationary(self):
+        solver = make_solver()
+        result = solver.run(np.array([0.0, 0.0, 1.0]), duration=1e-9)
+        assert result.final[2] == pytest.approx(1.0, abs=1e-9)
+
+    def test_damping_relaxes_to_easy_axis(self):
+        solver = make_solver()
+        tilted = np.array([math.sin(0.3), 0.0, math.cos(0.3)])
+        result = solver.run(tilted, duration=30e-9)
+        assert result.final[2] == pytest.approx(1.0, abs=1e-3)
+        assert not result.switched
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=0.1, max_value=1),
+    )
+    def test_norm_preserved(self, x, y, z):
+        solver = make_solver()
+        initial = np.array([x, y, z])
+        result = solver.run(initial, duration=0.5e-9)
+        norms = np.linalg.norm(result.magnetization, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_precession_frequency_matches_larmor(self):
+        # Free precession around an applied z field with tiny damping.
+        material = MSS_FREE_LAYER.with_updates(
+            damping=1e-4, interfacial_anisotropy=0.0
+        )
+        field = 2e5
+        config = LLGConfig(
+            material=material,
+            geometry=PillarGeometry(diameter=100e-9),
+            applied_field=(0.0, 0.0, field),
+            timestep=0.5e-12,
+        )
+        solver = MacrospinLLG(config)
+        # Start exactly in-plane: the (easy-plane) shape anisotropy then
+        # exerts no torque and the orbit is pure Larmor precession.
+        result = solver.run(np.array([1.0, 0.0, 0.0]), duration=0.2e-9)
+        mx = result.magnetization[:, 0]
+        my = result.magnetization[:, 1]
+        phase = np.unwrap(np.arctan2(my, mx))
+        omega = abs(phase[-1] - phase[0]) / (result.times[-1] - result.times[0])
+        # Effective field at mz ~ 0 is just the applied field.
+        expected = GILBERT_GYROMAGNETIC * field
+        assert omega == pytest.approx(expected, rel=0.05)
+
+    def test_stt_switches_at_high_current(self):
+        solver = make_solver(current=-200e-6, timestep=1e-12)
+        # Negative current destabilises P (favours AP).
+        initial = np.array([math.sin(0.05), 0.0, math.cos(0.05)])
+        result = solver.run(initial, duration=20e-9)
+        assert result.switched
+        assert result.final[2] < -0.9
+
+    def test_subcritical_current_does_not_switch(self):
+        solver = make_solver(current=-2e-6, timestep=1e-12)
+        initial = np.array([math.sin(0.05), 0.0, math.cos(0.05)])
+        result = solver.run(initial, duration=5e-9)
+        assert not result.switched
+
+    def test_stop_when_exits_early(self):
+        solver = make_solver(current=-200e-6, timestep=1e-12)
+        initial = np.array([math.sin(0.05), 0.0, math.cos(0.05)])
+        result = solver.run(
+            initial, duration=50e-9, stop_when=lambda m: m[2] < 0.0
+        )
+        assert result.times[-1] < 50e-9
+
+    def test_in_plane_bias_tilts_magnetization(self):
+        # Oscillator-mode statics: h = 0.5 must give a 30-degree tilt.
+        solver = make_solver()
+        bias = 0.5 * solver.anisotropy_field
+        tilted_solver = make_solver(applied_field=(bias, 0.0, 0.0))
+        final = tilted_solver.relax(np.array([0.05, 0.0, 1.0]))
+        tilt = math.degrees(math.acos(final[2]))
+        assert tilt == pytest.approx(30.0, abs=1.5)
+
+
+class TestStochasticDynamics:
+    def test_thermal_field_perturbs_trajectory(self):
+        solver = make_solver(temperature=300.0, seed=7)
+        result = solver.run(np.array([0.0, 0.0, 1.0]), duration=2e-9)
+        mz = result.mz()
+        assert np.any(mz < 1.0 - 1e-6)
+        assert np.linalg.norm(result.final) == pytest.approx(1.0, abs=1e-9)
+
+    def test_seed_reproducibility(self):
+        a = make_solver(temperature=300.0, seed=11).run(
+            np.array([0.0, 0.0, 1.0]), duration=1e-9
+        )
+        b = make_solver(temperature=300.0, seed=11).run(
+            np.array([0.0, 0.0, 1.0]), duration=1e-9
+        )
+        assert np.allclose(a.magnetization, b.magnetization)
+
+    def test_thermal_cone_angle_statistics(self):
+        rng = np.random.default_rng(3)
+        delta = 60.0
+        draws = [thermal_equilibrium_angle(delta, rng) for _ in range(4000)]
+        mean_theta_sq = np.mean(np.square(draws))
+        assert mean_theta_sq == pytest.approx(1.0 / delta, rel=0.1)
+
+    def test_thermal_angle_rejects_bad_delta(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            thermal_equilibrium_angle(0.0, rng)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ValueError):
+            LLGConfig(
+                material=MSS_FREE_LAYER,
+                geometry=PillarGeometry(),
+                timestep=0.0,
+            )
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ValueError):
+            LLGConfig(
+                material=MSS_FREE_LAYER,
+                geometry=PillarGeometry(),
+                temperature=-1.0,
+            )

@@ -1,0 +1,119 @@
+"""Tests for material records and the MTJ transport model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    BarrierMaterial,
+    FreeLayerMaterial,
+    MSS_BARRIER,
+    MSS_FREE_LAYER,
+    MTJTransport,
+    PillarGeometry,
+)
+
+
+class TestFreeLayerMaterial:
+    def test_defaults_valid(self):
+        material = FreeLayerMaterial()
+        assert material.ms > 0.0
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            FreeLayerMaterial(damping=0.0)
+        with pytest.raises(ValueError):
+            FreeLayerMaterial(damping=1.5)
+
+    def test_rejects_bad_polarization(self):
+        with pytest.raises(ValueError):
+            FreeLayerMaterial(polarization=0.0)
+
+    def test_with_updates(self):
+        changed = MSS_FREE_LAYER.with_updates(damping=0.02)
+        assert changed.damping == 0.02
+        assert MSS_FREE_LAYER.damping == 0.01
+
+
+class TestBarrierMaterial:
+    def test_tmr_roll_off_halves_at_vh(self):
+        barrier = BarrierMaterial(tmr_zero_bias=1.0, tmr_half_voltage=0.5)
+        assert barrier.tmr_at_bias(0.5) == pytest.approx(0.5)
+
+    def test_tmr_symmetric_in_bias(self):
+        assert MSS_BARRIER.tmr_at_bias(0.3) == pytest.approx(
+            MSS_BARRIER.tmr_at_bias(-0.3)
+        )
+
+    def test_rejects_nonpositive_ra(self):
+        with pytest.raises(ValueError):
+            BarrierMaterial(resistance_area_product=0.0)
+
+
+@pytest.fixture
+def transport():
+    return MTJTransport(PillarGeometry(diameter=40e-9), MSS_BARRIER)
+
+
+class TestMTJTransport:
+    def test_parallel_resistance_from_ra(self, transport):
+        expected = MSS_BARRIER.resistance_area_product / transport.geometry.area
+        assert transport.parallel_resistance == pytest.approx(expected)
+
+    def test_antiparallel_larger(self, transport):
+        assert transport.antiparallel_resistance > transport.parallel_resistance
+
+    def test_angular_endpoints(self, transport):
+        assert transport.resistance(1.0) == pytest.approx(transport.parallel_resistance)
+        assert transport.resistance(-1.0) == pytest.approx(
+            transport.antiparallel_resistance
+        )
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_resistance_bounded_by_states(self, cos_angle):
+        transport = MTJTransport(PillarGeometry(diameter=40e-9), MSS_BARRIER)
+        r = transport.resistance(cos_angle)
+        assert transport.parallel_resistance <= r * (1 + 1e-12)
+        assert r <= transport.antiparallel_resistance * (1 + 1e-12)
+
+    def test_resistance_monotone_in_angle(self, transport):
+        angles = np.linspace(-1.0, 1.0, 21)
+        resistances = transport.resistance(angles)
+        assert np.all(np.diff(resistances) < 0.0)
+
+    def test_bias_shrinks_read_signal(self, transport):
+        assert transport.read_signal(0.05) > transport.read_signal(0.5)
+
+    def test_ap_resistance_drops_with_bias(self, transport):
+        assert transport.state_resistance(True, 0.5) < transport.state_resistance(
+            True, 0.0
+        )
+
+    def test_parallel_resistance_bias_independent(self, transport):
+        assert transport.state_resistance(False, 0.5) == pytest.approx(
+            transport.state_resistance(False, 0.0)
+        )
+
+    def test_bias_for_current_self_consistent(self, transport):
+        current = 50e-6
+        voltage = transport.bias_for_current(current, antiparallel=True)
+        recon = voltage / transport.state_resistance(True, voltage)
+        assert recon == pytest.approx(current, rel=1e-6)
+
+    def test_bias_for_current_sign(self, transport):
+        assert transport.bias_for_current(-30e-6, False) < 0.0
+
+    def test_conductance_reciprocal(self, transport):
+        assert transport.conductance(0.2) == pytest.approx(
+            1.0 / transport.resistance(0.2)
+        )
+
+    def test_array_input_returns_array(self, transport):
+        values = transport.resistance(np.array([-1.0, 0.0, 1.0]))
+        assert isinstance(values, np.ndarray)
+        assert values.shape == (3,)
+
+    def test_power_dissipation(self, transport):
+        power = transport.power_dissipation(0.3, antiparallel=False)
+        expected = 0.09 / transport.state_resistance(False, 0.3)
+        assert power == pytest.approx(expected)

@@ -1,0 +1,170 @@
+"""Tests for the MSS mode configurator and the compact models."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BehavioralMTJModel,
+    MSS_BARRIER,
+    MSS_FREE_LAYER,
+    MSSMode,
+    PhysicalMTJModel,
+    PillarGeometry,
+    SwitchingModel,
+    design_memory_mss,
+    design_oscillator_mss,
+    design_sensor_mss,
+)
+
+YEAR = 365.25 * 24 * 3600.0
+
+
+class TestMemoryDesign:
+    def test_mode(self):
+        assert design_memory_mss().mode is MSSMode.MEMORY
+
+    def test_retention_met(self):
+        device = design_memory_mss(retention_seconds=10 * YEAR)
+        assert device.thermal_stability().relaxation_time() >= 9 * YEAR
+
+    def test_smaller_retention_smaller_pillar(self):
+        short = design_memory_mss(retention_seconds=0.5 * YEAR)
+        long = design_memory_mss(retention_seconds=10 * YEAR)
+        assert short.geometry.diameter < long.geometry.diameter
+
+    def test_smaller_retention_lower_write_current(self):
+        # The paper's whole point: minimise switching current for the
+        # specified retention.
+        short = design_memory_mss(retention_seconds=0.5 * YEAR)
+        long = design_memory_mss(retention_seconds=10 * YEAR)
+        assert (
+            short.switching_model().critical_current
+            < long.switching_model().critical_current
+        )
+
+    def test_memory_has_no_bias_magnets(self):
+        assert design_memory_mss().bias_magnets is None
+
+    def test_summary_mentions_retention(self):
+        assert "retention" in design_memory_mss().summary()
+
+
+class TestOscillatorDesign:
+    def test_mode_and_tilt(self):
+        device = design_oscillator_mss()
+        assert device.mode is MSSMode.OSCILLATOR
+        oscillator = device.oscillator_model()
+        assert math.degrees(oscillator.tilt_angle) == pytest.approx(30.0, abs=0.5)
+
+    def test_bias_is_half_hk(self):
+        device = design_oscillator_mss()
+        assert device.bias_field / device.anisotropy_field == pytest.approx(0.5, rel=1e-3)
+
+    def test_bias_field_kilo_oersted_order(self):
+        from repro.utils.units import to_oersted
+
+        device = design_oscillator_mss()
+        assert 300 < to_oersted(device.bias_field) < 3000
+
+    def test_summary_mentions_frequency(self):
+        assert "GHz" in design_oscillator_mss().summary()
+
+
+class TestSensorDesign:
+    def test_mode_and_bias_margin(self):
+        device = design_sensor_mss()
+        assert device.mode is MSSMode.SENSOR
+        assert device.bias_field > device.anisotropy_field
+
+    def test_larger_pillar_than_memory(self):
+        sensor = design_sensor_mss()
+        memory = design_memory_mss()
+        assert sensor.geometry.diameter > memory.geometry.diameter
+
+    def test_sensor_model_works(self):
+        sensor = design_sensor_mss().sensor_model()
+        assert sensor.linear_range > 0.0
+
+    def test_rejects_pillar_without_pma(self):
+        # A thick free layer loses its interfacial PMA advantage; the
+        # designer must refuse the geometry rather than bias it.
+        with pytest.raises(ValueError):
+            design_sensor_mss(diameter=150e-9, thickness=3e-9)
+
+    def test_same_stack_all_modes(self):
+        # The defining property of the MSS: one material stack.
+        memory = design_memory_mss()
+        sensor = design_sensor_mss()
+        oscillator = design_oscillator_mss()
+        assert memory.material == sensor.material == oscillator.material
+        assert memory.barrier == sensor.barrier == oscillator.barrier
+
+
+@pytest.fixture
+def geometry():
+    return PillarGeometry(diameter=45e-9)
+
+
+class TestBehavioralModel:
+    def test_initial_state_resistances(self, geometry):
+        p_model = BehavioralMTJModel(MSS_FREE_LAYER, geometry, MSS_BARRIER)
+        ap_model = BehavioralMTJModel(
+            MSS_FREE_LAYER, geometry, MSS_BARRIER, initial_antiparallel=True
+        )
+        assert ap_model.resistance() > p_model.resistance()
+
+    def test_switches_after_mean_time(self, geometry):
+        model = BehavioralMTJModel(
+            MSS_FREE_LAYER, geometry, MSS_BARRIER, initial_antiparallel=True
+        )
+        current = 5.0 * model.critical_current
+        switching = SwitchingModel(MSS_FREE_LAYER, geometry)
+        expected = switching.mean_switching_time(current)
+        switched = model.advance(current, 2.0 * expected)
+        assert switched
+        assert not model.state.antiparallel
+
+    def test_wrong_polarity_never_switches(self, geometry):
+        model = BehavioralMTJModel(MSS_FREE_LAYER, geometry, MSS_BARRIER)
+        # P state + positive current (which favours P) -> no switch.
+        switched = model.advance(5.0 * model.critical_current, 50e-9)
+        assert not switched
+        assert not model.state.antiparallel
+
+    def test_progress_accumulates_across_steps(self, geometry):
+        model = BehavioralMTJModel(
+            MSS_FREE_LAYER, geometry, MSS_BARRIER, initial_antiparallel=True
+        )
+        current = 5.0 * model.critical_current
+        switching = SwitchingModel(MSS_FREE_LAYER, geometry)
+        step = switching.mean_switching_time(current) / 4.0
+        flips = [model.advance(current, step) for _ in range(6)]
+        assert any(flips)
+
+    def test_rejects_negative_dt(self, geometry):
+        model = BehavioralMTJModel(MSS_FREE_LAYER, geometry, MSS_BARRIER)
+        with pytest.raises(ValueError):
+            model.advance(1e-6, -1e-9)
+
+
+class TestPhysicalModel:
+    def test_resistance_is_continuous_state(self, geometry):
+        model = PhysicalMTJModel(MSS_FREE_LAYER, geometry, MSS_BARRIER, seed=1)
+        r0 = model.resistance()
+        transport = model.transport
+        assert transport.parallel_resistance <= r0 <= transport.antiparallel_resistance
+
+    def test_llg_switching_event(self, geometry):
+        model = PhysicalMTJModel(
+            MSS_FREE_LAYER, geometry, MSS_BARRIER, temperature=0.0, seed=3
+        )
+        switching = SwitchingModel(MSS_FREE_LAYER, geometry)
+        current = -8.0 * switching.critical_current  # drive P -> AP
+        switched = model.advance(current, 30e-9)
+        assert switched
+        assert model.state.antiparallel
+
+    def test_zero_dt_is_noop(self, geometry):
+        model = PhysicalMTJModel(MSS_FREE_LAYER, geometry, MSS_BARRIER, seed=5)
+        assert model.advance(1e-4, 0.0) is False

@@ -1,0 +1,182 @@
+"""Tests for thermal stability, retention and STT switching statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ATTEMPT_TIME,
+    MSS_FREE_LAYER,
+    PillarGeometry,
+    SwitchingModel,
+    ThermalStability,
+    delta_for_retention,
+    diameter_for_retention,
+)
+
+YEAR = 365.25 * 24 * 3600.0
+
+
+@pytest.fixture
+def stability():
+    return ThermalStability(MSS_FREE_LAYER, PillarGeometry(diameter=45e-9))
+
+
+@pytest.fixture
+def switching():
+    return SwitchingModel(MSS_FREE_LAYER, PillarGeometry(diameter=45e-9))
+
+
+class TestThermalStability:
+    def test_delta_in_memory_range(self, stability):
+        assert 30.0 < stability.delta < 90.0
+
+    def test_delta_grows_with_diameter_in_macrospin_range(self):
+        small = ThermalStability(MSS_FREE_LAYER, PillarGeometry(diameter=25e-9))
+        large = ThermalStability(MSS_FREE_LAYER, PillarGeometry(diameter=42e-9))
+        assert large.delta > small.delta
+
+    def test_delta_decreases_with_temperature(self):
+        cold = ThermalStability(MSS_FREE_LAYER, PillarGeometry(), temperature=250.0)
+        hot = ThermalStability(MSS_FREE_LAYER, PillarGeometry(), temperature=400.0)
+        assert cold.delta > hot.delta
+
+    def test_relaxation_time_is_neel_brown(self, stability):
+        tau = stability.relaxation_time()
+        expected = ATTEMPT_TIME * math.exp(stability.delta)
+        assert tau == pytest.approx(expected)
+
+    def test_current_lowers_barrier(self, stability):
+        assert stability.relaxation_time(0.5) < stability.relaxation_time(0.0)
+
+    def test_overdriven_relaxation_is_attempt_time(self, stability):
+        assert stability.relaxation_time(1.5) == ATTEMPT_TIME
+
+    def test_failure_probability_monotone_in_time(self, stability):
+        p1 = stability.retention_failure_probability(1.0)
+        p2 = stability.retention_failure_probability(1e6)
+        assert 0.0 <= p1 <= p2 <= 1.0
+
+    def test_rejects_negative_dwell(self, stability):
+        with pytest.raises(ValueError):
+            stability.retention_failure_probability(-1.0)
+
+
+class TestRetentionDesign:
+    def test_ten_year_delta_is_about_forty(self):
+        delta = delta_for_retention(10.0 * YEAR)
+        assert 38.0 < delta < 44.0
+
+    def test_delta_grows_with_retention(self):
+        assert delta_for_retention(10.0 * YEAR) > delta_for_retention(1.0 * YEAR)
+
+    def test_tighter_failure_budget_needs_more_delta(self):
+        loose = delta_for_retention(YEAR, failure_probability=0.5)
+        tight = delta_for_retention(YEAR, failure_probability=1e-9)
+        assert tight > loose
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            delta_for_retention(0.0)
+        with pytest.raises(ValueError):
+            delta_for_retention(YEAR, failure_probability=1.0)
+
+    def test_diameter_for_retention_meets_target(self):
+        diameter = diameter_for_retention(MSS_FREE_LAYER, 10.0 * YEAR)
+        geometry = PillarGeometry(diameter=diameter)
+        stability = ThermalStability(MSS_FREE_LAYER, geometry)
+        assert stability.relaxation_time() >= 10.0 * YEAR * 0.9
+
+    def test_diameter_scales_with_retention(self):
+        short = diameter_for_retention(MSS_FREE_LAYER, 0.1 * YEAR)
+        long = diameter_for_retention(MSS_FREE_LAYER, 10.0 * YEAR)
+        assert long > short
+
+    def test_unreachable_retention_raises(self):
+        with pytest.raises(ValueError):
+            diameter_for_retention(MSS_FREE_LAYER, 1e6 * YEAR)
+
+
+class TestSwitchingModel:
+    def test_critical_current_microamp_scale(self, switching):
+        assert 5e-6 < switching.critical_current < 60e-6
+
+    def test_critical_current_tracks_delta(self):
+        small = SwitchingModel(MSS_FREE_LAYER, PillarGeometry(diameter=30e-9))
+        large = SwitchingModel(MSS_FREE_LAYER, PillarGeometry(diameter=42e-9))
+        assert large.critical_current > small.critical_current
+        # The proportionality I_c0 ~ Delta is exact in this model.
+        ratio_ic = large.critical_current / small.critical_current
+        ratio_delta = large.stability.delta / small.stability.delta
+        assert ratio_ic == pytest.approx(ratio_delta, rel=1e-9)
+
+    def test_mean_switching_time_decreases_with_current(self, switching):
+        ic0 = switching.critical_current
+        t_low = switching.mean_switching_time(2.0 * ic0)
+        t_high = switching.mean_switching_time(6.0 * ic0)
+        assert t_high < t_low
+
+    def test_precessional_time_nanosecond_scale(self, switching):
+        t = switching.mean_switching_time(5.0 * switching.critical_current)
+        assert 0.1e-9 < t < 20e-9
+
+    def test_subcritical_time_is_thermal(self, switching):
+        tau = switching.mean_switching_time(0.5 * switching.critical_current)
+        assert tau > 1e-3  # astronomically slower than precessional
+
+    def test_wer_decreases_with_pulse_width(self, switching):
+        current = 4.0 * switching.critical_current
+        wers = [switching.write_error_rate(t, current) for t in (1e-9, 3e-9, 10e-9)]
+        assert wers[0] > wers[1] > wers[2]
+
+    def test_wer_decreases_with_current(self, switching):
+        wer_weak = switching.write_error_rate(5e-9, 2.0 * switching.critical_current)
+        wer_strong = switching.write_error_rate(5e-9, 6.0 * switching.critical_current)
+        assert wer_strong < wer_weak
+
+    def test_wer_at_zero_pulse_is_near_one(self, switching):
+        wer = switching.write_error_rate(0.0, 4.0 * switching.critical_current)
+        assert wer == pytest.approx(1.0, abs=1e-6)
+
+    @settings(deadline=None)
+    @given(st.floats(min_value=1e-12, max_value=1e-3))
+    def test_pulse_width_for_wer_roundtrip(self, wer_target):
+        switching = SwitchingModel(MSS_FREE_LAYER, PillarGeometry(diameter=45e-9))
+        current = 5.0 * switching.critical_current
+        pulse = switching.pulse_width_for_wer(wer_target, current)
+        if pulse > 0.0:
+            assert switching.write_error_rate(pulse, current) == pytest.approx(
+                wer_target, rel=1e-6
+            )
+
+    def test_pulse_for_wer_requires_overdrive(self, switching):
+        with pytest.raises(ValueError):
+            switching.pulse_width_for_wer(1e-9, 0.5 * switching.critical_current)
+
+    def test_read_disturb_monotone_in_period(self, switching):
+        current = 0.2 * switching.critical_current
+        p_short = switching.read_disturb_probability(1e-9, current)
+        p_long = switching.read_disturb_probability(100e-9, current)
+        assert 0.0 <= p_short < p_long <= 1.0
+
+    def test_read_disturb_monotone_in_current(self, switching):
+        p_small = switching.read_disturb_probability(5e-9, 0.1 * switching.critical_current)
+        p_large = switching.read_disturb_probability(5e-9, 0.4 * switching.critical_current)
+        assert p_small < p_large
+
+    def test_read_disturb_zero_current(self, switching):
+        p = switching.read_disturb_probability(5e-9, 0.0)
+        assert p < 1e-12
+
+    def test_supercritical_read_always_disturbs(self, switching):
+        p = switching.read_disturb_probability(5e-9, 2.0 * switching.critical_current)
+        assert p == 1.0
+
+    def test_write_energy(self, switching):
+        energy = switching.write_energy(4e-9, 60e-6, 5000.0)
+        assert energy == pytest.approx(60e-6 ** 2 * 5000.0 * 4e-9)
+
+    def test_write_energy_rejects_bad_resistance(self, switching):
+        with pytest.raises(ValueError):
+            switching.write_energy(4e-9, 60e-6, 0.0)

@@ -1,0 +1,54 @@
+"""Tests for the IoT duty-cycle study."""
+
+import math
+
+import pytest
+
+from repro.magpie import IoTNodeStudy, MagpieFlow
+
+
+@pytest.fixture(scope="module")
+def study():
+    return IoTNodeStudy(MagpieFlow(node_nm=45))
+
+
+class TestDutyCycle:
+    def test_stt_wins_at_low_duty_cycle(self, study):
+        point = study.evaluate(100.0)  # ~ every 15 minutes
+        assert point.stt_daily_energy < point.sram_daily_energy
+        assert point.savings > 0.5
+
+    def test_savings_shrink_with_activity(self, study):
+        sparse = study.evaluate(10.0)
+        busy = study.evaluate(50_000.0)
+        assert sparse.savings > busy.savings
+
+    def test_sram_sleep_floor_dominates_when_idle(self, study):
+        idle = study.evaluate(1.0)
+        # With one wake-up a day the SRAM ledger is almost all standby.
+        active_fraction = idle.stt_daily_energy / idle.sram_daily_energy
+        assert active_fraction < 0.1
+
+    def test_crossover_exists_or_stt_always_wins(self, study):
+        crossover = study.crossover_wakeups_per_day()
+        if math.isinf(crossover):
+            point = study.evaluate(86400.0 * 10.0)
+            assert point.stt_daily_energy <= point.sram_daily_energy
+        else:
+            below = study.evaluate(crossover * 0.5)
+            assert below.stt_daily_energy < below.sram_daily_energy
+
+    def test_sweep(self, study):
+        points = study.sweep([10.0, 1000.0])
+        assert len(points) == 2
+        assert points[0].wakeups_per_day == 10.0
+
+    def test_rejects_zero_wakeups(self, study):
+        with pytest.raises(ValueError):
+            study.evaluate(0.0)
+
+    def test_paper_5_to_10x_claim(self, study):
+        """Sec. I: NVM co-integration should cut the memory/sensor
+        block power '5x or 10x' — the duty-cycled ledger delivers it."""
+        point = study.evaluate(1000.0)
+        assert point.sram_daily_energy / point.stt_daily_energy > 5.0

@@ -1,0 +1,181 @@
+"""Tests for the McPAT roll-up and the MAGPIE cross-layer flow."""
+
+import pytest
+
+from repro.archsim import SoCConfig, simulate, PARSEC_KERNELS
+from repro.magpie import (
+    MagpieFlow,
+    Scenario,
+    build_scenario,
+    fig11_breakdown,
+    fig12_relative,
+)
+from repro.mcpat import Component, estimate_energy, render_breakdown, render_summary
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return MagpieFlow(node_nm=45)
+
+
+@pytest.fixture(scope="module")
+def records(flow):
+    return flow.memory_records()
+
+
+@pytest.fixture(scope="module")
+def grid(flow):
+    kernels = ["bodytrack", "canneal", "swaptions"]
+    return flow.run(workloads=kernels), kernels
+
+
+class TestMcPAT:
+    def test_breakdown_components_complete(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["bodytrack"])
+        breakdown = estimate_energy(SoCConfig.full_sram(), report)
+        for component in Component:
+            assert breakdown.component_total(component) > 0.0
+
+    def test_total_is_sum_of_components(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["bodytrack"])
+        breakdown = estimate_energy(SoCConfig.full_sram(), report)
+        total = sum(breakdown.component_total(c) for c in Component)
+        assert breakdown.total_energy == pytest.approx(total)
+
+    def test_edp_definition(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["bodytrack"])
+        breakdown = estimate_energy(SoCConfig.full_sram(), report)
+        assert breakdown.edp == pytest.approx(
+            breakdown.total_energy * breakdown.exec_time
+        )
+
+    def test_render_helpers(self):
+        report = simulate(SoCConfig.full_sram(), PARSEC_KERNELS["bodytrack"])
+        breakdown = estimate_energy(SoCConfig.full_sram(), report)
+        assert "dram" in render_breakdown([breakdown], "t")
+        assert "bodytrack" in render_summary([breakdown], "t")
+
+
+class TestMemoryRecords:
+    def test_stt_writes_slower(self, records):
+        sram, stt = records
+        assert stt.write_latency > 3.0 * sram.write_latency
+
+    def test_stt_leaks_less(self, records):
+        sram, stt = records
+        assert stt.leakage_per_mb < 0.3 * sram.leakage_per_mb
+
+    def test_stt_denser(self, records):
+        sram, stt = records
+        assert sram.area_per_mb / stt.area_per_mb > 2.0
+
+    def test_stt_write_energy_higher(self, records):
+        sram, stt = records
+        assert stt.write_energy > sram.write_energy
+
+    def test_records_cached(self, flow):
+        assert flow.memory_records() is flow.memory_records()
+
+
+class TestScenarios:
+    def test_scenario_tech_assignment(self, records):
+        sram, stt = records
+        soc = build_scenario(Scenario.LITTLE_L2_STT, sram, stt)
+        assert soc.little.l2_tech.label == "stt-mram"
+        assert soc.big.l2_tech.label == "sram"
+
+    def test_full_sram_reference(self, records):
+        sram, stt = records
+        soc = build_scenario(Scenario.FULL_SRAM, sram, stt)
+        assert soc.big.l2_tech.label == "sram"
+        assert soc.little.l2_tech.label == "sram"
+
+    def test_iso_area_capacity_boost(self, records):
+        sram, stt = records
+        reference = build_scenario(Scenario.FULL_SRAM, sram, stt)
+        swapped = build_scenario(Scenario.FULL_L2_STT, sram, stt)
+        assert swapped.big.l2_mb >= 3.0 * reference.big.l2_mb
+        assert swapped.little.l2_mb >= 3.0 * reference.little.l2_mb
+
+
+class TestPaperClaims:
+    def test_energy_improves_in_all_stt_scenarios(self, grid):
+        # "the overall energy consumption is improved in all scenarios".
+        results, kernels = grid
+        for kernel in kernels:
+            reference = results[(kernel, Scenario.FULL_SRAM)].energy.total_energy
+            for scenario in (
+                Scenario.LITTLE_L2_STT,
+                Scenario.BIG_L2_STT,
+                Scenario.FULL_L2_STT,
+            ):
+                assert results[(kernel, scenario)].energy.total_energy < reference
+
+    def test_energy_saving_reaches_17_percent(self, grid):
+        # "... at least up to 17%".
+        results, kernels = grid
+        best = min(
+            results[(k, Scenario.FULL_L2_STT)].energy.total_energy
+            / results[(k, Scenario.FULL_SRAM)].energy.total_energy
+            for k in kernels
+        )
+        assert best < 0.83
+
+    def test_little_l2_stt_reduces_exec_time(self, grid):
+        # "Only the scenario with STT-MRAM in the L2 cache of the LITTLE
+        # cluster reduces the execution time, up to 50%": the memory-
+        # bound kernels speed up substantially; compute-bound ones may
+        # sit at parity (within ~2%), never far worse.
+        results, kernels = grid
+        ratios = {}
+        for kernel in kernels:
+            reference = results[(kernel, Scenario.FULL_SRAM)].energy.exec_time
+            little = results[(kernel, Scenario.LITTLE_L2_STT)].energy.exec_time
+            ratios[kernel] = little / reference
+        assert min(ratios.values()) < 0.85  # substantial best-case win
+        assert all(ratio < 1.03 for ratio in ratios.values())
+
+    def test_big_l2_stt_does_not_speed_up_much(self, grid):
+        results, kernels = grid
+        for kernel in kernels:
+            reference = results[(kernel, Scenario.FULL_SRAM)].energy.exec_time
+            big = results[(kernel, Scenario.BIG_L2_STT)].energy.exec_time
+            assert big > 0.95 * reference
+
+    def test_edp_favours_stt(self, grid):
+        # "the penalty observed on the execution time ... is compensated
+        # by the enabled energy savings" — EDP improves.
+        results, kernels = grid
+        for kernel in kernels:
+            reference = results[(kernel, Scenario.FULL_SRAM)].energy.edp
+            full = results[(kernel, Scenario.FULL_L2_STT)].energy.edp
+            assert full < reference
+
+    def test_leakage_shift_visible_in_breakdown(self, grid):
+        # The L2 component shrinks when swapped to STT-MRAM (Fig. 11).
+        results, _ = grid
+        sram_l2 = results[("bodytrack", Scenario.FULL_SRAM)].energy.component_total(
+            Component.L2_BIG
+        )
+        stt_l2 = results[("bodytrack", Scenario.BIG_L2_STT)].energy.component_total(
+            Component.L2_BIG
+        )
+        assert stt_l2 < sram_l2
+
+
+class TestReports:
+    def test_fig11_table(self, grid):
+        results, _ = grid
+        table = fig11_breakdown(results, "bodytrack")
+        text = table.render()
+        assert "Full-SRAM" in text and "dram" in text
+
+    def test_fig12_table(self, grid):
+        results, kernels = grid
+        text = fig12_relative(results, kernels).render()
+        assert "EDP ratio" in text
+        assert "canneal" in text
+
+    def test_unknown_kernel_raises(self, flow):
+        with pytest.raises(KeyError):
+            flow.run(workloads=["doom"])

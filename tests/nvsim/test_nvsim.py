@@ -1,0 +1,205 @@
+"""Tests for the NVSim-class memory estimator."""
+
+import pytest
+
+from repro.nvsim import (
+    CellKind,
+    MemoryConfig,
+    NVSimEstimator,
+    PAPER_ARRAY,
+    SubarrayModel,
+    WireSegment,
+    decoder_estimate,
+    driver_resistance,
+    local_wire,
+    sense_amp_estimate,
+)
+from repro.pdk import ProcessDesignKit, TECH_45NM, TECH_65NM
+
+
+@pytest.fixture(scope="module")
+def pdk45():
+    return ProcessDesignKit.for_node(45)
+
+
+@pytest.fixture(scope="module")
+def pdk65():
+    return ProcessDesignKit.for_node(65)
+
+
+@pytest.fixture(scope="module")
+def table1_config():
+    return MemoryConfig(
+        rows=1024, cols=1024, word_bits=1024, subarray_rows=256, subarray_cols=256
+    )
+
+
+class TestMemoryConfig:
+    def test_defaults_valid(self):
+        assert PAPER_ARRAY.capacity_bits == 1024 * 1024
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(rows=1000)
+
+    def test_rejects_oversized_subarray(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(rows=256, subarray_rows=512)
+
+    def test_rejects_word_wider_than_array(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(cols=256, word_bits=512, subarray_cols=256)
+
+    def test_subarray_count(self, table1_config):
+        assert table1_config.subarrays_per_bank == 16
+
+    def test_address_bits(self):
+        config = MemoryConfig(rows=1024, cols=1024, word_bits=64)
+        assert config.address_bits == 10 + 4
+
+    def test_with_word_bits(self, table1_config):
+        changed = table1_config.with_word_bits(128)
+        assert changed.word_bits == 128
+        assert table1_config.word_bits == 1024
+
+
+class TestWireModels:
+    def test_elmore_grows_quadratically(self):
+        short = local_wire(TECH_45NM, 50.0)
+        long = local_wire(TECH_45NM, 200.0)
+        d_short = short.elmore_delay(0.0, 0.0) if False else short.elmore_delay(1.0, 0.0)
+        d_long = long.elmore_delay(1.0, 0.0)
+        # With negligible driver resistance the RC term dominates: 16x.
+        assert d_long / d_short > 10.0
+
+    def test_driver_resistance_decreases_with_width(self):
+        assert driver_resistance(TECH_45NM, 0.5) < driver_resistance(TECH_45NM, 0.1)
+
+    def test_switching_energy_cv2(self):
+        wire = WireSegment(100.0, 1.0, 0.2e-15)
+        assert wire.switching_energy(1.0) == pytest.approx(100.0 * 0.2e-15)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            WireSegment(-1.0, 1.0, 1e-15)
+
+    def test_45nm_wires_more_resistive(self):
+        assert (
+            local_wire(TECH_45NM, 100.0).resistance
+            > local_wire(TECH_65NM, 100.0).resistance
+        )
+
+
+class TestDecoder:
+    def test_delay_grows_with_load(self):
+        small = decoder_estimate(TECH_45NM, 10, 10e-15)
+        large = decoder_estimate(TECH_45NM, 10, 500e-15)
+        assert large.delay > small.delay
+
+    def test_energy_grows_with_bits(self):
+        few = decoder_estimate(TECH_45NM, 6, 50e-15)
+        many = decoder_estimate(TECH_45NM, 14, 50e-15)
+        assert many.energy > few.energy
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            decoder_estimate(TECH_45NM, 0, 1e-15)
+        with pytest.raises(ValueError):
+            decoder_estimate(TECH_45NM, 8, 0.0)
+
+
+class TestSenseAmp:
+    def test_delay_decreases_with_signal(self):
+        weak = sense_amp_estimate(TECH_45NM, 20e-15, 0.5e-6)
+        strong = sense_amp_estimate(TECH_45NM, 20e-15, 5e-6)
+        assert strong.delay < weak.delay
+
+    def test_delay_increases_with_capacitance(self):
+        small = sense_amp_estimate(TECH_45NM, 10e-15, 1e-6)
+        big = sense_amp_estimate(TECH_45NM, 40e-15, 1e-6)
+        assert big.delay > small.delay
+
+    def test_rejects_nonpositive_signal(self):
+        with pytest.raises(ValueError):
+            sense_amp_estimate(TECH_45NM, 10e-15, 0.0)
+
+
+class TestSubarray:
+    def test_mram_write_slower_than_read(self, pdk45, table1_config):
+        timing = SubarrayModel(pdk45, table1_config).timing()
+        assert timing.write_latency > timing.read_latency
+
+    def test_write_current_above_critical(self, pdk45, table1_config):
+        model = SubarrayModel(pdk45, table1_config)
+        assert model.write_current() > pdk45.switching_model().critical_current
+
+    def test_read_current_below_write(self, pdk45, table1_config):
+        model = SubarrayModel(pdk45, table1_config)
+        assert model.read_current() < 0.5 * model.write_current()
+
+    def test_sram_write_fast(self, pdk45, table1_config):
+        import dataclasses
+
+        sram_config = dataclasses.replace(table1_config, cell=CellKind.SRAM)
+        sram = SubarrayModel(pdk45, sram_config).timing()
+        mram = SubarrayModel(pdk45, table1_config).timing()
+        assert sram.write_pulse < 0.1 * mram.write_pulse
+
+    def test_sram_leaks_more(self, pdk45, table1_config):
+        import dataclasses
+
+        sram_config = dataclasses.replace(table1_config, cell=CellKind.SRAM)
+        assert (
+            SubarrayModel(pdk45, sram_config).leakage_power()
+            > SubarrayModel(pdk45, table1_config).leakage_power()
+        )
+
+    def test_sram_array_larger(self, pdk45, table1_config):
+        import dataclasses
+
+        sram_config = dataclasses.replace(table1_config, cell=CellKind.SRAM)
+        assert (
+            SubarrayModel(pdk45, sram_config).area()
+            > 2.0 * SubarrayModel(pdk45, table1_config).area()
+        )
+
+
+class TestEstimator:
+    def test_write_slower_than_read(self, pdk45, table1_config):
+        estimate = NVSimEstimator(pdk45, table1_config).estimate()
+        assert estimate.write_latency > 2.0 * estimate.read_latency
+
+    def test_write_energy_dominates(self, pdk45, table1_config):
+        estimate = NVSimEstimator(pdk45, table1_config).estimate()
+        assert estimate.write_energy > 5.0 * estimate.read_energy
+
+    def test_table1_nominal_ballpark(self, pdk45, table1_config):
+        # Paper Table 1, 45 nm nominal: write 4.9 ns, read 1.2 ns,
+        # write 159 pJ, read 3.4 pJ.  Substrate tolerance: within ~3x.
+        estimate = NVSimEstimator(pdk45, table1_config).estimate()
+        assert 2e-9 < estimate.write_latency < 10e-9
+        assert 0.4e-9 < estimate.read_latency < 3e-9
+        assert 60e-12 < estimate.write_energy < 500e-12
+        assert 1e-12 < estimate.read_energy < 15e-12
+
+    def test_smaller_node_lower_energy(self, pdk45, pdk65, table1_config):
+        # The paper: "using a smaller technology node helps with both
+        # read and write energy reduction".
+        e45 = NVSimEstimator(pdk45, table1_config).estimate()
+        e65 = NVSimEstimator(pdk65, table1_config).estimate()
+        assert e45.write_energy < e65.write_energy
+        assert e45.read_energy < e65.read_energy
+
+    def test_smaller_node_smaller_area(self, pdk45, pdk65, table1_config):
+        e45 = NVSimEstimator(pdk45, table1_config).estimate()
+        e65 = NVSimEstimator(pdk65, table1_config).estimate()
+        assert e45.area < e65.area
+
+    def test_narrow_word_cheaper(self, pdk45, table1_config):
+        wide = NVSimEstimator(pdk45, table1_config).estimate()
+        narrow = NVSimEstimator(pdk45, table1_config.with_word_bits(64)).estimate()
+        assert narrow.write_energy < wide.write_energy
+
+    def test_render_contains_metrics(self, pdk45, table1_config):
+        text = NVSimEstimator(pdk45, table1_config).estimate().render()
+        assert "write latency" in text and "area" in text

@@ -1,0 +1,205 @@
+"""Tests for the process design kit: nodes, transistors, corners, variation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pdk import (
+    CMOS_CORNERS,
+    CMOSVariation,
+    CornerName,
+    MAGNETIC_CORNERS,
+    MagneticCornerName,
+    MTJVariation,
+    ProcessDesignKit,
+    TECH_45NM,
+    TECH_65NM,
+    TECHNOLOGY_NODES,
+    TransistorParams,
+    technology_for_node,
+    variation_for_node,
+)
+from repro.core.material import MSS_BARRIER, MSS_FREE_LAYER
+from repro.core.geometry import PillarGeometry
+
+
+class TestTechnology:
+    def test_both_nodes_shipped(self):
+        assert set(TECHNOLOGY_NODES) == {45, 65}
+
+    def test_lookup(self):
+        assert technology_for_node(45) is TECH_45NM
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            technology_for_node(28)
+
+    def test_smaller_node_faster_gates(self):
+        assert TECH_45NM.gate_delay_fo4 < TECH_65NM.gate_delay_fo4
+
+    def test_smaller_node_lower_vdd(self):
+        assert TECH_45NM.vdd < TECH_65NM.vdd
+
+    def test_mram_denser_than_sram(self):
+        for tech in TECHNOLOGY_NODES.values():
+            assert tech.mram_cell_area() < tech.sram_cell_area()
+
+    def test_cell_areas_scale_with_node(self):
+        assert TECH_45NM.sram_cell_area() < TECH_65NM.sram_cell_area()
+
+    def test_on_current_scales_with_width(self):
+        assert TECH_45NM.on_current(0.2) == pytest.approx(
+            2.0 * TECH_45NM.on_current(0.1)
+        )
+
+
+class TestTransistor:
+    def test_factories(self):
+        nmos = TransistorParams.nmos(TECH_45NM, 0.13)
+        pmos = TransistorParams.pmos(TECH_45NM, 0.26)
+        assert nmos.is_nmos and not pmos.is_nmos
+        assert nmos.length_um == pytest.approx(0.045)
+
+    def test_cutoff_current_small(self):
+        nmos = TransistorParams.nmos(TECH_45NM, 0.13)
+        off = nmos.drain_current(0.0, TECH_45NM.vdd)
+        on = nmos.drain_current(TECH_45NM.vdd, TECH_45NM.vdd)
+        assert off < 1e-3 * on
+
+    def test_saturation_region_flatish(self):
+        nmos = TransistorParams.nmos(TECH_45NM, 0.13)
+        vgs = TECH_45NM.vdd
+        i1 = nmos.drain_current(vgs, 0.8)
+        i2 = nmos.drain_current(vgs, 1.0)
+        assert i2 > i1
+        assert (i2 - i1) / i1 < 0.05  # only channel-length modulation
+
+    def test_linear_region_rises_with_vds(self):
+        nmos = TransistorParams.nmos(TECH_45NM, 0.13)
+        i1 = nmos.drain_current(1.0, 0.05)
+        i2 = nmos.drain_current(1.0, 0.15)
+        assert i2 > 2.0 * i1
+
+    def test_current_odd_in_vds(self):
+        nmos = TransistorParams.nmos(TECH_45NM, 0.13)
+        assert nmos.drain_current(1.0, -0.3) == pytest.approx(
+            -nmos.drain_current(1.0, 0.3)
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1.1))
+    def test_monotone_in_vgs(self, vgs):
+        nmos = TransistorParams.nmos(TECH_45NM, 0.13)
+        assert nmos.drain_current(vgs + 0.05, 0.6) >= nmos.drain_current(vgs, 0.6)
+
+    def test_transconductance_positive_when_on(self):
+        nmos = TransistorParams.nmos(TECH_45NM, 0.13)
+        assert nmos.transconductance(0.8, 0.6) > 0.0
+
+    def test_capacitances_scale_with_width(self):
+        narrow = TransistorParams.nmos(TECH_45NM, 0.1)
+        wide = TransistorParams.nmos(TECH_45NM, 0.4)
+        assert wide.gate_capacitance(TECH_45NM) == pytest.approx(
+            4.0 * narrow.gate_capacitance(TECH_45NM)
+        )
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TransistorParams(True, 0.0, 0.045, 0.3, 4e-4, 1.35)
+
+
+class TestCorners:
+    def test_tt_is_identity(self):
+        shifted = CMOS_CORNERS[CornerName.TT].apply(TECH_45NM)
+        assert shifted.vth_n == TECH_45NM.vth_n
+        assert shifted.k_prime_n == TECH_45NM.k_prime_n
+
+    def test_ff_faster_than_ss(self):
+        ff = CMOS_CORNERS[CornerName.FF].apply(TECH_45NM)
+        ss = CMOS_CORNERS[CornerName.SS].apply(TECH_45NM)
+        assert ff.on_current(0.13) > ss.on_current(0.13)
+
+    def test_skewed_corners_split_polarities(self):
+        fs = CMOS_CORNERS[CornerName.FS].apply(TECH_45NM)
+        assert fs.vth_n < TECH_45NM.vth_n
+        assert fs.vth_p > TECH_45NM.vth_p
+
+    def test_magnetic_corner_scales_barrier(self):
+        corner = MAGNETIC_CORNERS[MagneticCornerName.HIGH_RA]
+        barrier = corner.apply_barrier(MSS_BARRIER)
+        assert barrier.resistance_area_product == pytest.approx(
+            1.2 * MSS_BARRIER.resistance_area_product
+        )
+
+    def test_magnetic_corner_scales_pma(self):
+        corner = MAGNETIC_CORNERS[MagneticCornerName.WEAK_PMA]
+        layer = corner.apply_free_layer(MSS_FREE_LAYER)
+        assert layer.interfacial_anisotropy < MSS_FREE_LAYER.interfacial_anisotropy
+
+
+class TestVariation:
+    def test_pelgrom_scaling(self):
+        variation = CMOSVariation()
+        small = variation.vth_sigma(0.1, 0.045)
+        large = variation.vth_sigma(0.4, 0.045)
+        assert small == pytest.approx(2.0 * large)
+
+    def test_vth_sigma_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            CMOSVariation().vth_sigma(0.0, 0.045)
+
+    def test_node_scaling_45_noisier(self):
+        v45 = variation_for_node(TECH_45NM)
+        v65 = variation_for_node(TECH_65NM)
+        assert v45.mtj.diameter_sigma_rel > v65.mtj.diameter_sigma_rel
+        assert v45.cmos.k_prime_sigma_rel > v65.cmos.k_prime_sigma_rel
+
+    def test_geometry_sampling_positive(self):
+        rng = np.random.default_rng(0)
+        variation = MTJVariation(diameter_sigma_rel=0.3)
+        for _ in range(50):
+            geometry = variation.sample_geometry(PillarGeometry(), rng)
+            assert geometry.diameter > 0.0
+
+    def test_resistance_scale_lognormal_mean(self):
+        rng = np.random.default_rng(1)
+        variation = MTJVariation()
+        scales = variation.sample_resistance_scale(rng, size=20000)
+        sigma_ln = variation.ra_thickness_sensitivity * variation.mgo_thickness_sigma_rel
+        assert np.median(scales) == pytest.approx(1.0, rel=0.05)
+        assert np.std(np.log(scales)) == pytest.approx(sigma_ln, rel=0.05)
+
+
+class TestProcessDesignKit:
+    def test_for_node_builds(self):
+        pdk = ProcessDesignKit.for_node(45)
+        assert pdk.tech.node_nm == 45
+
+    def test_corner_plumbing(self):
+        pdk = ProcessDesignKit.for_node(45, cmos_corner=CornerName.SS)
+        assert pdk.tech.vth_n > TECH_45NM.vth_n
+
+    def test_magnetic_corner_plumbing(self):
+        pdk = ProcessDesignKit.for_node(
+            45, magnetic_corner=MagneticCornerName.LOW_RA
+        )
+        nominal = ProcessDesignKit.for_node(45)
+        assert (
+            pdk.mtj_transport().parallel_resistance
+            < nominal.mtj_transport().parallel_resistance
+        )
+
+    def test_device_factories(self):
+        pdk = ProcessDesignKit.for_node(65)
+        assert pdk.nmos(0.2).is_nmos
+        assert not pdk.pmos(0.2).is_nmos
+        assert pdk.switching_model().critical_current > 0.0
+
+    def test_sample_mtj_instance_varies(self):
+        pdk = ProcessDesignKit.for_node(45)
+        rng = np.random.default_rng(7)
+        resistances = {
+            round(pdk.sample_mtj_instance(rng).parallel_resistance) for _ in range(10)
+        }
+        assert len(resistances) > 1

@@ -1,0 +1,131 @@
+"""Tests for source waveforms and transient integration accuracy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    DC,
+    Pulse,
+    PWL,
+    Resistor,
+    VoltageSource,
+    transient,
+)
+
+
+class TestWaveforms:
+    def test_dc_constant(self):
+        assert DC(1.5).value(0.0) == 1.5
+        assert DC(1.5).value(1e9) == 1.5
+
+    def test_pulse_phases(self):
+        pulse = Pulse(0.0, 1.0, delay=1.0, rise=0.2, fall=0.2, width=1.0)
+        assert pulse.value(0.5) == 0.0
+        assert pulse.value(1.1) == pytest.approx(0.5)
+        assert pulse.value(1.5) == 1.0
+        assert pulse.value(2.3) == pytest.approx(0.5)
+        assert pulse.value(3.0) == 0.0
+
+    def test_pulse_periodic(self):
+        pulse = Pulse(0.0, 1.0, delay=0.0, rise=1e-4, fall=1e-4, width=0.5, period=2.0)
+        assert pulse.value(0.25) == 1.0
+        assert pulse.value(2.25) == 1.0
+        assert pulse.value(1.5) == 0.0
+
+    def test_pulse_rejects_negative_edges(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, 0.0, -1.0, 0.0, 1.0)
+
+    def test_pwl_interpolation(self):
+        wave = PWL([(0.0, 0.0), (1.0, 2.0), (3.0, 0.0)])
+        assert wave.value(-1.0) == 0.0
+        assert wave.value(0.5) == pytest.approx(1.0)
+        assert wave.value(2.0) == pytest.approx(1.0)
+        assert wave.value(5.0) == 0.0
+
+    def test_pwl_requires_increasing_times(self):
+        with pytest.raises(ValueError):
+            PWL([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_pwl_needs_two_points(self):
+        with pytest.raises(ValueError):
+            PWL([(0.0, 1.0)])
+
+
+class TestTransientAccuracy:
+    def build_rc(self, resistance, capacitance):
+        circuit = Circuit("rc")
+        circuit.add(
+            VoltageSource(
+                "vin", "in", "0", Pulse(0.0, 1.0, 0.0, 1e-13, 1e-13, 1.0)
+            )
+        )
+        circuit.add(Resistor("r", "in", "out", resistance))
+        circuit.add(Capacitor("c", "out", "0", capacitance))
+        return circuit
+
+    @settings(deadline=None, max_examples=8)
+    @given(
+        st.floats(min_value=100.0, max_value=1e5),
+        st.floats(min_value=1e-13, max_value=1e-11),
+    )
+    def test_rc_charge_matches_analytic(self, resistance, capacitance):
+        tau = resistance * capacitance
+        circuit = self.build_rc(resistance, capacitance)
+        result = transient(
+            circuit, stop_time=3.0 * tau, timestep=tau / 400.0, use_dc_initial=False
+        )
+        v = result.waveforms.trace("v(out)")
+        expected = 1.0 - math.exp(-1.0)
+        assert v.at(tau) == pytest.approx(expected, abs=0.01)
+
+    def test_rc_discharge(self):
+        circuit = Circuit("rc-dis")
+        circuit.add(
+            VoltageSource("vin", "in", "0", Pulse(1.0, 0.0, 1e-9, 1e-13, 1e-13, 1.0))
+        )
+        circuit.add(Resistor("r", "in", "out", 1000.0))
+        circuit.add(Capacitor("c", "out", "0", 1e-12))
+        result = transient(circuit, stop_time=4e-9, timestep=2e-12)
+        v = result.waveforms.trace("v(out)")
+        assert v.at(0.5e-9) == pytest.approx(1.0, abs=1e-3)
+        assert v.at(1e-9 + 1e-9) == pytest.approx(math.exp(-1.0), abs=0.02)
+
+    def test_source_current_recorded(self):
+        circuit = self.build_rc(1000.0, 1e-12)
+        result = transient(
+            circuit,
+            stop_time=5e-9,
+            timestep=5e-12,
+            record_currents_of=["vin"],
+            use_dc_initial=False,
+        )
+        i = result.waveforms.trace("i(vin)")
+        # Initial inrush ~ -V/R (current out of the source).
+        assert i.minimum() == pytest.approx(-1e-3, rel=0.1)
+
+    def test_rejects_bad_times(self):
+        circuit = self.build_rc(1000.0, 1e-12)
+        with pytest.raises(ValueError):
+            transient(circuit, stop_time=0.0, timestep=1e-12)
+
+    def test_rejects_current_recording_of_resistor(self):
+        circuit = self.build_rc(1000.0, 1e-12)
+        with pytest.raises(TypeError):
+            transient(
+                circuit, stop_time=1e-9, timestep=1e-12, record_currents_of=["r"]
+            )
+
+    def test_capacitor_initial_condition(self):
+        circuit = Circuit("ic")
+        circuit.add(Resistor("r", "out", "0", 1000.0))
+        cap = Capacitor("c", "out", "0", 1e-12, initial_voltage=1.0)
+        circuit.add(cap)
+        result = transient(circuit, stop_time=3e-9, timestep=2e-12, use_dc_initial=False)
+        v = result.waveforms.trace("v(out)")
+        assert v.values[1] == pytest.approx(1.0, abs=0.05)
+        assert v.values[-1] < 0.1

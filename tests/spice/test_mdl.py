@@ -1,0 +1,138 @@
+"""Tests for the MDL measurement layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    CrossEvent,
+    Delay,
+    Energy,
+    Expression,
+    Extreme,
+    Integral,
+    MeasurementScript,
+    WaveformSet,
+    When,
+)
+
+
+@pytest.fixture
+def waveforms():
+    times = np.linspace(0.0, 1.0, 1001)
+    ws = WaveformSet(times)
+    ws.add("v(a)", np.sin(2.0 * math.pi * times))        # 1 Hz sine
+    ws.add("v(b)", times)                                  # ramp
+    ws.add("i(vdd)", -1e-3 * np.ones_like(times))          # constant draw
+    return ws
+
+
+class TestTraceOperations:
+    def test_crossings_rise_fall(self, waveforms):
+        trace = waveforms.trace("v(a)")
+        rises = trace.crossings(0.5, "rise")
+        falls = trace.crossings(0.0, "fall")
+        assert len(rises) >= 1 and len(falls) >= 1
+        assert falls[0] == pytest.approx(0.5, abs=1e-3)
+        assert rises[0] == pytest.approx(1.0 / 12.0, abs=2e-3)
+
+    def test_missing_trace_lists_available(self, waveforms):
+        with pytest.raises(KeyError, match="v\\(a\\)"):
+            waveforms.trace("nope")
+
+    def test_window_statistics(self, waveforms):
+        trace = waveforms.trace("v(a)")
+        assert trace.maximum() == pytest.approx(1.0, abs=1e-4)
+        assert trace.minimum() == pytest.approx(-1.0, abs=1e-4)
+        assert trace.average(0.0, 1.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_integral_of_ramp(self, waveforms):
+        assert waveforms.trace("v(b)").integral() == pytest.approx(0.5, rel=1e-4)
+
+    def test_length_mismatch_rejected(self):
+        ws = WaveformSet([0.0, 1.0])
+        with pytest.raises(ValueError):
+            ws.add("x", [1.0])
+
+
+class TestMeasurements:
+    def test_when(self, waveforms):
+        event = CrossEvent("v(b)", 0.25, "rise")
+        assert When("t", event).evaluate(waveforms) == pytest.approx(0.25, abs=1e-3)
+
+    def test_delay(self, waveforms):
+        measurement = Delay(
+            "d",
+            CrossEvent("v(b)", 0.25, "rise"),
+            CrossEvent("v(b)", 0.75, "rise"),
+        )
+        assert measurement.evaluate(waveforms) == pytest.approx(0.5, abs=1e-3)
+
+    def test_occurrence_selection(self, waveforms):
+        second_rise = CrossEvent("v(a)", 0.5, "rise", occurrence=1)
+        t = second_rise.locate(waveforms)
+        assert t == pytest.approx(1.0 / 12.0, abs=2e-3)  # asin(0.5)/2pi
+
+    def test_last_occurrence(self, waveforms):
+        event = CrossEvent("v(a)", 0.0, "either", occurrence=-1)
+        assert event.locate(waveforms) > 0.4
+
+    def test_missing_crossing_raises(self, waveforms):
+        event = CrossEvent("v(b)", 5.0, "rise")
+        with pytest.raises(ValueError):
+            event.locate(waveforms)
+
+    def test_extreme_kinds(self, waveforms):
+        assert Extreme("m", "v(a)", "pp").evaluate(waveforms) == pytest.approx(
+            2.0, abs=1e-3
+        )
+        with pytest.raises(ValueError):
+            Extreme("m", "v(a)", "median")
+
+    def test_integral_scaled(self, waveforms):
+        measurement = Integral("q", "v(b)", scale=2.0)
+        assert measurement.evaluate(waveforms) == pytest.approx(1.0, rel=1e-4)
+
+    def test_energy_sign_convention(self, waveforms):
+        # Negative branch current = delivered power; energy is positive.
+        measurement = Energy("e", "i(vdd)", supply_voltage=1.1)
+        assert measurement.evaluate(waveforms) == pytest.approx(1.1e-3, rel=1e-6)
+
+    def test_expression(self, waveforms):
+        measurement = Expression("x", lambda w: w.trace("v(b)").at(0.5) * 4.0)
+        assert measurement.evaluate(waveforms) == pytest.approx(2.0)
+
+
+class TestMeasurementScript:
+    def test_run_collects_all(self, waveforms):
+        script = MeasurementScript(
+            [
+                Extreme("vmax", "v(a)", "max"),
+                Integral("area", "v(b)"),
+            ]
+        )
+        results = script.run(waveforms)
+        assert set(results) == {"vmax", "area"}
+
+    def test_failed_measurement_is_nan(self, waveforms):
+        script = MeasurementScript([When("t", CrossEvent("v(b)", 9.0, "rise"))])
+        results = script.run(waveforms)
+        assert math.isnan(results["t"])
+
+    def test_output_file_roundtrip(self, waveforms):
+        script = MeasurementScript([Extreme("vmax", "v(a)", "max")])
+        results = script.run(waveforms)
+        text = MeasurementScript.render_output_file(results)
+        parsed = MeasurementScript.parse_output_file(text)
+        assert parsed["vmax"] == pytest.approx(results["vmax"], rel=1e-5)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            MeasurementScript.parse_output_file("not a measurement")
+
+    def test_chaining(self, waveforms):
+        script = MeasurementScript().add(Extreme("a", "v(a)", "max")).add(
+            Extreme("b", "v(b)", "max")
+        )
+        assert len(script.measurements) == 2

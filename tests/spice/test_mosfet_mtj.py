@@ -1,0 +1,153 @@
+"""Tests for the MOSFET and MTJ circuit elements."""
+
+import pytest
+
+from repro.core.compact import BehavioralMTJModel
+from repro.core.material import MSS_BARRIER, MSS_FREE_LAYER
+from repro.core.geometry import PillarGeometry
+from repro.pdk import ProcessDesignKit
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    DC,
+    MOSFET,
+    MTJElement,
+    Pulse,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+    transient,
+)
+from repro.spice.behavioral import BehavioralVoltage
+
+
+@pytest.fixture
+def pdk():
+    return ProcessDesignKit.for_node(45)
+
+
+class TestMOSFETElement:
+    def build_inverter(self, pdk, vin):
+        circuit = Circuit("inv")
+        vdd = pdk.tech.vdd
+        circuit.add(VoltageSource("vdd", "vdd", "0", DC(vdd)))
+        circuit.add(VoltageSource("vin", "in", "0", DC(vin)))
+        circuit.add(MOSFET("mp", "out", "in", "vdd", pdk.pmos(0.26)))
+        circuit.add(MOSFET("mn", "out", "in", "0", pdk.nmos(0.13)))
+        return circuit
+
+    def test_inverter_logic_low_in(self, pdk):
+        system = dc_operating_point(self.build_inverter(pdk, 0.0))
+        assert system.voltage("out") == pytest.approx(pdk.tech.vdd, abs=0.02)
+
+    def test_inverter_logic_high_in(self, pdk):
+        system = dc_operating_point(self.build_inverter(pdk, pdk.tech.vdd))
+        assert system.voltage("out") == pytest.approx(0.0, abs=0.02)
+
+    def test_inverter_transition_region(self, pdk):
+        system = dc_operating_point(self.build_inverter(pdk, 0.5 * pdk.tech.vdd))
+        out = system.voltage("out")
+        assert 0.1 * pdk.tech.vdd < out < 0.9 * pdk.tech.vdd
+
+    def test_pass_transistor_conducts_both_ways(self, pdk):
+        # Source/drain symmetry: same |current| when terminals swap roles.
+        def current_through(v_left, v_right):
+            circuit = Circuit("pass")
+            vdd = pdk.tech.vdd
+            circuit.add(VoltageSource("vg", "g", "0", DC(vdd)))
+            circuit.add(VoltageSource("vl", "l", "0", DC(v_left)))
+            circuit.add(VoltageSource("vr", "r", "0", DC(v_right)))
+            mosfet = MOSFET("m", "l", "g", "r", pdk.nmos(0.13))
+            circuit.add(mosfet)
+            system = dc_operating_point(circuit)
+            return mosfet.drain_current(system)
+
+        forward = current_through(0.3, 0.0)
+        backward = current_through(0.0, 0.3)
+        assert forward == pytest.approx(-backward, rel=1e-6)
+        assert forward > 0.0
+
+    def test_off_transistor_blocks(self, pdk):
+        circuit = Circuit("off")
+        circuit.add(VoltageSource("vd", "d", "0", DC(1.0)))
+        mosfet = MOSFET("m", "d", "0", "0", pdk.nmos(0.13))
+        circuit.add(mosfet)
+        system = dc_operating_point(circuit)
+        assert abs(mosfet.drain_current(system)) < 1e-6
+
+
+class TestMTJElement:
+    def make_cell(self, initial_ap, drive_voltage):
+        model = BehavioralMTJModel(
+            MSS_FREE_LAYER,
+            PillarGeometry(diameter=45e-9),
+            MSS_BARRIER,
+            initial_antiparallel=initial_ap,
+        )
+        circuit = Circuit("mtj-cell")
+        circuit.add(
+            VoltageSource(
+                "vdrive", "top", "0",
+                Pulse(0.0, drive_voltage, 0.2e-9, 2e-11, 2e-11, 8e-9),
+            )
+        )
+        mtj = MTJElement("mtj", "top", "mid", model)
+        circuit.add(mtj)
+        circuit.add(Resistor("rser", "mid", "0", 500.0))
+        return circuit, mtj
+
+    def test_positive_drive_switches_ap_to_p(self):
+        circuit, mtj = self.make_cell(initial_ap=True, drive_voltage=0.9)
+        transient(circuit, stop_time=10e-9, timestep=2e-11)
+        assert not mtj.is_antiparallel
+        assert len(mtj.switch_log) == 1
+        assert mtj.switch_log[0][1] is False
+
+    def test_negative_drive_switches_p_to_ap(self):
+        circuit, mtj = self.make_cell(initial_ap=False, drive_voltage=-0.9)
+        transient(circuit, stop_time=10e-9, timestep=2e-11)
+        assert mtj.is_antiparallel
+
+    def test_small_read_voltage_disturbs_nothing(self):
+        circuit, mtj = self.make_cell(initial_ap=True, drive_voltage=0.08)
+        transient(circuit, stop_time=10e-9, timestep=2e-11)
+        assert mtj.is_antiparallel
+        assert mtj.switch_log == []
+
+    def test_resistance_steps_at_switch(self):
+        circuit, mtj = self.make_cell(initial_ap=True, drive_voltage=0.9)
+        result = transient(
+            circuit, stop_time=10e-9, timestep=2e-11, record_currents_of=["vdrive"]
+        )
+        i = result.waveforms.trace("i(vdrive)")
+        # After the AP->P switch the loop resistance drops, so the
+        # magnitude of the supply current increases mid-pulse.
+        early = abs(i.at(0.5e-9))
+        late = abs(i.at(7e-9))
+        assert late > 1.2 * early
+
+
+class TestBehavioralVoltage:
+    def test_follows_function(self):
+        circuit = Circuit("bv")
+        circuit.add(VoltageSource("vin", "a", "0", DC(0.4)))
+        circuit.add(
+            BehavioralVoltage("x", "out", "0", ["a"], lambda v: 2.0 * v["a"] + 0.1)
+        )
+        circuit.add(Resistor("rl", "out", "0", 1e6))
+        system = dc_operating_point(circuit)
+        assert system.voltage("out") == pytest.approx(0.9, rel=1e-6)
+
+    def test_nonlinear_function_converges(self):
+        import math
+
+        circuit = Circuit("bv2")
+        circuit.add(VoltageSource("vin", "a", "0", DC(0.2)))
+        circuit.add(
+            BehavioralVoltage(
+                "x", "out", "0", ["a"], lambda v: math.tanh(10.0 * v["a"])
+            )
+        )
+        circuit.add(Resistor("rl", "out", "0", 1e6))
+        system = dc_operating_point(circuit)
+        assert system.voltage("out") == pytest.approx(math.tanh(2.0), rel=1e-4)

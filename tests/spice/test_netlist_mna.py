@@ -1,0 +1,116 @@
+"""Tests for netlist bookkeeping and the MNA solver on linear circuits."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    DC,
+    MNASystem,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+    solve_nonlinear,
+)
+
+
+class TestCircuitBookkeeping:
+    def test_ground_aliases_excluded(self):
+        circuit = Circuit()
+        circuit.add(Resistor("r1", "a", "0", 1.0))
+        circuit.add(Resistor("r2", "b", "gnd", 1.0))
+        assert set(circuit.node_index) == {"a", "b"}
+
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.add(Resistor("r1", "a", "0", 1.0))
+        with pytest.raises(ValueError):
+            circuit.add(Resistor("r1", "b", "0", 1.0))
+
+    def test_element_lookup(self):
+        circuit = Circuit()
+        r = circuit.add(Resistor("r1", "a", "0", 1.0))
+        assert circuit.element("r1") is r
+        with pytest.raises(KeyError):
+            circuit.element("zz")
+
+    def test_branch_indices_after_nodes(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("v1", "a", "0", DC(1.0)))
+        circuit.add(Resistor("r1", "a", "b", 1.0))
+        circuit.add(Resistor("r2", "b", "0", 1.0))
+        assert circuit.size == 3  # two nodes + one branch
+        assert circuit.branch_index(circuit.element("v1")) == 2
+
+    def test_branch_index_rejects_branchless(self):
+        circuit = Circuit()
+        r = circuit.add(Resistor("r1", "a", "0", 1.0))
+        with pytest.raises(ValueError):
+            circuit.branch_index(r)
+
+
+class TestLinearSolves:
+    def test_voltage_divider(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("vin", "in", "0", DC(2.0)))
+        circuit.add(Resistor("r1", "in", "mid", 3000.0))
+        circuit.add(Resistor("r2", "mid", "0", 1000.0))
+        system = dc_operating_point(circuit)
+        assert system.voltage("mid") == pytest.approx(0.5, rel=1e-6)
+
+    def test_source_current_through_divider(self):
+        circuit = Circuit()
+        source = VoltageSource("vin", "in", "0", DC(2.0))
+        circuit.add(source)
+        circuit.add(Resistor("r1", "in", "0", 1000.0))
+        system = dc_operating_point(circuit)
+        # Branch current enters the positive terminal: -2 mA delivered.
+        assert source.current(system) == pytest.approx(-2e-3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit()
+        circuit.add(CurrentSource("i1", "0", "out", DC(1e-3)))
+        circuit.add(Resistor("r1", "out", "0", 2000.0))
+        system = dc_operating_point(circuit)
+        assert system.voltage("out") == pytest.approx(2.0, rel=1e-6)
+
+    def test_superposition(self):
+        def solve(v, i):
+            circuit = Circuit()
+            circuit.add(VoltageSource("v1", "a", "0", DC(v)))
+            circuit.add(Resistor("r1", "a", "b", 1000.0))
+            circuit.add(CurrentSource("i1", "0", "b", DC(i)))
+            circuit.add(Resistor("r2", "b", "0", 1000.0))
+            return dc_operating_point(circuit).voltage("b")
+
+        both = solve(1.0, 1e-3)
+        only_v = solve(1.0, 0.0)
+        only_i = solve(0.0, 1e-3)
+        assert both == pytest.approx(only_v + only_i, rel=1e-9)
+
+    def test_capacitor_open_in_dc(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("v1", "a", "0", DC(1.0)))
+        circuit.add(Resistor("r1", "a", "b", 1000.0))
+        circuit.add(Capacitor("c1", "b", "0", 1e-12))
+        system = dc_operating_point(circuit)
+        # No DC path to ground except gmin: node floats to the source.
+        assert system.voltage("b") == pytest.approx(1.0, rel=1e-3)
+
+    def test_two_sources_mesh(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("v1", "a", "0", DC(5.0)))
+        circuit.add(VoltageSource("v2", "b", "0", DC(3.0)))
+        circuit.add(Resistor("r", "a", "b", 100.0))
+        system = dc_operating_point(circuit)
+        r_current = (system.voltage("a") - system.voltage("b")) / 100.0
+        assert r_current == pytest.approx(0.02, rel=1e-9)
+
+    def test_solver_damping_validation(self):
+        circuit = Circuit()
+        circuit.add(Resistor("r", "a", "0", 1.0))
+        system = MNASystem(circuit)
+        with pytest.raises(ValueError):
+            solve_nonlinear(system, damping=0.0)

@@ -1,0 +1,111 @@
+"""Property-based tests on the circuit-simulation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archsim import MemoryTechnology, SRAM_L2_45NM, STT_L2_45NM
+from repro.spice import (
+    Circuit,
+    DC,
+    PWL,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+)
+
+
+class TestResistiveNetworkProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.integers(0, 5),
+                st.floats(min_value=10.0, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=-5.0, max_value=5.0),
+    )
+    def test_passivity(self, edges, source_voltage):
+        """In a resistive network with one source, every node voltage
+        lies within the source range [min(0, V), max(0, V)]."""
+        circuit = Circuit("random-resistive")
+        circuit.add(VoltageSource("v", "n0", "0", DC(source_voltage)))
+        used = False
+        for index, (a, b, resistance) in enumerate(edges):
+            if a == b:
+                continue
+            used = True
+            circuit.add(
+                Resistor("r%d" % index, "n%d" % a, "n%d" % b, resistance)
+            )
+        if not used:
+            return
+        # Tie every mentioned node weakly to ground so nothing floats
+        # beyond gmin conditioning.
+        mentioned = {n for a, b, _ in edges for n in (a, b)}
+        for n in mentioned:
+            circuit.add(Resistor("rg%d" % n, "n%d" % n, "0", 1e9))
+        system = dc_operating_point(circuit)
+        lo = min(0.0, source_voltage) - 1e-6
+        hi = max(0.0, source_voltage) + 1e-6
+        for node in circuit.node_names():
+            assert lo <= system.voltage(node) <= hi
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.floats(min_value=10.0, max_value=1e5),
+        st.floats(min_value=10.0, max_value=1e5),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_divider_ratio(self, r1, r2, voltage):
+        circuit = Circuit("div")
+        circuit.add(VoltageSource("v", "a", "0", DC(voltage)))
+        circuit.add(Resistor("r1", "a", "b", r1))
+        circuit.add(Resistor("r2", "b", "0", r2))
+        system = dc_operating_point(circuit)
+        assert system.voltage("b") == pytest.approx(
+            voltage * r2 / (r1 + r2), rel=1e-6
+        )
+
+
+class TestPWLProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.floats(min_value=-10.0, max_value=10.0),
+            ),
+            min_size=2,
+            max_size=10,
+            unique_by=lambda p: round(p[0], 6),
+        )
+    )
+    def test_pwl_bounded_by_points(self, points):
+        points = sorted(points)
+        if any(b[0] - a[0] < 1e-9 for a, b in zip(points, points[1:])):
+            return
+        wave = PWL(points)
+        values = [p[1] for p in points]
+        lo, hi = min(values), max(values)
+        for t in np.linspace(points[0][0] - 1.0, points[-1][0] + 1.0, 37):
+            assert lo - 1e-9 <= wave.value(float(t)) <= hi + 1e-9
+
+
+class TestMemoryTechnologyRecord:
+    def test_capacity_scaling_slows_sram(self):
+        small = SRAM_L2_45NM.scaled_for_capacity(0.5)
+        large = SRAM_L2_45NM.scaled_for_capacity(8.0)
+        assert large.read_latency > small.read_latency
+        assert large.write_latency > small.write_latency
+
+    def test_stt_write_latency_capacity_independent(self):
+        # STT write time is device-limited, not wire-limited.
+        small = STT_L2_45NM.scaled_for_capacity(0.5)
+        large = STT_L2_45NM.scaled_for_capacity(8.0)
+        assert large.write_latency == pytest.approx(small.write_latency)
+        assert large.read_latency > small.read_latency

@@ -1,0 +1,155 @@
+"""Tests for repro.utils: constants, units, math helpers, tables."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    GILBERT_GYROMAGNETIC,
+    GYROMAGNETIC_RATIO,
+    HBAR,
+    MU_0,
+    ROOM_TEMPERATURE,
+    Table,
+    clamp,
+    db,
+    undb,
+    from_oersted,
+    to_oersted,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    lerp,
+    log_interp,
+    q_function,
+    q_function_inverse,
+    smooth_step,
+)
+
+
+class TestConstants:
+    def test_boltzmann_magnitude(self):
+        assert 1.3e-23 < BOLTZMANN < 1.4e-23
+
+    def test_charge_magnitude(self):
+        assert 1.6e-19 < ELEMENTARY_CHARGE < 1.61e-19
+
+    def test_hbar_magnitude(self):
+        assert 1.05e-34 < HBAR < 1.06e-34
+
+    def test_gilbert_gamma_is_mu0_gamma(self):
+        assert GILBERT_GYROMAGNETIC == pytest.approx(MU_0 * GYROMAGNETIC_RATIO)
+
+    def test_room_temperature(self):
+        assert ROOM_TEMPERATURE == 300.0
+
+    def test_thermal_energy_at_room_temperature(self):
+        # kT at 300 K is the famous 25.85 meV.
+        kt_ev = BOLTZMANN * ROOM_TEMPERATURE / ELEMENTARY_CHARGE
+        assert kt_ev == pytest.approx(0.02585, rel=1e-3)
+
+
+class TestUnits:
+    def test_one_kilo_oersted(self):
+        # 1 kOe = 1000/(4 pi) kA/m ~ 79.6 kA/m.
+        assert from_oersted(1000.0) == pytest.approx(79577.47, rel=1e-4)
+
+    def test_oersted_roundtrip(self):
+        assert to_oersted(from_oersted(123.4)) == pytest.approx(123.4)
+
+    def test_celsius_kelvin_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+
+    def test_db_of_ten_is_ten(self):
+        assert db(10.0) == pytest.approx(10.0)
+
+    def test_undb_roundtrip(self):
+        assert undb(db(42.0)) == pytest.approx(42.0)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            db(0.0)
+
+
+class TestMathHelpers:
+    def test_clamp_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_below_and_above(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_clamp_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+    def test_lerp_endpoints(self):
+        assert lerp(2.0, 6.0, 0.0) == 2.0
+        assert lerp(2.0, 6.0, 1.0) == 6.0
+
+    def test_log_interp_midpoint_is_geometric_mean(self):
+        mid = log_interp(0.5, 0.0, 1.0, 1e-10, 1e-2)
+        assert mid == pytest.approx(1e-6, rel=1e-9)
+
+    def test_log_interp_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_interp(0.5, 0.0, 1.0, 0.0, 1.0)
+
+    def test_q_function_at_zero(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_q_function_three_sigma(self):
+        assert q_function(3.0) == pytest.approx(1.3499e-3, rel=1e-3)
+
+    @given(st.floats(min_value=1e-12, max_value=0.4))
+    def test_q_function_inverse_roundtrip(self, p):
+        assert q_function(q_function_inverse(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_q_function_inverse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            q_function_inverse(0.0)
+        with pytest.raises(ValueError):
+            q_function_inverse(1.0)
+
+    def test_smooth_step_edges(self):
+        assert smooth_step(0.0, 1.0, -1.0) == 0.0
+        assert smooth_step(0.0, 1.0, 2.0) == 1.0
+        assert smooth_step(0.0, 1.0, 0.5) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=-10, max_value=10))
+    def test_smooth_step_bounded(self, x):
+        assert 0.0 <= smooth_step(0.0, 1.0, x) <= 1.0
+
+    def test_smooth_step_degenerate_edges(self):
+        assert smooth_step(1.0, 1.0, 0.5) == 0.0
+        assert smooth_step(1.0, 1.0, 1.5) == 1.0
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["a", "bb"])
+        table.add_row([1, 2.5])
+        text = table.render()
+        assert "a" in text and "bb" in text and "2.5" in text
+
+    def test_row_length_mismatch(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError):
+            table.add_row([1, 2])
+
+    def test_title_rendered(self):
+        table = Table(["x"], title="hello")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "hello"
+
+    def test_float_formatting_compact(self):
+        table = Table(["x"])
+        table.add_row([1.23456789e-7])
+        assert "1.23e-07" in table.render()
+
+    def test_zero_formatting(self):
+        table = Table(["x"])
+        table.add_row([0.0])
+        assert table.rows[0][0] == "0"

@@ -1,0 +1,113 @@
+"""Tests for the retention-fault / scrubbing analysis."""
+
+import pytest
+
+from repro.nvsim import MemoryConfig
+from repro.pdk import ProcessDesignKit
+from repro.vaet import RetentionFaultModel, VAETSTT
+
+
+@pytest.fixture(scope="module")
+def retention_tool():
+    """VAET on a retention-grade pillar (the design_memory_mss point)."""
+    config = MemoryConfig(
+        rows=1024, cols=1024, word_bits=1024, subarray_rows=256, subarray_cols=256
+    )
+    pdk = ProcessDesignKit.for_node(45, pillar_diameter=48e-9)
+    return VAETSTT(pdk, config)
+
+
+@pytest.fixture(scope="module")
+def model(retention_tool):
+    return RetentionFaultModel(
+        retention_tool.error_rates(), ecc_correct_bits=1, screen_quantile=0.001
+    )
+
+
+class TestFlipStatistics:
+    def test_flip_probability_monotone_in_interval(self, model):
+        p1 = model.per_bit_flip_probability(3600.0)
+        p2 = model.per_bit_flip_probability(86400.0)
+        assert 0.0 <= p1 < p2 <= 1.0
+
+    def test_word_failure_above_bit_failure_scale(self, model):
+        interval = 86400.0
+        p_bit = model.per_bit_flip_probability(interval)
+        p_word = model.word_failure_probability(interval)
+        # With t=1, the word needs >= 2 flips: p_word << n * p_bit.
+        assert p_word < 1024 * p_bit
+
+    def test_ecc_strength_reduces_word_failure(self, retention_tool):
+        weak = RetentionFaultModel(retention_tool.error_rates(), ecc_correct_bits=0)
+        strong = RetentionFaultModel(retention_tool.error_rates(), ecc_correct_bits=2)
+        interval = 86400.0
+        assert strong.word_failure_probability(interval) < weak.word_failure_probability(
+            interval
+        )
+
+    def test_heat_accelerates_flips(self, retention_tool):
+        cold = RetentionFaultModel(retention_tool.error_rates(), temperature_factor=1.0)
+        hot = RetentionFaultModel(retention_tool.error_rates(), temperature_factor=1.2)
+        assert hot.per_bit_flip_probability(3600.0) > cold.per_bit_flip_probability(
+            3600.0
+        )
+
+    def test_screening_helps(self, retention_tool):
+        raw = RetentionFaultModel(retention_tool.error_rates(), screen_quantile=0.0)
+        screened = RetentionFaultModel(
+            retention_tool.error_rates(), screen_quantile=0.005
+        )
+        assert screened.per_bit_flip_probability(
+            86400.0
+        ) < raw.per_bit_flip_probability(86400.0)
+
+    def test_validation(self, retention_tool):
+        analysis = retention_tool.error_rates()
+        with pytest.raises(ValueError):
+            RetentionFaultModel(analysis, ecc_correct_bits=-1)
+        with pytest.raises(ValueError):
+            RetentionFaultModel(analysis, temperature_factor=0.0)
+        with pytest.raises(ValueError):
+            RetentionFaultModel(analysis, screen_quantile=0.9)
+
+
+class TestScrubDesign:
+    def test_fit_falls_with_faster_scrubbing(self, model):
+        fast = model.point(600.0)
+        slow = model.point(7 * 86400.0)
+        assert fast.array_fit < slow.array_fit
+
+    def test_scrub_interval_solve_consistent(self, model):
+        target = 1e6
+        interval = model.scrub_interval_for_fit(target)
+        achieved = model.point(interval).array_fit
+        assert achieved == pytest.approx(target, rel=0.1)
+
+    def test_unreachable_fit_raises(self, model):
+        with pytest.raises(ValueError):
+            model.scrub_interval_for_fit(1e-6)
+
+    def test_scrub_energy_scales_with_rate(self, model):
+        fast = model.scrub_energy_per_day(3600.0, 10e-12)
+        slow = model.scrub_energy_per_day(86400.0, 10e-12)
+        assert fast == pytest.approx(24.0 * slow)
+
+    def test_sweep(self, model):
+        points = model.sweep([3600.0, 86400.0])
+        assert len(points) == 2
+        assert points[0].scrub_interval == 3600.0
+
+
+class TestCacheGradeFinding:
+    def test_write_calibrated_array_is_cache_grade(self):
+        """The Table-1 array (Delta ~ 35) cannot hold data for years —
+        the quantitative version of the paper's 'adjustable retention':
+        small pillars trade retention for write current, which is fine
+        for cache but requires scrubbing for storage."""
+        config = MemoryConfig(
+            rows=1024, cols=1024, word_bits=1024, subarray_rows=256, subarray_cols=256
+        )
+        cache_tool = VAETSTT(ProcessDesignKit.for_node(45), config)
+        cache_model = RetentionFaultModel(cache_tool.error_rates())
+        day = cache_model.per_bit_flip_probability(86400.0)
+        assert day > 1e-6  # noticeably volatile at the day scale
