@@ -1,0 +1,80 @@
+"""Benchmark the repro.dse campaign engine: wall-clock + cache hit rate.
+
+The fast smoke path (default) runs a 24-point memory campaign cold and
+warm, asserting the warm-cache replay is >= 5x faster with identical
+records.  The slow path scales the same shape to the 216-point grid of
+``examples/dse_campaign.py``.  Both record a JSON artefact with
+wall-clocks and cache statistics under benchmarks/output/.
+"""
+
+import json
+
+import pytest
+from conftest import save_artifact
+
+from repro.dse import ParameterSpace, explore_memory
+
+
+def _campaign(space, cache_dir, **settings):
+    cold = explore_memory(space, cache_dir=str(cache_dir), **settings)
+    warm = explore_memory(space, cache_dir=str(cache_dir), **settings)
+    return cold, warm
+
+
+def _check_and_save(name, space, cold, warm):
+    assert warm.cache_hits == len(warm.outcomes) - len(warm.errors())
+    assert cold.records() == warm.records()
+    speedup = cold.elapsed / max(warm.elapsed, 1e-9)
+    assert speedup >= 5.0, "warm cache replay only %.1fx faster" % speedup
+    summary = {
+        "points": space.size,
+        "cold_wall_s": cold.elapsed,
+        "warm_wall_s": warm.elapsed,
+        "warm_speedup": speedup,
+        "warm_cache_hit_rate": warm.cache_stats["hit_rate"],
+        "feasible": len(cold.records()),
+        "errors": len(cold.errors()),
+        "pareto_size": len(cold.pareto()),
+    }
+    save_artifact(name, json.dumps(summary, indent=2))
+    return summary
+
+
+def test_dse_campaign_smoke(benchmark, tmp_path):
+    """Fast tier-1 path: 24 points, reduced Monte Carlo effort."""
+    space = ParameterSpace()
+    space.add("subarray_rows", [128, 256, 512])
+    space.add("word_bits", [128, 256])
+    space.add("wer_target", [1e-9, 1e-12])
+    space.add("node_nm", [45, 65])
+    assert space.size == 24
+
+    def compute():
+        return _campaign(
+            space, tmp_path / "smoke", num_words=200, error_population=10_000
+        )
+
+    cold, warm = benchmark.pedantic(compute, rounds=1, iterations=1)
+    _check_and_save("dse_campaign_smoke.json", space, cold, warm)
+
+
+@pytest.mark.slow
+def test_dse_campaign_full(benchmark, tmp_path):
+    """The 200+-point campaign of the acceptance criteria."""
+    space = ParameterSpace()
+    space.add("subarray_rows", [128, 256, 512])
+    space.add("subarray_cols", [128, 256, 512])
+    space.add("word_bits", [128, 256])
+    space.add("wer_target", [1e-9, 1e-12, 1e-15])
+    space.add("max_ecc_bits", [2, 3])
+    space.add("node_nm", [45, 65])
+    assert space.size == 216
+
+    def compute():
+        return _campaign(
+            space, tmp_path / "full", num_words=400, error_population=30_000
+        )
+
+    cold, warm = benchmark.pedantic(compute, rounds=1, iterations=1)
+    summary = _check_and_save("dse_campaign_full.json", space, cold, warm)
+    assert summary["points"] >= 200

@@ -24,6 +24,14 @@ Subpackages
     McPAT-class power/area roll-up.
 ``repro.magpie``
     MAGPIE cross-layer hybrid-memory exploration flow (Figs. 11-12).
+``repro.dse``
+    Parallel, cached design-space exploration engine: declarative
+    parameter spaces (grid/LHS), content-hash keyed jobs, an on-disk
+    result cache, a multiprocessing campaign runner with failure
+    isolation, and Pareto frontier extraction.  ``explore_memory``
+    drives VAET-STT, ``explore_system`` drives MAGPIE; the legacy
+    ``DesignSpaceExplorer.sweep_subarrays`` / ``MagpieFlow.run``
+    APIs are thin wrappers over it (see ``examples/dse_campaign.py``).
 """
 
 __version__ = "1.0.0"

@@ -10,7 +10,9 @@ model is the standard first-order decomposition
            + exposed_miss_cycles (scaled by the overlap factor)
 """
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+
+from repro.utils.serde import check_known_fields
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,20 @@ class CoreModel:
     energy_per_instruction: float
     leakage_power: float
     write_stall_fraction: float
+
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation (cache-key safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreModel":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys.
+        """
+        check_known_fields(cls, data)
+        return cls(**data)
 
     def base_cycles(self, instructions: int, base_cpi: float) -> float:
         """Compute-only cycle count."""

@@ -6,7 +6,9 @@ from NVSim (SRAM) and VAET-STT (STT-MRAM); the defaults here are the
 wired-up 45 nm values so the simulator is usable standalone.
 """
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+
+from repro.utils.serde import check_known_fields
 
 
 @dataclass(frozen=True)
@@ -30,6 +32,20 @@ class MemoryTechnology:
     write_energy: float
     leakage_per_mb: float
     area_per_mb: float
+
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation (cache-key safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoryTechnology":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys.
+        """
+        check_known_fields(cls, data)
+        return cls(**data)
 
     def scaled_for_capacity(self, capacity_mb: float) -> "MemoryTechnology":
         """Mildly scale latency with capacity (wire growth ~ sqrt)."""

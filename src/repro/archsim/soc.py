@@ -16,6 +16,7 @@ from repro.archsim.memtech import (
     SRAM_L2_45NM,
     STT_L2_45NM,
 )
+from repro.utils.serde import check_known_fields
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,34 @@ class ClusterConfig:
         """Copy with a different L2 macro."""
         return replace(self, l2_mb=l2_mb, l2_tech=l2_tech)
 
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation (nested records included)."""
+        return {
+            "name": self.name,
+            "core": self.core.to_dict(),
+            "num_cores": self.num_cores,
+            "l1_kb": self.l1_kb,
+            "l1_tech": self.l1_tech.to_dict(),
+            "l2_mb": self.l2_mb,
+            "l2_tech": self.l2_tech.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys.
+        """
+        check_known_fields(cls, data)
+        values = dict(data)
+        if "core" in values:
+            values["core"] = CoreModel.from_dict(values["core"])
+        for key in ("l1_tech", "l2_tech"):
+            if key in values:
+                values[key] = MemoryTechnology.from_dict(values[key])
+        return cls(**values)
+
 
 @dataclass(frozen=True)
 class SoCConfig:
@@ -70,6 +99,32 @@ class SoCConfig:
     dram: MemoryTechnology = DRAM_45NM
     bus_energy_per_access: float = 30e-12
     memory_controller_leakage: float = 25e-3
+
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation of the whole platform."""
+        return {
+            "big": self.big.to_dict(),
+            "little": self.little.to_dict(),
+            "dram": self.dram.to_dict(),
+            "bus_energy_per_access": self.bus_energy_per_access,
+            "memory_controller_leakage": self.memory_controller_leakage,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SoCConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys.
+        """
+        check_known_fields(cls, data)
+        values = dict(data)
+        for key in ("big", "little"):
+            if key in values:
+                values[key] = ClusterConfig.from_dict(values[key])
+        if "dram" in values:
+            values["dram"] = MemoryTechnology.from_dict(values["dram"])
+        return cls(**values)
 
     @staticmethod
     def full_sram() -> "SoCConfig":

@@ -15,10 +15,12 @@ L2 capacity/latency/energy changes MAGPIE studies.
 """
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
+
+from repro.utils.serde import check_known_fields
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,20 @@ class WorkloadDescriptor:
             raise ValueError("write fraction must be in [0, 1)")
         if self.working_set_kb <= 0.0:
             raise ValueError("working set must be positive")
+
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation (cache-key safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadDescriptor":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys.
+        """
+        check_known_fields(cls, data)
+        return cls(**data)
 
     @property
     def memory_accesses(self) -> int:

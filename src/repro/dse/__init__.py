@@ -1,0 +1,68 @@
+"""repro.dse: parallel, cached, cross-layer design-space exploration.
+
+The engine behind the paper's pre-fabrication exploration claim, as a
+subsystem every layer plugs into:
+
+* :mod:`repro.dse.space` — declarative :class:`ParameterSpace` (grid and
+  latin-hypercube sampling over named axes);
+* :mod:`repro.dse.jobs` — content-hash keyed :class:`Job` records;
+* :mod:`repro.dse.cache` — on-disk JSON :class:`ResultCache` (identical
+  re-runs are lookups, not simulations);
+* :mod:`repro.dse.runner` — multiprocessing :class:`CampaignRunner` with
+  chunked scheduling, content-derived seeds and failure isolation;
+* :mod:`repro.dse.pareto` — multi-objective frontier extraction;
+* :mod:`repro.dse.campaign` — :func:`explore_memory` (VAET-STT) and
+  :func:`explore_system` (MAGPIE) entry points.
+
+``DesignSpaceExplorer.sweep_subarrays`` and ``MagpieFlow.run`` are thin
+wrappers over this engine.
+"""
+
+from repro.dse.cache import ResultCache
+from repro.dse.jobs import Job, JobResult, canonical_json, content_key
+from repro.dse.pareto import Objective, dominance_ranks, dominates, pareto_front
+from repro.dse.runner import (
+    MEMORY_TARGET,
+    SYSTEM_TARGET,
+    CampaignRunner,
+    get_target,
+    register_target,
+)
+from repro.dse.space import Axis, ParameterSpace
+from repro.dse.campaign import (
+    MemoryCampaignResult,
+    SystemCampaignResult,
+    evaluate_memory_point,
+    evaluate_system_point,
+    explore_memory,
+    explore_system,
+    memory_point_spec,
+    system_point_spec,
+)
+
+__all__ = [
+    "Axis",
+    "ParameterSpace",
+    "Job",
+    "JobResult",
+    "canonical_json",
+    "content_key",
+    "ResultCache",
+    "CampaignRunner",
+    "MEMORY_TARGET",
+    "SYSTEM_TARGET",
+    "register_target",
+    "get_target",
+    "Objective",
+    "dominates",
+    "dominance_ranks",
+    "pareto_front",
+    "MemoryCampaignResult",
+    "SystemCampaignResult",
+    "explore_memory",
+    "explore_system",
+    "evaluate_memory_point",
+    "evaluate_system_point",
+    "memory_point_spec",
+    "system_point_spec",
+]

@@ -1,0 +1,96 @@
+"""On-disk JSON result store keyed by job content hash.
+
+Re-running an identical design point becomes a file read instead of a
+Monte-Carlo campaign — the idiom OpenNVRAM's characterizer uses for its
+NVSim/Cadence comparison JSONs, promoted to a first-class store.  One
+file per key (two-level fan-out to keep directories small), atomic
+writes via rename, no locking needed for the single-writer campaign
+runner.
+"""
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+
+class ResultCache:
+    """Directory-backed map from job key to result record.
+
+    Args:
+        root: Cache directory (created on first write).
+
+    Attributes:
+        hits / misses / writes: Session counters (reset per instance).
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        """Look one record up; None (and a miss) if absent or corrupt."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict) -> None:
+        """Store one record atomically (write + rename)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir):
+                count += sum(
+                    1 for name in os.listdir(shard_dir) if name.endswith(".json")
+                )
+        return count
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk this session."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Session counters as a JSON-ready dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": self.hit_rate,
+            "entries": len(self),
+        }

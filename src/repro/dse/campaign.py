@@ -1,0 +1,398 @@
+"""High-level campaigns: wire VAET-STT, NVSim and MAGPIE into the engine.
+
+Two built-in evaluators register with the runner:
+
+* ``"vaet-memory"`` — one memory-level design point: rebuild the PDK and
+  :class:`~repro.nvsim.config.MemoryConfig` from the spec, run the
+  variation-aware ECC/margin/disturb optimisation of
+  :class:`~repro.vaet.explorer.DesignSpaceExplorer`, return the winning
+  :class:`~repro.vaet.explorer.DesignPoint` as a dict.
+* ``"magpie-system"`` — one (workload, scenario) cell of the MAGPIE
+  grid: rebuild the SoC from serialised memory records, simulate, return
+  the gem5-stats-style report text (the Fig. 10 file-parser artefact).
+
+Everything an evaluator needs travels in the spec as plain JSON, so jobs
+pickle cheaply, hash stably, and replay identically from cache.
+
+Entry points :func:`explore_memory` and :func:`explore_system` build the
+job lists from a :class:`~repro.dse.space.ParameterSpace` / grid, run
+them through a (cached, parallel) :class:`CampaignRunner`, and wrap the
+outcomes with Pareto helpers.
+"""
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.dse.cache import ResultCache
+from repro.dse.jobs import Job, JobResult
+from repro.dse.pareto import ObjectiveSpec, pareto_front
+from repro.dse.runner import (
+    MEMORY_TARGET,
+    SYSTEM_TARGET,
+    CampaignRunner,
+    register_target,
+)
+from repro.dse.space import ParameterSpace
+
+#: MemoryConfig field names an axis may override.
+_CONFIG_FIELDS = (
+    "rows", "cols", "word_bits", "banks",
+    "subarray_rows", "subarray_cols", "memory_type", "cell",
+)
+#: DesignConstraints field names an axis may override.
+_CONSTRAINT_FIELDS = ("wer_target", "rer_target", "disturb_budget", "max_ecc_bits")
+#: Spec-level knobs an axis may override.
+_SPEC_FIELDS = ("node_nm", "num_words", "error_population", "seed")
+
+
+def _json_value(value):
+    """Coerce axis values to JSON-ready form (enums by value)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    return value
+
+
+# -- evaluators (run inside workers) ------------------------------------
+
+
+def evaluate_memory_point(spec: Mapping, seed: int) -> Dict:
+    """Evaluate one memory-level design point from its spec.
+
+    Args:
+        spec: See :func:`memory_point_spec`.
+        seed: Runner-derived content seed, used when the spec's own
+            ``seed`` is None (campaign mode); an explicit spec seed wins
+            (legacy sweeps pin 2018 for bit-identical tables).
+
+    Returns:
+        ``{"feasible": bool, "point": DesignPoint dict | None}``.
+    """
+    from repro.nvsim.config import MemoryConfig
+    from repro.pdk.kit import ProcessDesignKit
+    from repro.vaet.explorer import DesignConstraints, DesignSpaceExplorer
+
+    config = MemoryConfig.from_dict(spec["config"])
+    constraints = DesignConstraints.from_dict(spec["constraints"])
+    pdk = ProcessDesignKit.for_node(int(spec["node_nm"]))
+    explorer = DesignSpaceExplorer(
+        pdk,
+        config,
+        constraints,
+        num_words=int(spec.get("num_words", 1500)),
+        error_population=int(spec.get("error_population", 200_000)),
+    )
+    chosen_seed = spec.get("seed")
+    point = explorer.evaluate(
+        config, seed=seed if chosen_seed is None else int(chosen_seed)
+    )
+    if point is None:
+        return {"feasible": False, "point": None}
+    return {"feasible": True, "point": point.to_dict()}
+
+
+def evaluate_system_point(spec: Mapping, seed: int) -> Dict:
+    """Evaluate one (workload, scenario) MAGPIE cell from its spec.
+
+    The memory-level records arrive pre-computed in the spec (they are
+    shared by every cell of a campaign), so workers only pay for the
+    system simulation.
+
+    Returns:
+        ``{"report": str}`` — the gem5-stats-style activity report.
+    """
+    from repro.archsim.memtech import MemoryTechnology
+    from repro.archsim.simulator import simulate
+    from repro.archsim.soc import SoCConfig
+    from repro.archsim.workloads import WorkloadDescriptor
+    from repro.magpie.scenarios import Scenario, build_scenario
+
+    base = SoCConfig.from_dict(spec["soc"])
+    sram = MemoryTechnology.from_dict(spec["sram"])
+    stt = MemoryTechnology.from_dict(spec["stt"])
+    scenario = Scenario(spec["scenario"])
+    workload = WorkloadDescriptor.from_dict(spec["workload"])
+    soc = build_scenario(scenario, sram, stt, base)
+    report = simulate(soc, workload)
+    return {"report": report.render()}
+
+
+register_target(MEMORY_TARGET, evaluate_memory_point)
+register_target(SYSTEM_TARGET, evaluate_system_point)
+
+
+# -- spec builders ------------------------------------------------------
+
+
+def memory_point_spec(explorer, config, seed: Optional[int] = 2018) -> Dict:
+    """Spec for one config under a ``DesignSpaceExplorer``'s settings.
+
+    Args:
+        explorer: The :class:`~repro.vaet.explorer.DesignSpaceExplorer`
+            whose PDK/constraints/sampling settings apply.
+        config: The :class:`~repro.nvsim.config.MemoryConfig` to score.
+        seed: Monte Carlo seed; the default pins the historic tool seed
+            so legacy sweeps reproduce; None defers to the content seed.
+    """
+    return {
+        "node_nm": explorer.pdk.tech.node_nm,
+        "config": config.to_dict(),
+        "constraints": explorer.constraints.to_dict(),
+        "num_words": explorer.num_words,
+        "error_population": explorer.error_population,
+        "seed": seed,
+    }
+
+
+def system_point_spec(flow, workload, scenario) -> Dict:
+    """Spec for one (workload, scenario) cell of a ``MagpieFlow`` grid."""
+    sram, stt = flow.memory_records()
+    return {
+        "node_nm": flow.node_nm,
+        "wer_target": flow.wer_target,
+        "soc": flow.base.to_dict(),
+        "sram": sram.to_dict(),
+        "stt": stt.to_dict(),
+        "scenario": scenario.value,
+        "workload": workload.to_dict(),
+    }
+
+
+def sweep_points(jobs: Sequence[Job], runner: Optional[CampaignRunner] = None):
+    """Run memory jobs and return the feasible ``DesignPoint`` list.
+
+    The compatibility path under
+    :meth:`~repro.vaet.explorer.DesignSpaceExplorer.sweep_subarrays`:
+    serial by default, infeasible points dropped, evaluator failures
+    re-raised (the historic sweep propagated exceptions).
+    """
+    from repro.vaet.explorer import DesignPoint
+
+    engine = runner if runner is not None else CampaignRunner(workers=1)
+    points = []
+    for outcome in engine.run(jobs):
+        if not outcome.ok:
+            raise RuntimeError("sweep job failed: %s" % outcome.error)
+        if outcome.result["feasible"]:
+            points.append(DesignPoint.from_dict(outcome.result["point"]))
+    return points
+
+
+# -- campaign entry points ----------------------------------------------
+
+
+@dataclass
+class MemoryCampaignResult:
+    """Outcome of :func:`explore_memory`.
+
+    Attributes:
+        jobs: Submitted jobs, in point order.
+        outcomes: Per-job results (aligned with ``jobs``).
+        elapsed: Campaign wall-clock [s].
+        cache_stats: Cache session counters (None when uncached).
+    """
+
+    jobs: List[Job]
+    outcomes: List[JobResult]
+    elapsed: float
+    cache_stats: Optional[Dict] = None
+
+    def records(self) -> List[Dict]:
+        """Feasible points as flat dicts: spec axes + metrics + EDP."""
+        rows = []
+        for job, outcome in zip(self.jobs, self.outcomes):
+            if not (outcome.ok and outcome.result.get("feasible")):
+                continue
+            point = dict(outcome.result["point"])
+            row = dict(point.pop("config"))
+            row["node_nm"] = job.spec["node_nm"]
+            row["wer_target"] = job.spec["constraints"]["wer_target"]
+            row.update(point)
+            row["edp_proxy"] = row["write_latency"] * row["write_energy"]
+            row["key"] = job.key
+            rows.append(row)
+        return rows
+
+    def errors(self) -> List[JobResult]:
+        """Failed outcomes (failure isolation keeps them out of records)."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def infeasible(self) -> int:
+        """Count of points that met no constraint-satisfying design."""
+        return sum(
+            1 for o in self.outcomes if o.ok and not o.result.get("feasible")
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    def pareto(
+        self,
+        objectives: Sequence[ObjectiveSpec] = (
+            "write_latency", "write_energy", "area",
+        ),
+    ) -> List[Dict]:
+        """Non-dominated records under the given objectives."""
+        return pareto_front(self.records(), objectives)
+
+
+def explore_memory(
+    space: ParameterSpace,
+    base_config=None,
+    constraints=None,
+    node_nm: int = 45,
+    num_words: int = 1500,
+    error_population: int = 200_000,
+    seed: Optional[int] = 2018,
+    samples: Optional[int] = None,
+    sample_seed: int = 0,
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    runner: Optional[CampaignRunner] = None,
+) -> MemoryCampaignResult:
+    """Run a memory-level (VAET-STT) campaign over a parameter space.
+
+    Axis names map onto :class:`MemoryConfig` fields, ``DesignConstraints``
+    fields, or the spec-level knobs ``node_nm`` / ``num_words`` /
+    ``error_population`` / ``seed``.  Invalid combinations (e.g. a
+    subarray taller than the array) become per-point error records, not
+    campaign aborts.
+
+    Args:
+        space: The axes to sweep.
+        base_config: Starting organisation (default: the paper array).
+        constraints: Baseline reliability constraints.
+        node_nm: Default PDK node when no ``node_nm`` axis is given.
+        num_words / error_population: Monte Carlo sampling effort.
+        seed: Spec seed for every point (None = per-point content seed).
+        samples: If set, latin-hypercube sample this many points instead
+            of the full grid.
+        sample_seed: LHS permutation seed.
+        cache_dir: Enable the on-disk result cache at this path.
+        workers: Pool size (None = CPU count).
+        runner: Pre-built runner (overrides cache_dir/workers).
+    """
+    from repro.nvsim.config import PAPER_ARRAY
+    from repro.vaet.explorer import DesignConstraints
+
+    base_config = base_config if base_config is not None else PAPER_ARRAY
+    constraints = constraints if constraints is not None else DesignConstraints()
+    points = (
+        space.sample(samples, seed=sample_seed)
+        if samples is not None
+        else list(space.grid())
+    )
+
+    jobs = []
+    for point in points:
+        config_dict = base_config.to_dict()
+        constraint_dict = constraints.to_dict()
+        spec = {
+            "node_nm": node_nm,
+            "num_words": num_words,
+            "error_population": error_population,
+            "seed": seed,
+        }
+        for name, value in point.items():
+            value = _json_value(value)
+            if name in _CONFIG_FIELDS:
+                config_dict[name] = value
+            elif name in _CONSTRAINT_FIELDS:
+                constraint_dict[name] = value
+            elif name in _SPEC_FIELDS:
+                spec[name] = value
+            else:
+                raise ValueError(
+                    "axis %r maps to no MemoryConfig/DesignConstraints/"
+                    "spec field; known: %s"
+                    % (
+                        name,
+                        sorted(_CONFIG_FIELDS + _CONSTRAINT_FIELDS + _SPEC_FIELDS),
+                    )
+                )
+        spec["config"] = config_dict
+        spec["constraints"] = constraint_dict
+        jobs.append(Job(MEMORY_TARGET, spec))
+
+    if runner is None:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        runner = CampaignRunner(workers=workers, cache=cache)
+    start = time.perf_counter()
+    outcomes = runner.run(jobs)
+    elapsed = time.perf_counter() - start
+    stats = runner.cache.stats() if runner.cache is not None else None
+    return MemoryCampaignResult(
+        jobs=jobs, outcomes=outcomes, elapsed=elapsed, cache_stats=stats
+    )
+
+
+@dataclass
+class SystemCampaignResult:
+    """Outcome of :func:`explore_system`.
+
+    Attributes:
+        results: (kernel, Scenario) -> ``ScenarioResult`` grid.
+        elapsed: Campaign wall-clock [s].
+        cache_stats: Cache session counters (None when uncached).
+    """
+
+    results: Dict
+    elapsed: float
+    cache_stats: Optional[Dict] = None
+
+    def records(self) -> List[Dict]:
+        """Grid cells as flat dicts with exec time, energy and EDP."""
+        rows = []
+        for (kernel, scenario), cell in self.results.items():
+            energy = cell.energy.total_energy
+            rows.append(
+                {
+                    "workload": kernel,
+                    "scenario": scenario.value,
+                    "exec_time": cell.energy.exec_time,
+                    "energy": energy,
+                    "edp": energy * cell.energy.exec_time,
+                }
+            )
+        return rows
+
+    def pareto(
+        self, objectives: Sequence[ObjectiveSpec] = ("exec_time", "energy")
+    ) -> List[Dict]:
+        """Non-dominated grid cells under the given objectives."""
+        return pareto_front(self.records(), objectives)
+
+
+def explore_system(
+    workloads: Optional[Iterable[str]] = None,
+    scenarios: Optional[Iterable] = None,
+    node_nm: int = 45,
+    base=None,
+    wer_target: float = 1e-9,
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    runner: Optional[CampaignRunner] = None,
+) -> SystemCampaignResult:
+    """Run a system-level (MAGPIE) campaign over a kernel x scenario grid.
+
+    Args:
+        workloads / scenarios: Grid axes (defaults: all kernels, all
+            four paper scenarios).
+        node_nm / base / wer_target: ``MagpieFlow`` settings; the memory
+            level runs once and its records are shared by every cell.
+        cache_dir / workers / runner: Engine settings, as in
+            :func:`explore_memory`.
+    """
+    from repro.magpie.flow import MagpieFlow
+
+    flow = MagpieFlow(node_nm=node_nm, base=base, wer_target=wer_target)
+    if runner is None:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        runner = CampaignRunner(workers=workers, cache=cache)
+    start = time.perf_counter()
+    results = flow.run(workloads=workloads, scenarios=scenarios, runner=runner)
+    elapsed = time.perf_counter() - start
+    stats = runner.cache.stats() if runner.cache is not None else None
+    return SystemCampaignResult(results=results, elapsed=elapsed, cache_stats=stats)

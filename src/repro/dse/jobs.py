@@ -1,0 +1,86 @@
+"""Jobs: one evaluation point, keyed by a stable content hash.
+
+A :class:`Job` pairs a *target* (the registered evaluator name, e.g.
+``"vaet-memory"``) with a *spec* — a JSON-ready dict that fully
+determines the evaluation (configs via their ``to_dict()`` forms, seeds,
+sample counts).  The job key is the SHA-256 of the canonical JSON of
+both, so identical design points hash identically across processes and
+runs: the key is the cache address and the source of per-job RNG seeds.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise to the canonical JSON form used for hashing.
+
+    Keys are sorted and separators fixed; floats rely on ``repr``
+    round-tripping (exact for IEEE doubles).  Non-JSON types raise —
+    specs must be built from ``to_dict()`` output, not live objects.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_key(target: str, spec: Mapping) -> str:
+    """SHA-256 hex digest identifying one (target, spec) evaluation."""
+    payload = "%s\n%s" % (target, canonical_json(spec))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable evaluation.
+
+    Attributes:
+        target: Registered evaluator name (see ``repro.dse.runner``).
+        spec: JSON-ready evaluation spec.
+    """
+
+    target: str
+    spec: Mapping
+
+    def __post_init__(self) -> None:
+        # Freeze the key eagerly: it validates the spec is hashable
+        # JSON *now*, at submission, not inside a worker.
+        object.__setattr__(self, "_key", content_key(self.target, self.spec))
+
+    @property
+    def key(self) -> str:
+        """Stable content hash of (target, spec)."""
+        return self._key
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-job RNG seed derived from the key.
+
+        A pure function of the job content, so serial, parallel and
+        cached executions of the same point are bit-identical.
+        """
+        return int(self.key[:16], 16)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job.
+
+    Attributes:
+        job: The evaluated job.
+        ok: False if the evaluator raised (failure isolation — the
+            campaign continues; see ``error``).
+        result: Evaluator output dict (None on failure).
+        error: Stringified exception on failure.
+        elapsed: Evaluation wall-clock [s] (0 for cache hits).
+        from_cache: True if served from the result cache.
+    """
+
+    job: Job
+    ok: bool
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    from_cache: bool = False

@@ -1,0 +1,124 @@
+"""Multi-objective frontier extraction with dominance ranking.
+
+Design-space exploration rarely has a single winner: the paper's own
+sweeps trade write latency against ECC storage, area against energy,
+system speedup against macro reliability.  This module extracts the
+non-dominated set (rank 0) and iteratively peels deeper fronts, over
+plain result dicts keyed by objective name.
+
+Dominance is the standard Pareto relation: ``a`` dominates ``b`` when it
+is no worse on every objective and strictly better on at least one.
+Ties on every objective dominate in neither direction, so duplicated
+points share a front.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: An objective: a key (minimised by default) or a (key, sense) pair
+#: with sense "min" or "max".
+ObjectiveSpec = Union[str, Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation direction.
+
+    Attributes:
+        key: Field name in the record dict.
+        maximize: True to prefer larger values.
+    """
+
+    key: str
+    maximize: bool = False
+
+    @classmethod
+    def parse(cls, spec: ObjectiveSpec) -> "Objective":
+        """Normalise ``"latency"`` / ``("area", "min")`` / Objective."""
+        if isinstance(spec, Objective):
+            return spec
+        if isinstance(spec, str):
+            return cls(spec)
+        key, sense = spec
+        if sense not in ("min", "max"):
+            raise ValueError("objective sense must be 'min' or 'max', got %r" % sense)
+        return cls(key, maximize=(sense == "max"))
+
+
+def _values(record: Mapping, objectives: Sequence[Objective]) -> List[float]:
+    """Objective vector of one record, sign-normalised to minimisation.
+
+    Raises:
+        KeyError: If the record lacks an objective key.
+    """
+    out = []
+    for objective in objectives:
+        value = float(record[objective.key])
+        out.append(-value if objective.maximize else value)
+    return out
+
+
+def _vector_dominates(va: Sequence[float], vb: Sequence[float]) -> bool:
+    """Dominance on sign-normalised (minimisation) objective vectors."""
+    return all(x <= y for x, y in zip(va, vb)) and any(
+        x < y for x, y in zip(va, vb)
+    )
+
+
+def dominates(
+    a: Mapping, b: Mapping, objectives: Sequence[ObjectiveSpec]
+) -> bool:
+    """True if ``a`` Pareto-dominates ``b``."""
+    parsed = [Objective.parse(o) for o in objectives]
+    return _vector_dominates(_values(a, parsed), _values(b, parsed))
+
+
+def dominance_ranks(
+    records: Sequence[Mapping], objectives: Sequence[ObjectiveSpec]
+) -> List[int]:
+    """Front index of every record (0 = Pareto-optimal).
+
+    Iterative non-dominated sorting: peel the current frontier, assign
+    it the next rank, repeat on the remainder.  O(n^2) per front —
+    campaigns here are hundreds to thousands of points, not millions.
+    """
+    parsed = [Objective.parse(o) for o in objectives]
+    vectors = [_values(record, parsed) for record in records]
+    ranks = [-1] * len(records)
+    remaining = list(range(len(records)))
+    rank = 0
+    while remaining:
+        front = []
+        for i in remaining:
+            dominated = any(
+                j != i and _vector_dominates(vectors[j], vectors[i])
+                for j in remaining
+            )
+            if not dominated:
+                front.append(i)
+        for i in front:
+            ranks[i] = rank
+        front_set = set(front)
+        remaining = [i for i in remaining if i not in front_set]
+        rank += 1
+    return ranks
+
+
+def pareto_front(
+    records: Sequence[Mapping],
+    objectives: Sequence[ObjectiveSpec],
+    key: Optional[Callable[[Mapping], Mapping]] = None,
+) -> List[Mapping]:
+    """The non-dominated subset, in input order.
+
+    Args:
+        records: Result dicts (or objects indexable by objective key).
+        objectives: Objective specs; see :data:`ObjectiveSpec`.
+        key: Optional accessor mapping a record to the dict holding the
+            objective fields (e.g. ``lambda r: r["point"]``).
+    """
+    if not records:
+        return []
+    accessor = key if key is not None else (lambda record: record)
+    ranks = dominance_ranks([accessor(r) for r in records], objectives)
+    return [record for record, rank in zip(records, ranks) if rank == 0]

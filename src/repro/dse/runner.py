@@ -1,0 +1,169 @@
+"""Campaign execution: worker pool, chunking, seeding, failure isolation.
+
+The runner turns a list of :class:`~repro.dse.jobs.Job` into
+:class:`~repro.dse.jobs.JobResult` records:
+
+* **cache first** — keys already in the :class:`ResultCache` are served
+  without touching a worker;
+* **deduplication** — identical jobs submitted twice in one campaign
+  evaluate once;
+* **parallelism** — misses fan out over a ``multiprocessing`` pool in
+  chunks (workers=1 degenerates to an in-process serial loop, which the
+  legacy sweep wrappers use to reproduce historic outputs exactly);
+* **determinism** — every job carries a seed derived from its content
+  hash, so worker assignment and execution order cannot change results;
+* **failure isolation** — an evaluator exception becomes an error
+  record on that one point; the campaign completes.
+
+Evaluator functions are registered by name (the job's ``target``) so the
+payload shipped to workers is plain picklable data.
+"""
+
+import importlib
+import os
+import time
+import traceback
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dse.cache import ResultCache
+from repro.dse.jobs import Job, JobResult
+
+#: Built-in target names (evaluators live in ``repro.dse.campaign``).
+MEMORY_TARGET = "vaet-memory"
+SYSTEM_TARGET = "magpie-system"
+
+#: name -> fn(spec, seed) -> result dict.
+_TARGETS: Dict[str, Callable[[Mapping, int], Dict]] = {}
+
+
+def register_target(name: str, fn: Callable[[Mapping, int], Dict]) -> None:
+    """Register an evaluator under a target name (idempotent overwrite).
+
+    Registrations live in the registering process only.  Under the
+    ``fork`` start method workers inherit them; on ``spawn`` platforms
+    (macOS/Windows defaults) use a module-qualified target name of the
+    form ``"pkg.module:function"`` instead — workers import it
+    themselves, no registration needed.
+    """
+    _TARGETS[name] = fn
+
+
+def get_target(name: str) -> Callable[[Mapping, int], Dict]:
+    """Resolve a target, importing the built-in evaluators on demand.
+
+    ``"pkg.module:function"`` names are imported dynamically (and
+    memoised), so they resolve in any worker regardless of the
+    multiprocessing start method.
+
+    Raises:
+        KeyError: If the name is not registered and not importable.
+    """
+    if name not in _TARGETS:
+        # Built-ins register at campaign import; spawned workers start
+        # with an empty registry, so resolve lazily here.
+        import repro.dse.campaign  # noqa: F401
+
+    if name not in _TARGETS and ":" in name:
+        module_name, _, attr = name.partition(":")
+        try:
+            _TARGETS[name] = getattr(importlib.import_module(module_name), attr)
+        except (ImportError, AttributeError) as exc:
+            raise KeyError("cannot import target %r: %s" % (name, exc))
+    if name not in _TARGETS:
+        raise KeyError(
+            "unknown target %r; registered: %s" % (name, sorted(_TARGETS))
+        )
+    return _TARGETS[name]
+
+
+def _execute(
+    payload: Tuple[str, Dict, int]
+) -> Tuple[bool, Optional[Dict], Optional[str], float]:
+    """Worker entry: run one evaluation, never raise."""
+    target, spec, seed = payload
+    start = time.perf_counter()
+    try:
+        result = get_target(target)(spec, seed)
+        return (True, result, None, time.perf_counter() - start)
+    except Exception as exc:  # isolation: one bad point != dead campaign
+        # The original exception cannot cross the process boundary
+        # reliably; keep its type, message and frames as text.
+        error = "%s: %s\n%s" % (
+            type(exc).__name__, exc, traceback.format_exc()
+        )
+        return (False, None, error, time.perf_counter() - start)
+
+
+class CampaignRunner:
+    """Cached, chunked, parallel job executor.
+
+    Args:
+        workers: Pool size; ``None`` uses the CPU count, ``1`` runs
+            serially in-process (no pool, no pickling).
+        cache: Optional :class:`ResultCache`; hits skip evaluation,
+            successful results are written back.
+        chunksize: Pool chunk size; default balances ~4 chunks per
+            worker to amortise dispatch without starving the pool.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        chunksize: Optional[int] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.cache = cache
+        self.chunksize = chunksize
+
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute jobs, returning results aligned with the input order."""
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+
+        # Cache lookups + same-campaign deduplication.
+        pending: Dict[str, List[int]] = {}
+        for index, job in enumerate(jobs):
+            record = self.cache.get(job.key) if self.cache is not None else None
+            if record is not None:
+                results[index] = JobResult(
+                    job=job, ok=True, result=record["result"], from_cache=True
+                )
+            else:
+                pending.setdefault(job.key, []).append(index)
+
+        unique = [jobs[indices[0]] for indices in pending.values()]
+        payloads = [(job.target, dict(job.spec), job.seed) for job in unique]
+        outcomes = self._map(payloads)
+
+        for job, (ok, result, error, elapsed) in zip(unique, outcomes):
+            if ok and self.cache is not None:
+                self.cache.put(
+                    job.key,
+                    {
+                        "target": job.target,
+                        "spec": dict(job.spec),
+                        "result": result,
+                        "elapsed": elapsed,
+                    },
+                )
+            for index in pending[job.key]:
+                results[index] = JobResult(
+                    job=jobs[index], ok=ok, result=result,
+                    error=error, elapsed=elapsed,
+                )
+        return results  # type: ignore[return-value]
+
+    def _map(self, payloads: List[Tuple[str, Dict, int]]) -> List[Tuple]:
+        """Run payloads serially or over the pool."""
+        if not payloads:
+            return []
+        if self.workers == 1 or len(payloads) == 1:
+            return [_execute(payload) for payload in payloads]
+        import multiprocessing
+
+        chunksize = self.chunksize or max(1, len(payloads) // (self.workers * 4))
+        with multiprocessing.Pool(self.workers) as pool:
+            return pool.map(_execute, payloads, chunksize=chunksize)

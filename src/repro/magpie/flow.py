@@ -72,7 +72,7 @@ class MagpieFlow:
         self.pdk = ProcessDesignKit.for_node(node_nm)
         self.base = base or SoCConfig.full_sram()
         self.wer_target = wer_target
-        self._memory_records: Optional[Tuple[MemoryTechnology, MemoryTechnology]] = None
+        self._memory_records: Dict[float, Tuple[MemoryTechnology, MemoryTechnology]] = {}
 
     # -- memory level ---------------------------------------------------
 
@@ -82,10 +82,12 @@ class MagpieFlow:
         The STT record is variation-aware: its write latency carries the
         VAET-STT margin for the flow's WER target and ECC t=1, its
         energies are the Monte-Carlo means; the SRAM record comes from
-        the plain NVSim path.  Cached — this is the expensive stage.
+        the plain NVSim path.  Cached per WER target — this is the
+        expensive stage, and reconfiguring ``wer_target`` on a live flow
+        must not serve records margined for the old target.
         """
-        if self._memory_records is not None:
-            return self._memory_records
+        if self.wer_target in self._memory_records:
+            return self._memory_records[self.wer_target]
         array = MemoryConfig(
             rows=1024, cols=1024, word_bits=L2_LINE_BITS,
             subarray_rows=256, subarray_cols=256,
@@ -119,8 +121,8 @@ class MagpieFlow:
             leakage_per_mb=estimate.nominal.leakage_power * megabit_to_mb,
             area_per_mb=estimate.nominal.area * megabit_to_mb,
         )
-        self._memory_records = (sram_record, stt_record)
-        return self._memory_records
+        self._memory_records[self.wer_target] = (sram_record, stt_record)
+        return self._memory_records[self.wer_target]
 
     # -- system level ---------------------------------------------------
 
@@ -145,17 +147,76 @@ class MagpieFlow:
         self,
         workloads: Optional[Iterable[str]] = None,
         scenarios: Optional[Iterable[Scenario]] = None,
+        runner=None,
     ) -> Dict[Tuple[str, Scenario], ScenarioResult]:
-        """Evaluate a kernel x scenario grid."""
+        """Evaluate a kernel x scenario grid.
+
+        The grid runs on the :mod:`repro.dse` engine: each (kernel,
+        scenario) cell is a content-hashed job carrying the memory-level
+        records, so a caching/parallel ``CampaignRunner`` can be passed
+        in.  The default serial runner reproduces the historic
+        cell-by-cell outputs exactly.
+
+        Args:
+            workloads: Parsec kernel names (default: all, sorted).
+            scenarios: Scenario members or their string values
+                (default: all).
+            runner: Optional ``CampaignRunner``.
+
+        Raises:
+            KeyError: On unknown kernel names or scenario values.
+        """
         names = list(workloads) if workloads is not None else sorted(PARSEC_KERNELS)
-        chosen = list(scenarios) if scenarios is not None else list(Scenario)
-        results: Dict[Tuple[str, Scenario], ScenarioResult] = {}
+        chosen = self._validate_scenarios(scenarios)
         for name in names:
             if name not in PARSEC_KERNELS:
                 raise KeyError(
                     "unknown kernel %r; available: %s" % (name, sorted(PARSEC_KERNELS))
                 )
-            workload = PARSEC_KERNELS[name]
-            for scenario in chosen:
-                results[(name, scenario)] = self.run_one(workload, scenario)
+
+        from repro.dse.campaign import system_point_spec
+        from repro.dse.jobs import Job
+        from repro.dse.runner import CampaignRunner, SYSTEM_TARGET
+
+        grid = [(name, scenario) for name in names for scenario in chosen]
+        jobs = [
+            Job(SYSTEM_TARGET, system_point_spec(self, PARSEC_KERNELS[name], scenario))
+            for name, scenario in grid
+        ]
+        engine = runner if runner is not None else CampaignRunner(workers=1)
+        outcomes = engine.run(jobs)
+        results: Dict[Tuple[str, Scenario], ScenarioResult] = {}
+        for (name, scenario), outcome in zip(grid, outcomes):
+            if not outcome.ok:
+                raise RuntimeError(
+                    "MAGPIE job (%s, %s) failed: %s"
+                    % (name, scenario.value, outcome.error)
+                )
+            report = ActivityReport.parse(outcome.result["report"])
+            soc = self.build_soc(scenario)
+            energy = estimate_energy(soc, report)
+            results[(name, scenario)] = ScenarioResult(
+                scenario=scenario, report=report, energy=energy
+            )
         return results
+
+    @staticmethod
+    def _validate_scenarios(
+        scenarios: Optional[Iterable[Scenario]],
+    ) -> List[Scenario]:
+        """Normalise a scenario iterable, mirroring the kernel check."""
+        if scenarios is None:
+            return list(Scenario)
+        chosen: List[Scenario] = []
+        for scenario in scenarios:
+            if isinstance(scenario, Scenario):
+                chosen.append(scenario)
+                continue
+            try:
+                chosen.append(Scenario(scenario))
+            except ValueError:
+                raise KeyError(
+                    "unknown scenario %r; available: %s"
+                    % (scenario, sorted(s.value for s in Scenario))
+                )
+        return chosen

@@ -9,6 +9,8 @@ import enum
 import math
 from dataclasses import dataclass, field
 
+from repro.utils.serde import check_known_fields
+
 
 class MemoryType(enum.Enum):
     """What the memory is used as (affects periphery assumptions)."""
@@ -91,6 +93,39 @@ class MemoryConfig:
         from dataclasses import replace
 
         return replace(self, word_bits=word_bits)
+
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation (enums by value).
+
+        The key order and value types are deterministic, so the dict can
+        feed content-hash keyed caches (``repro.dse``).
+        """
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "word_bits": self.word_bits,
+            "banks": self.banks,
+            "subarray_rows": self.subarray_rows,
+            "subarray_cols": self.subarray_cols,
+            "memory_type": self.memory_type.value,
+            "cell": self.cell.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoryConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys or enum values (typo safety —
+                a silently dropped key would poison cache keys).
+        """
+        check_known_fields(cls, data)
+        values = dict(data)
+        if "memory_type" in values:
+            values["memory_type"] = MemoryType(values["memory_type"])
+        if "cell" in values:
+            values["cell"] = CellKind(values["cell"])
+        return cls(**values)
 
 
 #: The array evaluated throughout Sec. III (Table 1, Figs. 7-9).

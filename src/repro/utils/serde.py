@@ -1,0 +1,21 @@
+"""Shared helpers for the stable to_dict()/from_dict() serialisations."""
+
+from dataclasses import fields
+from typing import Mapping, Type
+
+
+def check_known_fields(cls: Type, data: Mapping) -> None:
+    """Reject dict keys that are not fields of the target dataclass.
+
+    A typo'd key silently dropped by ``cls(**data)`` defaults would
+    poison content-hash cache keys, so every ``from_dict`` validates
+    eagerly with a helpful message.
+
+    Raises:
+        ValueError: Naming the unknown keys.
+    """
+    unknown = set(data) - {f.name for f in fields(cls)}
+    if unknown:
+        raise ValueError(
+            "unknown %s keys: %s" % (cls.__name__, sorted(unknown))
+        )

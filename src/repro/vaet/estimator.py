@@ -70,6 +70,9 @@ class VAETSTT:
         config: Memory organisation.
         cell_config: Optional characterised bit cell.
         seed: Monte Carlo seed (fixed for reproducible tables).
+        error_population: Cell population sampled by the margin solver.
+            The default reproduces the paper tables; DSE campaigns dial
+            it down for throughput.
     """
 
     def __init__(
@@ -78,6 +81,7 @@ class VAETSTT:
         config: MemoryConfig,
         cell_config: Optional[CellConfig] = None,
         seed: int = 2018,
+        error_population: int = 200_000,
     ):
         self.pdk = pdk
         self.config = config
@@ -89,11 +93,20 @@ class VAETSTT:
             self.variation, self._leaf_timing, self._bank_timing, config.word_bits
         )
         self.seed = seed
-        self._error_analysis: Optional[ErrorRateAnalysis] = None
+        self.error_population = error_population
+        self._error_analyses: dict = {}
 
-    def estimate(self, num_words: int = 4000) -> VariationAwareEstimate:
-        """Monte Carlo the Table-1 distributions."""
-        rng = np.random.default_rng(self.seed)
+    def estimate(
+        self, num_words: int = 4000, seed: Optional[int] = None
+    ) -> VariationAwareEstimate:
+        """Monte Carlo the Table-1 distributions.
+
+        Args:
+            num_words: Sampled word count.
+            seed: Explicit RNG seed for this estimate; defaults to the
+                tool seed so existing tables are bit-identical.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
         writes = self.engine.sample_writes(rng, num_words)
         reads = self.engine.sample_reads(rng, num_words)
         return VariationAwareEstimate(
@@ -104,11 +117,14 @@ class VAETSTT:
             read_energy=summarize(reads.energy),
         )
 
-    def error_rates(self) -> ErrorRateAnalysis:
-        """The Fig. 7 margin solver (cached — sampling is heavy)."""
-        if self._error_analysis is None:
-            self._error_analysis = ErrorRateAnalysis(self.engine, seed=self.seed)
-        return self._error_analysis
+    def error_rates(self, seed: Optional[int] = None) -> ErrorRateAnalysis:
+        """The Fig. 7 margin solver (cached per seed — sampling is heavy)."""
+        key = self.seed if seed is None else seed
+        if key not in self._error_analyses:
+            self._error_analyses[key] = ErrorRateAnalysis(
+                self.engine, population=self.error_population, seed=key
+            )
+        return self._error_analyses[key]
 
     def ecc(self) -> ECCAnalysis:
         """The Fig. 8 ECC study."""

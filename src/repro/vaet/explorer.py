@@ -19,6 +19,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.nvsim.config import MemoryConfig
 from repro.pdk.kit import ProcessDesignKit
+from repro.utils.serde import check_known_fields
 from repro.utils.table import Table
 from repro.vaet.estimator import VAETSTT
 
@@ -41,6 +42,25 @@ class DesignConstraints:
     rer_target: float = 1e-15
     disturb_budget: float = 1e-4
     max_ecc_bits: int = 3
+
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation (cache-key safe)."""
+        return {
+            "wer_target": self.wer_target,
+            "rer_target": self.rer_target,
+            "disturb_budget": self.disturb_budget,
+            "max_ecc_bits": self.max_ecc_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignConstraints":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys.
+        """
+        check_known_fields(cls, data)
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -73,6 +93,32 @@ class DesignPoint:
         """Latency x energy figure of merit (write-dominated)."""
         return self.write_latency * self.write_energy
 
+    def to_dict(self) -> dict:
+        """Stable JSON-ready representation (crosses process/cache
+        boundaries in ``repro.dse`` campaigns)."""
+        return {
+            "config": self.config.to_dict(),
+            "ecc_bits": self.ecc_bits,
+            "write_latency": float(self.write_latency),
+            "read_latency": float(self.read_latency),
+            "write_energy": float(self.write_energy),
+            "read_energy": float(self.read_energy),
+            "area": float(self.area),
+            "read_disturb_ok": bool(self.read_disturb_ok),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignPoint":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: On unknown keys.
+        """
+        check_known_fields(cls, data)
+        values = dict(data)
+        values["config"] = MemoryConfig.from_dict(values["config"])
+        return cls(**values)
+
 
 class DesignSpaceExplorer:
     """Sweep subarray shapes and ECC strengths under constraints.
@@ -81,6 +127,8 @@ class DesignSpaceExplorer:
         pdk: Hybrid PDK.
         base_config: Organisation to perturb.
         constraints: Reliability constraints.
+        num_words: Monte Carlo word count per evaluation.
+        error_population: Margin-solver cell population per evaluation.
     """
 
     def __init__(
@@ -88,15 +136,32 @@ class DesignSpaceExplorer:
         pdk: ProcessDesignKit,
         base_config: MemoryConfig,
         constraints: DesignConstraints = DesignConstraints(),
+        num_words: int = 1500,
+        error_population: int = 200_000,
     ):
         self.pdk = pdk
         self.base_config = base_config
         self.constraints = constraints
+        self.num_words = num_words
+        self.error_population = error_population
 
-    def evaluate(self, config: MemoryConfig) -> Optional[DesignPoint]:
-        """Evaluate one configuration; None if it cannot meet targets."""
-        tool = VAETSTT(self.pdk, config)
-        estimate = tool.estimate(num_words=1500)
+    def evaluate(
+        self, config: MemoryConfig, seed: Optional[int] = None
+    ) -> Optional[DesignPoint]:
+        """Evaluate one configuration; None if it cannot meet targets.
+
+        Args:
+            config: The organisation to evaluate.
+            seed: Explicit Monte Carlo seed (defaults to the VAET-STT
+                tool seed, preserving historic sweep outputs).
+        """
+        if seed is None:
+            tool = VAETSTT(self.pdk, config, error_population=self.error_population)
+        else:
+            tool = VAETSTT(
+                self.pdk, config, seed=seed, error_population=self.error_population
+            )
+        estimate = tool.estimate(num_words=self.num_words)
         ecc = tool.ecc()
         constraints = self.constraints
         best: Optional[DesignPoint] = None
@@ -128,18 +193,34 @@ class DesignSpaceExplorer:
         return best
 
     def sweep_subarrays(
-        self, subarray_rows_options: Sequence[int] = (128, 256, 512)
+        self,
+        subarray_rows_options: Sequence[int] = (128, 256, 512),
+        runner=None,
     ) -> List[DesignPoint]:
-        """Evaluate the base config at several subarray heights."""
-        points = []
+        """Evaluate the base config at several subarray heights.
+
+        The sweep is a thin wrapper over the :mod:`repro.dse` engine:
+        each height becomes a content-hashed job, so a caching/parallel
+        :class:`repro.dse.runner.CampaignRunner` can be passed in to
+        reuse prior evaluations.  The default serial runner reproduces
+        the historic sequential sweep exactly.
+
+        Args:
+            subarray_rows_options: Subarray heights to evaluate.
+            runner: Optional ``CampaignRunner`` (serial, uncached by
+                default).
+        """
+        from repro.dse.campaign import memory_point_spec, sweep_points
+        from repro.dse.jobs import Job
+        from repro.dse.runner import MEMORY_TARGET
+
+        jobs = []
         for rows in subarray_rows_options:
             if rows > self.base_config.rows:
                 continue
             config = replace(self.base_config, subarray_rows=rows)
-            point = self.evaluate(config)
-            if point is not None:
-                points.append(point)
-        return points
+            jobs.append(Job(MEMORY_TARGET, memory_point_spec(self, config)))
+        return sweep_points(jobs, runner=runner)
 
     @staticmethod
     def render(points: Iterable[DesignPoint]) -> str:

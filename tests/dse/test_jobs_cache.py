@@ -1,0 +1,97 @@
+"""Tests for content-hash job keys and the on-disk result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.dse import Job, ResultCache, canonical_json, content_key
+from repro.nvsim.config import MemoryConfig
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_float_repr_roundtrip(self):
+        text = canonical_json({"x": 1e-15})
+        assert json.loads(text)["x"] == 1e-15
+
+    def test_non_json_types_raise(self):
+        with pytest.raises(TypeError):
+            canonical_json({"config": MemoryConfig()})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestJobKeys:
+    def test_identical_specs_identical_keys(self):
+        a = Job("t", {"x": 1, "y": [1, 2]})
+        b = Job("t", {"y": [1, 2], "x": 1})
+        assert a.key == b.key
+
+    def test_target_distinguishes(self):
+        spec = {"x": 1}
+        assert Job("t1", spec).key != Job("t2", spec).key
+
+    def test_config_field_change_changes_key(self):
+        # The cache-invalidation property: any config delta re-keys.
+        base = MemoryConfig()
+        changed = MemoryConfig(subarray_rows=128)
+        a = Job("t", {"config": base.to_dict()})
+        b = Job("t", {"config": changed.to_dict()})
+        assert a.key != b.key
+
+    def test_seed_is_content_derived(self):
+        a = Job("t", {"x": 1})
+        b = Job("t", {"x": 1})
+        assert a.seed == b.seed
+        assert a.seed != Job("t", {"x": 2}).seed
+
+    def test_unhashable_spec_raises_at_submission(self):
+        with pytest.raises(TypeError):
+            Job("t", {"config": object()})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"result": {"v": 1.5}})
+        assert cache.get(key) == {"result": {"v": 1.5}}
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_miss_then_hit_counters(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 2})
+        cache.get(key)
+        cache.put(key, {"result": 1})
+        cache.get(key)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["writes"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 3})
+        cache.put(key, {"result": 1})
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert cache.get(key) is None
+
+    def test_config_change_invalidates(self, tmp_path):
+        # A changed MemoryConfig field must never serve the old record.
+        cache = ResultCache(str(tmp_path))
+        old = Job("t", {"config": MemoryConfig().to_dict()})
+        cache.put(old.key, {"result": "old"})
+        new = Job("t", {"config": MemoryConfig(word_bits=128).to_dict()})
+        assert cache.get(new.key) is None
+        assert cache.get(old.key) == {"result": "old"}
+
+    def test_empty_cache_len(self, tmp_path):
+        assert len(ResultCache(str(tmp_path / "nonexistent"))) == 0

@@ -1,0 +1,95 @@
+"""Tests for Pareto dominance, ranks and frontier edge cases."""
+
+import pytest
+
+from repro.dse import Objective, dominance_ranks, dominates, pareto_front
+
+
+def point(lat, energy):
+    return {"latency": lat, "energy": energy}
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates(point(1, 1), point(2, 2), ["latency", "energy"])
+
+    def test_partial_improvement_dominates(self):
+        assert dominates(point(1, 2), point(2, 2), ["latency", "energy"])
+
+    def test_tie_dominates_neither_way(self):
+        a, b = point(1, 1), point(1, 1)
+        objectives = ["latency", "energy"]
+        assert not dominates(a, b, objectives)
+        assert not dominates(b, a, objectives)
+
+    def test_tradeoff_dominates_neither_way(self):
+        a, b = point(1, 3), point(3, 1)
+        objectives = ["latency", "energy"]
+        assert not dominates(a, b, objectives)
+        assert not dominates(b, a, objectives)
+
+    def test_maximize_sense(self):
+        a, b = {"throughput": 5.0}, {"throughput": 3.0}
+        assert dominates(a, b, [("throughput", "max")])
+        assert not dominates(b, a, [("throughput", "max")])
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError):
+            Objective.parse(("x", "best"))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            dominates({"latency": 1.0}, {"latency": 2.0}, ["energy"])
+
+
+class TestParetoFront:
+    def test_empty_set(self):
+        assert pareto_front([], ["latency"]) == []
+
+    def test_single_point_is_frontier(self):
+        records = [point(1, 1)]
+        assert pareto_front(records, ["latency", "energy"]) == records
+
+    def test_all_dominated_chain(self):
+        records = [point(1, 1), point(2, 2), point(3, 3)]
+        assert pareto_front(records, ["latency", "energy"]) == [point(1, 1)]
+
+    def test_tradeoff_curve_all_on_front(self):
+        records = [point(1, 3), point(2, 2), point(3, 1)]
+        assert pareto_front(records, ["latency", "energy"]) == records
+
+    def test_exact_ties_share_the_front(self):
+        records = [point(1, 1), point(1, 1), point(2, 2)]
+        assert pareto_front(records, ["latency", "energy"]) == [
+            point(1, 1),
+            point(1, 1),
+        ]
+
+    def test_input_order_preserved(self):
+        records = [point(3, 1), point(5, 5), point(1, 3)]
+        assert pareto_front(records, ["latency", "energy"]) == [
+            point(3, 1),
+            point(1, 3),
+        ]
+
+    def test_accessor_key(self):
+        records = [{"spec": 1, "point": point(1, 1)}, {"spec": 2, "point": point(2, 2)}]
+        front = pareto_front(
+            records, ["latency", "energy"], key=lambda r: r["point"]
+        )
+        assert front == [records[0]]
+
+
+class TestDominanceRanks:
+    def test_layered_fronts(self):
+        records = [point(1, 3), point(3, 1), point(2, 4), point(4, 4)]
+        ranks = dominance_ranks(records, ["latency", "energy"])
+        assert ranks == [0, 0, 1, 2]
+
+    def test_all_dominated_sets_rank_incrementally(self):
+        records = [point(i, i) for i in range(4)]
+        assert dominance_ranks(records, ["latency", "energy"]) == [0, 1, 2, 3]
+
+    def test_ties_share_rank(self):
+        records = [point(1, 1), point(1, 1)]
+        assert dominance_ranks(records, ["latency", "energy"]) == [0, 0]

@@ -1,0 +1,108 @@
+"""Round-trip tests for the stable to_dict()/from_dict() serialisations."""
+
+import json
+
+import pytest
+
+from repro.archsim.cpu import BIG_CORE_45NM, CoreModel
+from repro.archsim.memtech import MemoryTechnology, STT_L2_45NM
+from repro.archsim.soc import ClusterConfig, SoCConfig
+from repro.archsim.workloads import PARSEC_KERNELS, WorkloadDescriptor
+from repro.nvsim.config import CellKind, MemoryConfig, MemoryType
+from repro.vaet.explorer import DesignConstraints, DesignPoint
+
+
+class TestMemoryConfig:
+    def test_roundtrip(self):
+        config = MemoryConfig(
+            rows=2048, cols=512, word_bits=128, banks=2,
+            subarray_rows=128, subarray_cols=256,
+            memory_type=MemoryType.CACHE, cell=CellKind.SRAM,
+        )
+        assert MemoryConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_is_json_ready(self):
+        text = json.dumps(MemoryConfig().to_dict())
+        assert MemoryConfig.from_dict(json.loads(text)) == MemoryConfig()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryConfig.from_dict({"rows": 1024, "colums": 1024})
+
+    def test_bad_enum_value_rejected(self):
+        data = MemoryConfig().to_dict()
+        data["cell"] = "reram"
+        with pytest.raises(ValueError):
+            MemoryConfig.from_dict(data)
+
+    def test_validation_still_applies(self):
+        data = MemoryConfig().to_dict()
+        data["rows"] = 100  # not a power of two
+        with pytest.raises(ValueError):
+            MemoryConfig.from_dict(data)
+
+
+class TestSoCConfig:
+    def test_roundtrip_default_platform(self):
+        soc = SoCConfig.full_sram()
+        assert SoCConfig.from_dict(soc.to_dict()) == soc
+
+    def test_roundtrip_through_json(self):
+        soc = SoCConfig.full_sram()
+        rebuilt = SoCConfig.from_dict(json.loads(json.dumps(soc.to_dict())))
+        assert rebuilt == soc
+
+    def test_roundtrip_modified_cluster(self):
+        soc = SoCConfig.full_sram()
+        soc = type(soc)(
+            big=soc.big.with_l2(8.0, STT_L2_45NM),
+            little=soc.little,
+            dram=soc.dram,
+        )
+        assert SoCConfig.from_dict(soc.to_dict()) == soc
+
+    def test_unknown_key_rejected(self):
+        data = SoCConfig.full_sram().to_dict()
+        data["gpu"] = {}
+        with pytest.raises(ValueError):
+            SoCConfig.from_dict(data)
+
+    def test_nested_unknown_key_rejected(self):
+        data = SoCConfig.full_sram().to_dict()
+        data["big"]["turbo"] = True
+        with pytest.raises(ValueError):
+            SoCConfig.from_dict(data)
+
+
+class TestSmallRecords:
+    def test_memory_technology_roundtrip(self):
+        assert MemoryTechnology.from_dict(STT_L2_45NM.to_dict()) == STT_L2_45NM
+
+    def test_core_model_roundtrip(self):
+        assert CoreModel.from_dict(BIG_CORE_45NM.to_dict()) == BIG_CORE_45NM
+
+    def test_workload_roundtrip(self):
+        workload = PARSEC_KERNELS["canneal"]
+        assert WorkloadDescriptor.from_dict(workload.to_dict()) == workload
+
+    def test_design_constraints_roundtrip(self):
+        constraints = DesignConstraints(wer_target=1e-12, max_ecc_bits=2)
+        assert DesignConstraints.from_dict(constraints.to_dict()) == constraints
+
+    def test_design_constraints_unknown_key(self):
+        with pytest.raises(ValueError):
+            DesignConstraints.from_dict({"wer": 1e-9})
+
+    def test_design_point_roundtrip(self):
+        point = DesignPoint(
+            config=MemoryConfig(),
+            ecc_bits=1,
+            write_latency=2e-8,
+            read_latency=3e-9,
+            write_energy=6e-10,
+            read_energy=1e-10,
+            area=1e-6,
+            read_disturb_ok=True,
+        )
+        rebuilt = DesignPoint.from_dict(json.loads(json.dumps(point.to_dict())))
+        assert rebuilt == point

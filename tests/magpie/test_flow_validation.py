@@ -1,0 +1,52 @@
+"""MagpieFlow input validation and memory-record cache keying."""
+
+import pytest
+
+from repro.magpie import MagpieFlow, Scenario
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return MagpieFlow(node_nm=45)
+
+
+class TestScenarioValidation:
+    def test_unknown_scenario_raises_keyerror(self, flow):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            flow.run(workloads=["bodytrack"], scenarios=["Half-SRAM"])
+
+    def test_unknown_scenario_message_lists_options(self, flow):
+        with pytest.raises(KeyError, match="Full-SRAM"):
+            flow.run(workloads=["bodytrack"], scenarios=[object()])
+
+    def test_unknown_kernel_still_raises(self, flow):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            flow.run(workloads=["doom"], scenarios=[Scenario.FULL_SRAM])
+
+    def test_validation_happens_before_any_simulation(self, flow):
+        # A bad scenario late in the list must abort the whole grid
+        # up front, not after simulating earlier cells.
+        with pytest.raises(KeyError):
+            flow.run(
+                workloads=["bodytrack"],
+                scenarios=[Scenario.FULL_SRAM, "bogus"],
+            )
+
+    @pytest.mark.slow
+    def test_string_values_coerce(self, flow):
+        results = flow.run(workloads=["bodytrack"], scenarios=["Full-SRAM"])
+        assert ("bodytrack", Scenario.FULL_SRAM) in results
+
+
+class TestMemoryRecordCache:
+    @pytest.mark.slow
+    def test_wer_target_reconfiguration_not_stale(self):
+        flow = MagpieFlow(node_nm=45, wer_target=1e-6)
+        _, loose = flow.memory_records()
+        flow.wer_target = 1e-15
+        _, tight = flow.memory_records()
+        # Stale cache would return the loose record unchanged.
+        assert tight.write_latency > loose.write_latency
+        # Flipping back serves the original record from cache.
+        flow.wer_target = 1e-6
+        assert flow.memory_records()[1] == loose

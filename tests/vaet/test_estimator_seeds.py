@@ -1,0 +1,59 @@
+"""Fast seed-threading tests for VAETSTT (kept out of the slow tier).
+
+The heavyweight Table-1 suites carry the ``slow`` marker, so these
+small-population checks keep the new seed semantics covered in the
+``-m "not slow"`` loop.
+"""
+
+import pytest
+
+from repro.nvsim import MemoryConfig
+from repro.pdk import ProcessDesignKit
+from repro.vaet import VAETSTT
+
+
+@pytest.fixture(scope="module")
+def tool():
+    config = MemoryConfig(
+        rows=512, cols=512, word_bits=64, subarray_rows=128, subarray_cols=128
+    )
+    return VAETSTT(
+        ProcessDesignKit.for_node(45), config, error_population=10_000
+    )
+
+
+class TestEstimateSeed:
+    def test_default_matches_tool_seed(self, tool):
+        a = tool.estimate(num_words=200)
+        b = tool.estimate(num_words=200, seed=tool.seed)
+        assert a.write_latency.mean == b.write_latency.mean
+        assert a.read_energy.mean == b.read_energy.mean
+
+    def test_explicit_seed_reproducible(self, tool):
+        a = tool.estimate(num_words=200, seed=7)
+        b = tool.estimate(num_words=200, seed=7)
+        assert a.write_latency.mean == b.write_latency.mean
+
+    def test_different_seed_different_samples(self, tool):
+        a = tool.estimate(num_words=200, seed=7)
+        b = tool.estimate(num_words=200, seed=8)
+        assert a.write_latency.mean != b.write_latency.mean
+
+
+class TestErrorRatesSeed:
+    def test_default_cached(self, tool):
+        assert tool.error_rates() is tool.error_rates()
+
+    def test_cached_per_seed(self, tool):
+        default = tool.error_rates()
+        other = tool.error_rates(seed=7)
+        assert other is not default
+        assert tool.error_rates(seed=7) is other
+
+    def test_tool_seed_aliases_default(self, tool):
+        assert tool.error_rates(seed=tool.seed) is tool.error_rates()
+
+
+class TestErrorPopulation:
+    def test_population_knob_respected(self, tool):
+        assert tool.error_rates().cells.diameter.shape[0] == 10_000

@@ -18,6 +18,8 @@ from repro.vaet import (
     summarize,
 )
 
+pytestmark = pytest.mark.slow  # module-scope Monte Carlo fixtures
+
 
 @pytest.fixture(scope="module")
 def table1_config():
