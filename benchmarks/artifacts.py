@@ -1,0 +1,19 @@
+"""Pytest-free artefact capture shared by benchmarks and script modes.
+
+Lives outside conftest.py so ``python benchmarks/bench_dse.py --smoke``
+works on a box with only numpy/scipy installed.
+"""
+
+import os
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write a rendered table under benchmarks/output/ and print it."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

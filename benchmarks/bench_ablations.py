@@ -15,9 +15,8 @@ import numpy as np
 import pytest
 from conftest import save_artifact
 
-from repro.archsim import PARSEC_KERNELS, STT_L2_45NM
+from repro.archsim import PARSEC_KERNELS
 from repro.magpie import MagpieFlow, Scenario
-from repro.nvsim import MemoryConfig
 from repro.pdk import ProcessDesignKit
 from repro.pdk.variation import CMOSVariation, MTJVariation, ProcessVariation
 from repro.utils.table import Table

@@ -5,20 +5,72 @@ warm, asserting the warm-cache replay is >= 5x faster with identical
 records.  The slow path scales the same shape to the 216-point grid of
 ``examples/dse_campaign.py``.  Both record a JSON artefact with
 wall-clocks and cache statistics under benchmarks/output/.
+
+Runs two ways:
+
+* under pytest (the benchmark fixtures), as part of the full suite;
+* as a plain script for CI artefact capture — no pytest needed::
+
+      PYTHONPATH=src python benchmarks/bench_dse.py --smoke
+      PYTHONPATH=src python benchmarks/bench_dse.py --full
+
+``REPRO_DSE_WORKERS`` bounds the worker pool in both modes (CI runners
+set it to the vCPU count for deterministic pool sizes).
 """
 
+import argparse
 import json
+import os
+import sys
+import tempfile
 
-import pytest
-from conftest import save_artifact
+try:
+    import pytest
+except ImportError:  # script mode works without pytest installed
+    pytest = None
 
-from repro.dse import ParameterSpace, explore_memory
+sys.path.insert(0, os.path.dirname(__file__))
+from artifacts import save_artifact  # noqa: E402
+
+from repro.dse import ParameterSpace, default_workers, explore_memory  # noqa: E402
 
 
 def _campaign(space, cache_dir, **settings):
     cold = explore_memory(space, cache_dir=str(cache_dir), **settings)
     warm = explore_memory(space, cache_dir=str(cache_dir), **settings)
     return cold, warm
+
+
+def smoke_space() -> ParameterSpace:
+    """24 points: shape x word x reliability x node."""
+    space = ParameterSpace()
+    space.add("subarray_rows", [128, 256, 512])
+    space.add("word_bits", [128, 256])
+    space.add("wer_target", [1e-9, 1e-12])
+    space.add("node_nm", [45, 65])
+    return space
+
+
+def full_space() -> ParameterSpace:
+    """The 216-point grid of examples/dse_campaign.py."""
+    space = ParameterSpace()
+    space.add("subarray_rows", [128, 256, 512])
+    space.add("subarray_cols", [128, 256, 512])
+    space.add("word_bits", [128, 256])
+    space.add("wer_target", [1e-9, 1e-12, 1e-15])
+    space.add("max_ecc_bits", [2, 3])
+    space.add("node_nm", [45, 65])
+    return space
+
+
+SMOKE_SETTINGS = dict(num_words=200, error_population=10_000)
+FULL_SETTINGS = dict(num_words=400, error_population=30_000)
+
+if pytest is not None:
+    _slow = pytest.mark.slow
+else:
+    def _slow(fn):
+        return fn
 
 
 def _check_and_save(name, space, cold, warm):
@@ -42,39 +94,66 @@ def _check_and_save(name, space, cold, warm):
 
 def test_dse_campaign_smoke(benchmark, tmp_path):
     """Fast tier-1 path: 24 points, reduced Monte Carlo effort."""
-    space = ParameterSpace()
-    space.add("subarray_rows", [128, 256, 512])
-    space.add("word_bits", [128, 256])
-    space.add("wer_target", [1e-9, 1e-12])
-    space.add("node_nm", [45, 65])
+    space = smoke_space()
     assert space.size == 24
 
     def compute():
-        return _campaign(
-            space, tmp_path / "smoke", num_words=200, error_population=10_000
-        )
+        return _campaign(space, tmp_path / "smoke", **SMOKE_SETTINGS)
 
     cold, warm = benchmark.pedantic(compute, rounds=1, iterations=1)
     _check_and_save("dse_campaign_smoke.json", space, cold, warm)
 
 
-@pytest.mark.slow
+@_slow
 def test_dse_campaign_full(benchmark, tmp_path):
     """The 200+-point campaign of the acceptance criteria."""
-    space = ParameterSpace()
-    space.add("subarray_rows", [128, 256, 512])
-    space.add("subarray_cols", [128, 256, 512])
-    space.add("word_bits", [128, 256])
-    space.add("wer_target", [1e-9, 1e-12, 1e-15])
-    space.add("max_ecc_bits", [2, 3])
-    space.add("node_nm", [45, 65])
+    space = full_space()
     assert space.size == 216
 
     def compute():
-        return _campaign(
-            space, tmp_path / "full", num_words=400, error_population=30_000
-        )
+        return _campaign(space, tmp_path / "full", **FULL_SETTINGS)
 
     cold, warm = benchmark.pedantic(compute, rounds=1, iterations=1)
     summary = _check_and_save("dse_campaign_full.json", space, cold, warm)
     assert summary["points"] >= 200
+
+
+def main(argv=None) -> int:
+    """Script mode: run the smoke or full campaign, save the artefact."""
+    parser = argparse.ArgumentParser(
+        description="repro.dse campaign benchmark (JSON artefact capture)."
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke", action="store_true",
+        help="24-point campaign, reduced Monte Carlo effort (default)",
+    )
+    mode.add_argument(
+        "--full", action="store_true", help="216-point campaign"
+    )
+    args = parser.parse_args(argv)
+
+    if args.full:
+        name, space, settings = "dse_campaign_full.json", full_space(), FULL_SETTINGS
+    else:
+        name, space, settings = (
+            "dse_campaign_smoke.json", smoke_space(), SMOKE_SETTINGS,
+        )
+    print(
+        "campaign: %d points, %d worker(s) (%s)"
+        % (
+            space.size,
+            default_workers(),
+            "REPRO_DSE_WORKERS" if os.environ.get("REPRO_DSE_WORKERS")
+            else "cpu count",
+        )
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-dse-") as cache_dir:
+        cold, warm = _campaign(space, cache_dir, **settings)
+    summary = _check_and_save(name, space, cold, warm)
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,6 @@ figure of merit in a different direction:
 This bench sweeps the corner set the GREAT PDK would ship.
 """
 
-import pytest
 from conftest import save_artifact
 
 from repro.core import MSS_FREE_LAYER, PillarGeometry, SwitchingModel, ThermalStability

@@ -5,25 +5,12 @@ rendered artefact is printed and also written to benchmarks/output/ so
 the paper-vs-measured comparison of EXPERIMENTS.md can be refreshed.
 """
 
-import os
-
 import pytest
 
+from artifacts import OUTPUT_DIR, save_artifact  # noqa: F401  (re-export)
 from repro.nvsim import MemoryConfig
 from repro.pdk import ProcessDesignKit
 from repro.vaet import VAETSTT
-
-OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
-
-
-def save_artifact(name: str, text: str) -> None:
-    """Write a rendered table under benchmarks/output/ and print it."""
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    path = os.path.join(OUTPUT_DIR, name)
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
-    print()
-    print(text)
 
 
 @pytest.fixture(scope="session")

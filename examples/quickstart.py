@@ -7,7 +7,6 @@ sensor from a larger pillar — all from the *same* material stack.
 Run:  python examples/quickstart.py
 """
 
-import math
 
 from repro import design_memory_mss, design_oscillator_mss, design_sensor_mss
 from repro.utils.units import to_oersted

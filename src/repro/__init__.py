@@ -34,8 +34,6 @@ Subpackages
     APIs are thin wrappers over it (see ``examples/dse_campaign.py``).
 """
 
-__version__ = "1.0.0"
-
 from repro.core import (
     MSSDevice,
     MSSMode,
@@ -43,6 +41,8 @@ from repro.core import (
     design_oscillator_mss,
     design_sensor_mss,
 )
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -6,8 +6,8 @@ misses, writebacks).  Used directly for trace-driven runs and as the
 ground truth the analytic hierarchy model is validated against.
 """
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 
 @dataclass

@@ -13,7 +13,6 @@ uses the standard CPI + exposed-stall decomposition of
 :mod:`repro.archsim.cpu`.
 """
 
-import math
 from dataclasses import dataclass
 
 from repro.archsim.soc import ClusterConfig, SoCConfig

@@ -6,7 +6,7 @@ that record, plus its text serialisation (the "File Parser" boxes of
 Fig. 10 round-trip through it).
 """
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict
 
 

@@ -23,7 +23,7 @@ from repro.cells.cellconfig import CellConfig
 from repro.cells.sense_amp import build_sense_path
 from repro.pdk.kit import ProcessDesignKit
 from repro.spice.analysis import transient
-from repro.spice.mdl import CrossEvent, Delay, Expression, Extreme, MeasurementScript, When
+from repro.spice.mdl import CrossEvent, Delay, Expression, MeasurementScript
 
 
 @dataclass

@@ -12,7 +12,7 @@ binary-weighted junction areas the bank gives 2^N distinct levels.
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from repro.core.geometry import PillarGeometry
 from repro.core.mtj import MTJTransport

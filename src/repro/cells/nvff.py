@@ -14,12 +14,10 @@ the restore decision reuses the transport model, so every number
 reported by this cell traces back to device physics.
 """
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.compact import BehavioralMTJModel
-from repro.core.mtj import MTJTransport
 from repro.pdk.kit import ProcessDesignKit
 
 

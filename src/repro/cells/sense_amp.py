@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.core.compact import BehavioralMTJModel
 from repro.pdk.kit import ProcessDesignKit
 from repro.spice.behavioral import BehavioralVoltage
-from repro.spice.elements import Capacitor, DC, Pulse, Resistor, VoltageSource
+from repro.spice.elements import Capacitor, Pulse, Resistor, VoltageSource
 from repro.spice.mosfet import MOSFET
 from repro.spice.mtj_element import MTJElement
 from repro.spice.netlist import Circuit

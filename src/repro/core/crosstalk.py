@@ -19,7 +19,6 @@ This module computes:
 """
 
 import math
-from typing import Callable
 
 from scipy import optimize
 

@@ -26,7 +26,7 @@ Heun (the standard choice for Stratonovich LLG noise).
 """
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -39,7 +39,6 @@ from repro.utils.constants import (
     GILBERT_GYROMAGNETIC,
     HBAR,
     MU_0,
-    ROOM_TEMPERATURE,
 )
 
 

@@ -14,7 +14,7 @@ physics model (switching statistics, STO model, or sensor model).
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.bias import (

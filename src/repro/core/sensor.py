@@ -23,7 +23,6 @@ scale |H_z| ~ (H_bias - H_k).
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 from scipy import optimize

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.geometry import PillarGeometry
 from repro.core.material import FreeLayerMaterial
-from repro.core.thermal import ATTEMPT_TIME, ThermalStability
+from repro.core.thermal import ThermalStability
 from repro.utils.constants import (
     BOLTZMANN,
     ELEMENTARY_CHARGE,

@@ -9,22 +9,44 @@ subsystem every layer plugs into:
 * :mod:`repro.dse.cache` — on-disk JSON :class:`ResultCache` (identical
   re-runs are lookups, not simulations);
 * :mod:`repro.dse.runner` — multiprocessing :class:`CampaignRunner` with
-  chunked scheduling, content-derived seeds and failure isolation;
+  streaming execution (:meth:`~repro.dse.runner.CampaignRunner.run_iter`
+  + :class:`~repro.dse.runner.Progress` callbacks), chunked scheduling,
+  content-derived seeds and failure isolation;
+* :mod:`repro.dse.checkpoint` — :class:`CampaignState` journals behind
+  the resumable :func:`run_memory_campaign` / :func:`run_system_campaign`
+  entry points;
+* :mod:`repro.dse.adaptive` — successive-halving/zoom
+  :class:`AdaptiveSampler` (``sampler="adaptive"`` campaigns);
 * :mod:`repro.dse.pareto` — multi-objective frontier extraction;
 * :mod:`repro.dse.campaign` — :func:`explore_memory` (VAET-STT) and
   :func:`explore_system` (MAGPIE) entry points.
 
 ``DesignSpaceExplorer.sweep_subarrays`` and ``MagpieFlow.run`` are thin
-wrappers over this engine.
+wrappers over this engine, and ``python -m repro.dse`` drives
+describe/run/resume/status campaigns from the command line.
 """
 
+from repro.dse.adaptive import (
+    AdaptiveRound,
+    AdaptiveSampler,
+    AdaptiveTrace,
+    score_records,
+)
 from repro.dse.cache import ResultCache
+from repro.dse.checkpoint import (
+    CampaignState,
+    campaign_key,
+    run_checkpointed,
+)
 from repro.dse.jobs import Job, JobResult, canonical_json, content_key
 from repro.dse.pareto import Objective, dominance_ranks, dominates, pareto_front
 from repro.dse.runner import (
     MEMORY_TARGET,
     SYSTEM_TARGET,
+    WORKERS_ENV,
     CampaignRunner,
+    Progress,
+    default_workers,
     get_target,
     register_target,
 )
@@ -37,6 +59,8 @@ from repro.dse.campaign import (
     explore_memory,
     explore_system,
     memory_point_spec,
+    run_memory_campaign,
+    run_system_campaign,
     system_point_spec,
 )
 
@@ -49,10 +73,20 @@ __all__ = [
     "content_key",
     "ResultCache",
     "CampaignRunner",
+    "Progress",
+    "default_workers",
+    "WORKERS_ENV",
     "MEMORY_TARGET",
     "SYSTEM_TARGET",
     "register_target",
     "get_target",
+    "CampaignState",
+    "campaign_key",
+    "run_checkpointed",
+    "AdaptiveRound",
+    "AdaptiveSampler",
+    "AdaptiveTrace",
+    "score_records",
     "Objective",
     "dominates",
     "dominance_ranks",
@@ -61,6 +95,8 @@ __all__ = [
     "SystemCampaignResult",
     "explore_memory",
     "explore_system",
+    "run_memory_campaign",
+    "run_system_campaign",
     "evaluate_memory_point",
     "evaluate_system_point",
     "memory_point_spec",

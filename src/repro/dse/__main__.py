@@ -1,0 +1,325 @@
+"""Command-line campaigns: ``python -m repro.dse <subcommand>``.
+
+Subcommands:
+
+* ``describe SPEC``         — summarise a campaign spec without running it;
+* ``run SPEC --dir DIR``    — run a resumable campaign with live progress;
+* ``resume SPEC --dir DIR`` — shorthand for ``run --resume``;
+* ``status --dir DIR``      — report a campaign directory's journal.
+
+A campaign spec is a JSON file::
+
+    {
+      "kind": "memory",
+      "axes": {"subarray_rows": [128, 256], "wer_target": [1e-9, 1e-12]},
+      "settings": {"num_words": 400, "error_population": 30000},
+      "sampler": "grid",                   // or "lhs" / "adaptive"
+      "samples": 16,                       // lhs point budget
+      "sampler_options": {"batch": 8, "rounds": 4},   // adaptive knobs
+      "objectives": ["edp_proxy"]
+    }
+
+    {
+      "kind": "system",
+      "workloads": ["bodytrack", "canneal"],
+      "scenarios": ["Full-SRAM", "Full-L2-STT-MRAM"],
+      "settings": {"node_nm": 45, "wer_target": 1e-9}
+    }
+
+``settings`` keys are passed through to :func:`run_memory_campaign` /
+:func:`run_system_campaign` verbatim, so everything those accept
+(``node_nm``, ``seed``, ``workers``, ...) is spec-addressable.  The
+campaign directory holds ``cache/`` and ``checkpoint.json``; both are
+written as results arrive, so a killed ``run`` continues with
+``resume``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.dse.cache import ResultCache
+from repro.dse.campaign import (
+    SAMPLERS,
+    run_memory_campaign,
+    run_system_campaign,
+)
+from repro.dse.checkpoint import JOURNAL_NAME, CampaignState
+from repro.dse.runner import Progress, default_workers
+from repro.dse.space import ParameterSpace
+
+
+def load_spec(path: str) -> Dict:
+    """Read and structurally validate a campaign spec file."""
+    try:
+        with open(path) as handle:
+            spec = json.load(handle)
+    except OSError as exc:
+        raise SystemExit("cannot read spec %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise SystemExit("spec %s is not valid JSON: %s" % (path, exc))
+    if not isinstance(spec, dict):
+        raise SystemExit("spec %s must be a JSON object" % path)
+    kind = spec.get("kind")
+    if kind not in ("memory", "system"):
+        raise SystemExit(
+            'spec %s: "kind" must be "memory" or "system", got %r' % (path, kind)
+        )
+    if kind == "memory" and not isinstance(spec.get("axes"), dict):
+        raise SystemExit('spec %s: memory campaigns need an "axes" object' % path)
+    sampler = spec.get("sampler", "grid")
+    if sampler not in SAMPLERS:
+        raise SystemExit(
+            "spec %s: unknown sampler %r; known: %s" % (path, sampler, SAMPLERS)
+        )
+    if kind == "system" and sampler != "grid":
+        raise SystemExit(
+            'spec %s: resumable system campaigns are grid-only; use the '
+            "explore_system API for adaptive cell selection" % path
+        )
+    return spec
+
+
+def _memory_space(spec: Dict) -> ParameterSpace:
+    space = ParameterSpace()
+    for name, values in spec["axes"].items():
+        space.add(name, values)
+    return space
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return "%d:%02d:%02d" % (seconds // 3600, seconds % 3600 // 60, seconds % 60)
+    return "%02d:%02d" % (seconds // 60, seconds % 60)
+
+
+def progress_printer(stream=None):
+    """A progress callback rendering a one-line live status."""
+    stream = stream if stream is not None else sys.stderr
+
+    def show(event: Progress) -> None:
+        line = "\r%4d/%d done  %d cached  %d failed  eta %s" % (
+            event.done,
+            event.total,
+            event.cached,
+            event.failed,
+            _format_eta(event.eta),
+        )
+        stream.write(line)
+        if event.done == event.total:
+            stream.write("\n")
+        stream.flush()
+
+    return show
+
+
+# -- subcommands --------------------------------------------------------
+
+
+def cmd_describe(args) -> int:
+    spec = load_spec(args.spec)
+    sampler = spec.get("sampler", "grid")
+    settings = spec.get("settings", {})
+    print("kind:      %s" % spec["kind"])
+    print("sampler:   %s" % sampler)
+    if spec["kind"] == "memory":
+        space = _memory_space(spec)
+        for axis in space.axes:
+            print("axis:      %s = %s" % (axis.name, list(axis.values)))
+        print("grid size: %d" % space.size)
+        if sampler == "lhs":
+            print("lhs jobs:  %s" % spec.get("samples", "(samples missing)"))
+        elif sampler == "adaptive":
+            options = spec.get("sampler_options", {})
+            batch = options.get("batch", 8)
+            rounds = options.get("rounds", 4)
+            print(
+                "adaptive:  <= %d jobs (%d rounds x %d batch), objectives %s"
+                % (
+                    batch * rounds,
+                    rounds,
+                    batch,
+                    spec.get("objectives", ["edp_proxy"]),
+                )
+            )
+    else:
+        workloads = spec.get("workloads")
+        scenarios = spec.get("scenarios")
+        from repro.archsim.workloads import PARSEC_KERNELS
+        from repro.magpie.scenarios import Scenario
+
+        names = workloads if workloads is not None else sorted(PARSEC_KERNELS)
+        chosen = scenarios if scenarios is not None else [s.value for s in Scenario]
+        print("workloads: %s" % list(names))
+        print("scenarios: %s" % list(chosen))
+        print("grid size: %d" % (len(names) * len(chosen)))
+    for key in sorted(settings):
+        print("setting:   %s = %r" % (key, settings[key]))
+    print("workers:   %d (default; REPRO_DSE_WORKERS overrides)" % default_workers())
+    return 0
+
+
+def _run_campaign(spec: Dict, args, resume: bool):
+    settings = dict(spec.get("settings", {}))
+    if args.workers is not None:
+        settings["workers"] = args.workers
+    progress = None if args.quiet else progress_printer()
+    common = dict(
+        campaign_dir=args.dir,
+        resume=resume,
+        retry_failed=args.retry_failed,
+        progress=progress,
+        **settings,
+    )
+    if spec["kind"] == "memory":
+        return run_memory_campaign(
+            _memory_space(spec),
+            sampler=spec.get("sampler", "grid"),
+            samples=spec.get("samples"),
+            sampler_options=spec.get("sampler_options"),
+            objectives=tuple(spec.get("objectives", ("edp_proxy",))),
+            **common,
+        )
+    return run_system_campaign(
+        workloads=spec.get("workloads"),
+        scenarios=spec.get("scenarios"),
+        **common,
+    )
+
+
+def _summarise(result, campaign_dir: str, elapsed: float) -> None:
+    records = result.records()
+    print("campaign finished in %.1f s" % elapsed)
+    print("  points:   %d" % len(result.outcomes if hasattr(result, "outcomes")
+                                 else result.results))
+    if hasattr(result, "errors"):
+        print("  feasible: %d   errors: %d   infeasible: %d"
+              % (len(records), len(result.errors()), result.infeasible()))
+    if result.cache_stats is not None:
+        print("  cache:    %(hits)d hits / %(misses)d misses / %(writes)d writes"
+              % result.cache_stats)
+    front = result.pareto()
+    print("  pareto:   %d non-dominated" % len(front))
+    if result.adaptive is not None:
+        print("  adaptive: %d rounds, %d evaluations, best score %s"
+              % (
+                  len(result.adaptive.rounds),
+                  result.adaptive.evaluations,
+                  result.adaptive.best_score,
+              ))
+    print("  journal:  %s" % os.path.join(campaign_dir, JOURNAL_NAME))
+
+
+def cmd_run(args, resume: bool = False) -> int:
+    spec = load_spec(args.spec)
+    start = time.perf_counter()
+    result = _run_campaign(spec, args, resume=resume or args.resume)
+    _summarise(result, args.dir, time.perf_counter() - start)
+    return 0
+
+
+def cmd_resume(args) -> int:
+    return cmd_run(args, resume=True)
+
+
+def cmd_status(args) -> int:
+    path = os.path.join(args.dir, JOURNAL_NAME)
+    try:
+        state = CampaignState.load(path)
+    except FileNotFoundError:
+        print("no campaign journal at %s" % path, file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    status = state.status()
+    percent = (
+        100.0 * status["done"] / status["total"] if status["total"] else 0.0
+    )
+    print("campaign:  %s..." % status["campaign_key"][:16])
+    print("progress:  %d/%d done (%.1f%%), %d failed, %d remaining"
+          % (
+              status["done"],
+              status["total"],
+              percent,
+              status["failed"],
+              status["remaining"],
+          ))
+    print("updated:   %s" % time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.localtime(status["updated"])
+    ))
+    cache = ResultCache(os.path.join(args.dir, "cache"))
+    print("cache:     %d entries" % len(cache))
+    meta = status.get("meta") or {}
+    if meta.get("kind"):
+        print("kind:      %s" % meta["kind"])
+    if meta.get("sampler"):
+        print("sampler:   %s" % meta["sampler"])
+    if args.json:
+        print(json.dumps(status, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dse",
+        description="Resumable design-space-exploration campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="summarise a campaign spec")
+    describe.add_argument("spec", help="campaign spec JSON file")
+    describe.set_defaults(func=cmd_describe)
+
+    def add_run_arguments(command):
+        command.add_argument("spec", help="campaign spec JSON file")
+        command.add_argument(
+            "--dir", required=True,
+            help="campaign directory (cache/ + checkpoint.json)",
+        )
+        command.add_argument(
+            "--workers", type=int, default=None,
+            help="pool size (default: REPRO_DSE_WORKERS or CPU count)",
+        )
+        command.add_argument(
+            "--retry-failed", action="store_true",
+            help="re-run points the journal marks failed",
+        )
+        command.add_argument(
+            "--quiet", action="store_true", help="suppress live progress"
+        )
+
+    run = sub.add_parser("run", help="run a campaign (resumably)")
+    add_run_arguments(run)
+    run.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing journal instead of starting fresh",
+    )
+    run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser("resume", help="continue a killed campaign")
+    add_run_arguments(resume)
+    resume.set_defaults(func=cmd_resume, resume=True)
+
+    status = sub.add_parser("status", help="report a campaign directory")
+    status.add_argument("--dir", required=True, help="campaign directory")
+    status.add_argument(
+        "--json", action="store_true", help="also dump the raw journal status"
+    )
+    status.set_defaults(func=cmd_status)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Adaptive sampling: successive-halving zoom over a ParameterSpace.
+
+Grid and LHS campaigns spend the same effort on every region of the
+design space; an adaptive campaign spends it where the objective says
+the good designs live.  :class:`AdaptiveSampler` implements the
+successive-halving/zoom loop:
+
+1. **seed** — draw a coarse batch from the full space (LHS when the
+   space is larger than the batch, the whole grid otherwise);
+2. **score** — the caller evaluates the batch against the campaign
+   objective(s) (:func:`score_records` turns result records into
+   scores; multi-objective scoring uses Pareto dominance ranks, so the
+   "promising region" is the one feeding the frontier);
+3. **zoom** — :meth:`~repro.dse.space.ParameterSpace.refine` windows
+   every axis onto the range the best fraction of points span;
+4. repeat on the smaller space until the round budget is spent or the
+   space collapses to a point.
+
+The sampler is deterministic in its seed, and evaluation goes through
+the normal job/cache machinery — re-running (or resuming) an adaptive
+campaign replays each round from cache and walks the identical zoom
+path.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.dse.jobs import canonical_json
+from repro.dse.pareto import ObjectiveSpec, dominance_ranks
+from repro.dse.space import ParameterSpace
+
+#: Evaluate one batch of points, returning one score per point (lower
+#: is better; None marks the point unscorable: infeasible or failed).
+BatchEvaluator = Callable[[List[Dict]], Sequence[Optional[float]]]
+
+
+def score_records(
+    records: Sequence[Optional[Mapping]],
+    objectives: Sequence[ObjectiveSpec],
+) -> List[Optional[float]]:
+    """Scalar scores (lower = better) for a batch of result records.
+
+    ``None`` records (infeasible / failed points) score ``None``.  A
+    single objective scores by its (sign-normalised) value; multiple
+    objectives score by Pareto dominance rank, so rank-0 points — the
+    batch frontier — are the ones the zoom keeps.
+
+    Raises:
+        ValueError: No objectives given.
+        KeyError: A record lacks an objective key.
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    live = [(i, record) for i, record in enumerate(records) if record is not None]
+    scores: List[Optional[float]] = [None] * len(records)
+    if not live:
+        return scores
+    if len(objectives) == 1:
+        from repro.dse.pareto import Objective
+
+        objective = Objective.parse(objectives[0])
+        for i, record in live:
+            value = float(record[objective.key])
+            scores[i] = -value if objective.maximize else value
+        return scores
+    ranks = dominance_ranks([record for _, record in live], objectives)
+    for (i, _), rank in zip(live, ranks):
+        scores[i] = float(rank)
+    return scores
+
+
+@dataclass
+class AdaptiveRound:
+    """One zoom iteration of an adaptive campaign.
+
+    Attributes:
+        index: Round number, 0-based.
+        space_size: Grid cardinality of the space this round sampled.
+        points: Points evaluated this round (duplicates of earlier
+            rounds excluded).
+        scores: Scores aligned with ``points`` (None = unscorable).
+        best_point / best_score: Round winner, if any point scored.
+    """
+
+    index: int
+    space_size: int
+    points: List[Dict]
+    scores: List[Optional[float]]
+    best_point: Optional[Dict] = None
+    best_score: Optional[float] = None
+
+
+@dataclass
+class AdaptiveTrace:
+    """Full history of an adaptive run.
+
+    Attributes:
+        rounds: Per-round records, in order.
+        best_point / best_score: Overall winner across rounds.
+        evaluations: Total points submitted for evaluation.
+    """
+
+    rounds: List[AdaptiveRound] = field(default_factory=list)
+    best_point: Optional[Dict] = None
+    best_score: Optional[float] = None
+    evaluations: int = 0
+
+
+class AdaptiveSampler:
+    """Successive-halving/zoom driver over a :class:`ParameterSpace`.
+
+    Args:
+        space: The full design space to explore.
+        batch: Points per round (clamped to the round's space size).
+        rounds: Maximum zoom iterations.
+        keep: Fraction of scored points that survive into the zoom
+            window each round (the "halving" knob).
+        margin: Window widening passed to ``ParameterSpace.refine``.
+        seed: Base LHS seed; round ``r`` samples with ``seed + r`` so
+            batches differ between rounds but replay identically.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        batch: int = 8,
+        rounds: int = 4,
+        keep: float = 0.5,
+        margin: int = 1,
+        seed: int = 0,
+    ):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if not 0.0 < keep <= 1.0:
+            raise ValueError("keep must be in (0, 1], got %r" % keep)
+        self.space = space
+        self.batch = batch
+        self.rounds = rounds
+        self.keep = keep
+        self.margin = margin
+        self.seed = seed
+
+    def run(self, evaluate: BatchEvaluator) -> AdaptiveTrace:
+        """Drive the zoom loop; ``evaluate`` scores each round's batch."""
+        trace = AdaptiveTrace()
+        space = self.space
+        seen = set()
+        for index in range(self.rounds):
+            points = self._draw(space, index, seen)
+            if not points:  # zoomed space fully explored already
+                break
+            scores = list(evaluate(points))
+            if len(scores) != len(points):
+                raise ValueError(
+                    "evaluator returned %d scores for %d points"
+                    % (len(scores), len(points))
+                )
+            trace.evaluations += len(points)
+            round_record = AdaptiveRound(
+                index=index,
+                space_size=space.size,
+                points=points,
+                scores=scores,
+            )
+            scored = [
+                (point, score)
+                for point, score in zip(points, scores)
+                if score is not None
+            ]
+            if scored:
+                best_point, best_score = min(scored, key=lambda pair: pair[1])
+                round_record.best_point = best_point
+                round_record.best_score = best_score
+                if trace.best_score is None or best_score < trace.best_score:
+                    trace.best_point = best_point
+                    trace.best_score = best_score
+            trace.rounds.append(round_record)
+            if not scored:  # nothing to zoom towards; stop early
+                break
+            if space.size <= 1:
+                break
+            space = space.refine(scored, keep=self.keep, margin=self.margin)
+        return trace
+
+    def _draw(self, space: ParameterSpace, round_index: int, seen) -> List[Dict]:
+        """One round's batch: LHS (or the whole grid), minus repeats.
+
+        Points evaluated in earlier rounds would be pure cache hits, but
+        they would also carry no new information — skip them so every
+        evaluation the budget pays for is a fresh design.
+        """
+        if space.size <= self.batch:
+            candidates = list(space.grid())
+        else:
+            candidates = space.sample(self.batch, seed=self.seed + round_index)
+        fresh = []
+        for point in candidates:
+            key = canonical_json(
+                {name: _plain(value) for name, value in point.items()}
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            fresh.append(point)
+        return fresh
+
+
+def _plain(value):
+    """JSON-able form of an axis value for dedup keys (enums by value)."""
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return value.value
+    return value

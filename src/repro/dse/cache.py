@@ -11,7 +11,7 @@ runner.
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class ResultCache:
@@ -33,13 +33,18 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def _read(self, key: str) -> Optional[Dict]:
+        """Parse one record off disk; None if absent or corrupt."""
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
     def get(self, key: str) -> Optional[Dict]:
         """Look one record up; None (and a miss) if absent or corrupt."""
-        path = self._path(key)
-        try:
-            with open(path) as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
+        record = self._read(key)
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -65,7 +70,40 @@ class ResultCache:
         self.writes += 1
 
     def __contains__(self, key: str) -> bool:
-        return os.path.exists(self._path(key))
+        """Membership consistent with :meth:`get`.
+
+        A corrupt or truncated file (a crash mid-rename on exotic
+        filesystems, manual edits) is *not* a member — ``get`` would
+        miss on it, so ``in`` must agree.  Does not touch the session
+        counters.
+        """
+        return self._read(key) is not None
+
+    def purge_corrupt(self) -> List[str]:
+        """Delete unparseable cache files; return the removed keys.
+
+        Lets an operator reclaim a cache after a crash or disk fault
+        instead of carrying dead files that every membership test
+        re-parses.
+        """
+        removed = []
+        if not os.path.isdir(self.root):
+            return removed
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                key = name[: -len(".json")]
+                if self._read(key) is None:
+                    try:
+                        os.unlink(os.path.join(shard_dir, name))
+                    except OSError:
+                        continue
+                    removed.append(key)
+        return removed
 
     def __len__(self) -> int:
         count = 0

@@ -17,24 +17,45 @@ pickle cheaply, hash stably, and replay identically from cache.
 Entry points :func:`explore_memory` and :func:`explore_system` build the
 job lists from a :class:`~repro.dse.space.ParameterSpace` / grid, run
 them through a (cached, parallel) :class:`CampaignRunner`, and wrap the
-outcomes with Pareto helpers.
+outcomes with Pareto helpers.  Both accept ``sampler="adaptive"`` to
+spend the evaluation budget successively zooming onto the
+objective-promising region instead of covering the whole grid.
+
+:func:`run_memory_campaign` and :func:`run_system_campaign` are the
+*resumable* entry points: they pin a campaign to a directory holding the
+result cache plus a :class:`~repro.dse.checkpoint.CampaignState`
+journal, so a campaign killed after N of M points continues with
+``resume=True`` exactly where it stopped — zero re-evaluation of the N
+finished points.
 """
 
 import enum
+import os
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.dse.adaptive import AdaptiveSampler, AdaptiveTrace, score_records
 from repro.dse.cache import ResultCache
+from repro.dse.checkpoint import (
+    JOURNAL_NAME,
+    CampaignState,
+    campaign_key,
+    run_checkpointed,
+)
 from repro.dse.jobs import Job, JobResult
 from repro.dse.pareto import ObjectiveSpec, pareto_front
 from repro.dse.runner import (
     MEMORY_TARGET,
     SYSTEM_TARGET,
     CampaignRunner,
+    ProgressCallback,
     register_target,
 )
 from repro.dse.space import ParameterSpace
+
+#: Samplers the campaign entry points understand.
+SAMPLERS = ("grid", "lhs", "adaptive")
 
 #: MemoryConfig field names an axis may override.
 _CONFIG_FIELDS = (
@@ -182,109 +203,30 @@ def sweep_points(jobs: Sequence[Job], runner: Optional[CampaignRunner] = None):
 # -- campaign entry points ----------------------------------------------
 
 
-@dataclass
-class MemoryCampaignResult:
-    """Outcome of :func:`explore_memory`.
-
-    Attributes:
-        jobs: Submitted jobs, in point order.
-        outcomes: Per-job results (aligned with ``jobs``).
-        elapsed: Campaign wall-clock [s].
-        cache_stats: Cache session counters (None when uncached).
-    """
-
-    jobs: List[Job]
-    outcomes: List[JobResult]
-    elapsed: float
-    cache_stats: Optional[Dict] = None
-
-    def records(self) -> List[Dict]:
-        """Feasible points as flat dicts: spec axes + metrics + EDP."""
-        rows = []
-        for job, outcome in zip(self.jobs, self.outcomes):
-            if not (outcome.ok and outcome.result.get("feasible")):
-                continue
-            point = dict(outcome.result["point"])
-            row = dict(point.pop("config"))
-            row["node_nm"] = job.spec["node_nm"]
-            row["wer_target"] = job.spec["constraints"]["wer_target"]
-            row.update(point)
-            row["edp_proxy"] = row["write_latency"] * row["write_energy"]
-            row["key"] = job.key
-            rows.append(row)
-        return rows
-
-    def errors(self) -> List[JobResult]:
-        """Failed outcomes (failure isolation keeps them out of records)."""
-        return [outcome for outcome in self.outcomes if not outcome.ok]
-
-    def infeasible(self) -> int:
-        """Count of points that met no constraint-satisfying design."""
-        return sum(
-            1 for o in self.outcomes if o.ok and not o.result.get("feasible")
-        )
-
-    @property
-    def cache_hits(self) -> int:
-        return sum(1 for o in self.outcomes if o.from_cache)
-
-    def pareto(
-        self,
-        objectives: Sequence[ObjectiveSpec] = (
-            "write_latency", "write_energy", "area",
-        ),
-    ) -> List[Dict]:
-        """Non-dominated records under the given objectives."""
-        return pareto_front(self.records(), objectives)
+def _memory_record(job: Job, outcome: JobResult) -> Optional[Dict]:
+    """Flat record (spec axes + metrics + EDP) of one feasible outcome."""
+    if not (outcome.ok and outcome.result.get("feasible")):
+        return None
+    point = dict(outcome.result["point"])
+    row = dict(point.pop("config"))
+    row["node_nm"] = job.spec["node_nm"]
+    row["wer_target"] = job.spec["constraints"]["wer_target"]
+    row.update(point)
+    row["edp_proxy"] = row["write_latency"] * row["write_energy"]
+    row["key"] = job.key
+    return row
 
 
-def explore_memory(
-    space: ParameterSpace,
-    base_config=None,
-    constraints=None,
-    node_nm: int = 45,
-    num_words: int = 1500,
-    error_population: int = 200_000,
-    seed: Optional[int] = 2018,
-    samples: Optional[int] = None,
-    sample_seed: int = 0,
-    cache_dir: Optional[str] = None,
-    workers: Optional[int] = None,
-    runner: Optional[CampaignRunner] = None,
-) -> MemoryCampaignResult:
-    """Run a memory-level (VAET-STT) campaign over a parameter space.
-
-    Axis names map onto :class:`MemoryConfig` fields, ``DesignConstraints``
-    fields, or the spec-level knobs ``node_nm`` / ``num_words`` /
-    ``error_population`` / ``seed``.  Invalid combinations (e.g. a
-    subarray taller than the array) become per-point error records, not
-    campaign aborts.
-
-    Args:
-        space: The axes to sweep.
-        base_config: Starting organisation (default: the paper array).
-        constraints: Baseline reliability constraints.
-        node_nm: Default PDK node when no ``node_nm`` axis is given.
-        num_words / error_population: Monte Carlo sampling effort.
-        seed: Spec seed for every point (None = per-point content seed).
-        samples: If set, latin-hypercube sample this many points instead
-            of the full grid.
-        sample_seed: LHS permutation seed.
-        cache_dir: Enable the on-disk result cache at this path.
-        workers: Pool size (None = CPU count).
-        runner: Pre-built runner (overrides cache_dir/workers).
-    """
-    from repro.nvsim.config import PAPER_ARRAY
-    from repro.vaet.explorer import DesignConstraints
-
-    base_config = base_config if base_config is not None else PAPER_ARRAY
-    constraints = constraints if constraints is not None else DesignConstraints()
-    points = (
-        space.sample(samples, seed=sample_seed)
-        if samples is not None
-        else list(space.grid())
-    )
-
+def _memory_jobs(
+    points: Iterable[Mapping],
+    base_config,
+    constraints,
+    node_nm: int,
+    num_words: int,
+    error_population: int,
+    seed: Optional[int],
+) -> List[Job]:
+    """Memory-level jobs for design points (axis-name -> value dicts)."""
     jobs = []
     for point in points:
         config_dict = base_config.to_dict()
@@ -315,48 +257,404 @@ def explore_memory(
         spec["config"] = config_dict
         spec["constraints"] = constraint_dict
         jobs.append(Job(MEMORY_TARGET, spec))
+    return jobs
 
+
+def _space_signature(space: ParameterSpace) -> List:
+    """JSON-ready axis summary for campaign signatures / journals."""
+    return [
+        [axis.name, [_json_value(value) for value in axis.values]]
+        for axis in space.axes
+    ]
+
+
+def _run_adaptive(space, build_jobs, execute, record, sampler_options, objectives):
+    """Shared adaptive loop: evaluate batches, score, zoom.
+
+    Args:
+        build_jobs: points -> jobs.
+        execute: jobs -> outcomes (runner or checkpointed runner).
+        record: (job, outcome) -> scoreable record dict or None.
+        sampler_options: AdaptiveSampler keyword overrides.
+        objectives: Scoring objectives (Pareto ranks when several).
+
+    Returns:
+        (jobs, outcomes, trace) with jobs/outcomes deduplicated across
+        rounds in first-seen order.
+    """
+    all_jobs: List[Job] = []
+    all_outcomes: List[JobResult] = []
+    seen = set()
+
+    def evaluate(points):
+        jobs = build_jobs(points)
+        outcomes = execute(jobs)
+        for job, outcome in zip(jobs, outcomes):
+            if job.key not in seen:
+                seen.add(job.key)
+                all_jobs.append(job)
+                all_outcomes.append(outcome)
+        rows = [record(job, outcome) for job, outcome in zip(jobs, outcomes)]
+        return score_records(rows, objectives)
+
+    sampler = AdaptiveSampler(space, **dict(sampler_options or {}))
+    trace = sampler.run(evaluate)
+    return all_jobs, all_outcomes, trace
+
+
+@dataclass
+class MemoryCampaignResult:
+    """Outcome of :func:`explore_memory` / :func:`run_memory_campaign`.
+
+    Attributes:
+        jobs: Submitted jobs, in point order.
+        outcomes: Per-job results (aligned with ``jobs``).
+        elapsed: Campaign wall-clock [s].
+        cache_stats: Cache session counters (None when uncached).
+        adaptive: Zoom trace when the campaign ran ``sampler="adaptive"``.
+    """
+
+    jobs: List[Job]
+    outcomes: List[JobResult]
+    elapsed: float
+    cache_stats: Optional[Dict] = None
+    adaptive: Optional[AdaptiveTrace] = None
+
+    def records(self) -> List[Dict]:
+        """Feasible points as flat dicts: spec axes + metrics + EDP."""
+        rows = []
+        for job, outcome in zip(self.jobs, self.outcomes):
+            row = _memory_record(job, outcome)
+            if row is not None:
+                rows.append(row)
+        return rows
+
+    def errors(self) -> List[JobResult]:
+        """Failed outcomes (failure isolation keeps them out of records)."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def infeasible(self) -> int:
+        """Count of points that met no constraint-satisfying design."""
+        return sum(
+            1 for o in self.outcomes if o.ok and not o.result.get("feasible")
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    def pareto(
+        self,
+        objectives: Sequence[ObjectiveSpec] = (
+            "write_latency", "write_energy", "area",
+        ),
+    ) -> List[Dict]:
+        """Non-dominated records under the given objectives."""
+        return pareto_front(self.records(), objectives)
+
+
+def _memory_settings(base_config, constraints):
+    """Default the memory campaign's config/constraint objects."""
+    from repro.nvsim.config import PAPER_ARRAY
+    from repro.vaet.explorer import DesignConstraints
+
+    if base_config is None:
+        base_config = PAPER_ARRAY
+    if constraints is None:
+        constraints = DesignConstraints()
+    return base_config, constraints
+
+
+def _static_points(
+    space: ParameterSpace,
+    sampler: str,
+    samples: Optional[int],
+    sample_seed: int,
+) -> List[Dict]:
+    """Grid or LHS point list for the non-adaptive samplers."""
+    if sampler == "lhs" and samples is None:
+        raise ValueError('sampler="lhs" requires samples')
+    if samples is not None:
+        return space.sample(samples, seed=sample_seed)
+    return list(space.grid())
+
+
+def explore_memory(
+    space: ParameterSpace,
+    base_config=None,
+    constraints=None,
+    node_nm: int = 45,
+    num_words: int = 1500,
+    error_population: int = 200_000,
+    seed: Optional[int] = 2018,
+    samples: Optional[int] = None,
+    sample_seed: int = 0,
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    runner: Optional[CampaignRunner] = None,
+    sampler: str = "grid",
+    sampler_options: Optional[Dict] = None,
+    objectives: Sequence[ObjectiveSpec] = ("edp_proxy",),
+    progress: Optional[ProgressCallback] = None,
+) -> MemoryCampaignResult:
+    """Run a memory-level (VAET-STT) campaign over a parameter space.
+
+    Axis names map onto :class:`MemoryConfig` fields, ``DesignConstraints``
+    fields, or the spec-level knobs ``node_nm`` / ``num_words`` /
+    ``error_population`` / ``seed``.  Invalid combinations (e.g. a
+    subarray taller than the array) become per-point error records, not
+    campaign aborts.
+
+    Args:
+        space: The axes to sweep.
+        base_config: Starting organisation (default: the paper array).
+        constraints: Baseline reliability constraints.
+        node_nm: Default PDK node when no ``node_nm`` axis is given.
+        num_words / error_population: Monte Carlo sampling effort.
+        seed: Spec seed for every point (None = per-point content seed).
+        samples: If set, latin-hypercube sample this many points instead
+            of the full grid.
+        sample_seed: LHS permutation seed.
+        cache_dir: Enable the on-disk result cache at this path.
+        workers: Pool size (None = ``REPRO_DSE_WORKERS`` or CPU count).
+        runner: Pre-built runner (overrides cache_dir/workers).
+        sampler: ``"grid"`` (default), ``"lhs"`` (requires ``samples``)
+            or ``"adaptive"`` — successive-halving zoom onto the region
+            best under ``objectives`` (see :mod:`repro.dse.adaptive`).
+        sampler_options: ``AdaptiveSampler`` overrides (batch, rounds,
+            keep, margin, seed).
+        objectives: Adaptive scoring objectives over the feasible
+            records (Pareto dominance ranks when more than one).
+        progress: Per-point streaming callback (one
+            :class:`~repro.dse.runner.Progress` snapshot per completed
+            point; adaptive campaigns restart the count each round).
+    """
+    if sampler not in SAMPLERS:
+        raise ValueError("unknown sampler %r; known: %s" % (sampler, SAMPLERS))
+    base_config, constraints = _memory_settings(base_config, constraints)
     if runner is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
         runner = CampaignRunner(workers=workers, cache=cache)
+
+    def build_jobs(points):
+        return _memory_jobs(
+            points, base_config, constraints,
+            node_nm, num_words, error_population, seed,
+        )
+
     start = time.perf_counter()
-    outcomes = runner.run(jobs)
+    trace = None
+    if sampler == "adaptive":
+        jobs, outcomes, trace = _run_adaptive(
+            space,
+            build_jobs,
+            lambda jobs: runner.run(jobs, progress=progress),
+            _memory_record,
+            sampler_options,
+            objectives,
+        )
+    else:
+        jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
+        outcomes = runner.run(jobs, progress=progress)
     elapsed = time.perf_counter() - start
     stats = runner.cache.stats() if runner.cache is not None else None
     return MemoryCampaignResult(
-        jobs=jobs, outcomes=outcomes, elapsed=elapsed, cache_stats=stats
+        jobs=jobs, outcomes=outcomes, elapsed=elapsed,
+        cache_stats=stats, adaptive=trace,
     )
+
+
+def run_memory_campaign(
+    space: ParameterSpace,
+    campaign_dir: str,
+    resume: bool = False,
+    retry_failed: bool = False,
+    base_config=None,
+    constraints=None,
+    node_nm: int = 45,
+    num_words: int = 1500,
+    error_population: int = 200_000,
+    seed: Optional[int] = 2018,
+    samples: Optional[int] = None,
+    sample_seed: int = 0,
+    workers: Optional[int] = None,
+    sampler: str = "grid",
+    sampler_options: Optional[Dict] = None,
+    objectives: Sequence[ObjectiveSpec] = ("edp_proxy",),
+    progress: Optional[ProgressCallback] = None,
+) -> MemoryCampaignResult:
+    """Resumable :func:`explore_memory`: cache + journal in a directory.
+
+    ``campaign_dir`` holds the result cache (``cache/``) and the
+    checkpoint journal (``checkpoint.json``), both written as results
+    arrive.  A campaign killed after N of M points continues with
+    ``resume=True``: the N finished points come back as cache/journal
+    hits (zero re-evaluation) and the results are identical to an
+    uninterrupted run.
+
+    Args:
+        campaign_dir: Campaign home; created on first write.
+        resume: Continue an existing journal instead of starting fresh.
+            Refuses a journal whose signature (axes + settings +
+            sampler) differs from this call's.
+        retry_failed: Re-run points the journal marks failed instead of
+            replaying their recorded errors.
+        (Remaining arguments are as in :func:`explore_memory`.)
+    """
+    if sampler not in SAMPLERS:
+        raise ValueError("unknown sampler %r; known: %s" % (sampler, SAMPLERS))
+    base_config, constraints = _memory_settings(base_config, constraints)
+    signature = {
+        "kind": "memory",
+        "axes": _space_signature(space),
+        "base_config": base_config.to_dict(),
+        "constraints": constraints.to_dict(),
+        "node_nm": node_nm,
+        "num_words": num_words,
+        "error_population": error_population,
+        "seed": seed,
+        "samples": samples,
+        "sample_seed": sample_seed,
+        "sampler": sampler,
+        "sampler_options": dict(sampler_options or {}),
+        "objectives": [list(o) if isinstance(o, tuple) else o for o in objectives],
+    }
+    cache = ResultCache(os.path.join(campaign_dir, "cache"))
+    runner = CampaignRunner(workers=workers, cache=cache)
+    journal = os.path.join(campaign_dir, JOURNAL_NAME)
+
+    def build_jobs(points):
+        return _memory_jobs(
+            points, base_config, constraints,
+            node_nm, num_words, error_population, seed,
+        )
+
+    start = time.perf_counter()
+    trace = None
+    if sampler == "adaptive":
+        state = CampaignState.open(
+            journal, campaign_key(signature), total=0,
+            resume=resume, meta=signature,
+        )
+        planned = 0
+
+        def execute(jobs):
+            nonlocal planned
+            planned += len(jobs)
+            state.total = max(state.total, planned)
+            return run_checkpointed(
+                jobs, runner, state, retry_failed=retry_failed, progress=progress
+            )
+
+        jobs, outcomes, trace = _run_adaptive(
+            space, build_jobs, execute, _memory_record,
+            sampler_options, objectives,
+        )
+    else:
+        jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
+        state = CampaignState.open(
+            journal, campaign_key(signature), total=len(jobs),
+            resume=resume, meta=signature,
+        )
+        outcomes = run_checkpointed(
+            jobs, runner, state, retry_failed=retry_failed, progress=progress
+        )
+    elapsed = time.perf_counter() - start
+    return MemoryCampaignResult(
+        jobs=jobs, outcomes=outcomes, elapsed=elapsed,
+        cache_stats=cache.stats(), adaptive=trace,
+    )
+
+
+def _system_row(kernel: str, scenario, cell) -> Dict:
+    """Flat record of one (kernel, scenario) cell."""
+    energy = cell.energy.total_energy
+    return {
+        "workload": kernel,
+        "scenario": scenario.value,
+        "exec_time": cell.energy.exec_time,
+        "energy": energy,
+        "edp": energy * cell.energy.exec_time,
+    }
+
+
+def _system_jobs(flow, cells: Sequence[Tuple[str, object]]) -> List[Job]:
+    """System-level jobs for (kernel name, Scenario) cells."""
+    from repro.archsim.workloads import PARSEC_KERNELS
+
+    return [
+        Job(SYSTEM_TARGET, system_point_spec(flow, PARSEC_KERNELS[name], scenario))
+        for name, scenario in cells
+    ]
+
+
+def _system_results(flow, cells, outcomes) -> Dict:
+    """Parse cell outcomes into the (kernel, Scenario) -> result grid.
+
+    Raises:
+        RuntimeError: On any failed cell (system campaigns keep the
+            historic fail-fast contract of ``MagpieFlow.run``).
+    """
+    from repro.archsim.stats import ActivityReport
+    from repro.magpie.flow import ScenarioResult
+    from repro.mcpat.components import estimate_energy
+
+    results: Dict = {}
+    for (name, scenario), outcome in zip(cells, outcomes):
+        if not outcome.ok:
+            raise RuntimeError(
+                "MAGPIE job (%s, %s) failed: %s"
+                % (name, scenario.value, outcome.error)
+            )
+        report = ActivityReport.parse(outcome.result["report"])
+        soc = flow.build_soc(scenario)
+        energy = estimate_energy(soc, report)
+        results[(name, scenario)] = ScenarioResult(
+            scenario=scenario, report=report, energy=energy
+        )
+    return results
+
+
+def run_system_cells(
+    flow,
+    cells: Sequence[Tuple[str, object]],
+    runner: CampaignRunner,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict:
+    """Evaluate (kernel, Scenario) cells through the engine.
+
+    The shared core of ``MagpieFlow.run`` and the system campaign entry
+    points: each cell is a content-hashed job carrying the memory-level
+    records, so caching/parallel runners drop in transparently.
+    """
+    jobs = _system_jobs(flow, cells)
+    outcomes = runner.run(jobs, progress=progress)
+    return _system_results(flow, cells, outcomes)
 
 
 @dataclass
 class SystemCampaignResult:
-    """Outcome of :func:`explore_system`.
+    """Outcome of :func:`explore_system` / :func:`run_system_campaign`.
 
     Attributes:
-        results: (kernel, Scenario) -> ``ScenarioResult`` grid.
+        results: (kernel, Scenario) -> ``ScenarioResult`` grid (the
+            evaluated subset, for adaptive campaigns).
         elapsed: Campaign wall-clock [s].
         cache_stats: Cache session counters (None when uncached).
+        adaptive: Zoom trace when the campaign ran ``sampler="adaptive"``.
     """
 
     results: Dict
     elapsed: float
     cache_stats: Optional[Dict] = None
+    adaptive: Optional[AdaptiveTrace] = None
 
     def records(self) -> List[Dict]:
         """Grid cells as flat dicts with exec time, energy and EDP."""
-        rows = []
-        for (kernel, scenario), cell in self.results.items():
-            energy = cell.energy.total_energy
-            rows.append(
-                {
-                    "workload": kernel,
-                    "scenario": scenario.value,
-                    "exec_time": cell.energy.exec_time,
-                    "energy": energy,
-                    "edp": energy * cell.energy.exec_time,
-                }
-            )
-        return rows
+        return [
+            _system_row(kernel, scenario, cell)
+            for (kernel, scenario), cell in self.results.items()
+        ]
 
     def pareto(
         self, objectives: Sequence[ObjectiveSpec] = ("exec_time", "energy")
@@ -374,6 +672,10 @@ def explore_system(
     cache_dir: Optional[str] = None,
     workers: Optional[int] = None,
     runner: Optional[CampaignRunner] = None,
+    sampler: str = "grid",
+    sampler_options: Optional[Dict] = None,
+    objectives: Sequence[ObjectiveSpec] = ("edp",),
+    progress: Optional[ProgressCallback] = None,
 ) -> SystemCampaignResult:
     """Run a system-level (MAGPIE) campaign over a kernel x scenario grid.
 
@@ -384,15 +686,121 @@ def explore_system(
             level runs once and its records are shared by every cell.
         cache_dir / workers / runner: Engine settings, as in
             :func:`explore_memory`.
+        sampler: ``"grid"`` (default, the full cross product) or
+            ``"adaptive"`` — zoom onto the cells best under
+            ``objectives`` instead of evaluating every cell.
+        sampler_options / objectives / progress: As in
+            :func:`explore_memory` (default objective: EDP).
     """
+    if sampler not in ("grid", "adaptive"):
+        raise ValueError(
+            'unknown sampler %r; system campaigns support "grid" and '
+            '"adaptive"' % (sampler,)
+        )
     from repro.magpie.flow import MagpieFlow
 
     flow = MagpieFlow(node_nm=node_nm, base=base, wer_target=wer_target)
     if runner is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
         runner = CampaignRunner(workers=workers, cache=cache)
+
     start = time.perf_counter()
-    results = flow.run(workloads=workloads, scenarios=scenarios, runner=runner)
+    trace = None
+    if sampler == "adaptive":
+        results, trace = _adaptive_system(
+            flow, workloads, scenarios, runner,
+            sampler_options, objectives, progress,
+        )
+    else:
+        results = flow.run(
+            workloads=workloads, scenarios=scenarios, runner=runner,
+            progress=progress,
+        )
     elapsed = time.perf_counter() - start
     stats = runner.cache.stats() if runner.cache is not None else None
-    return SystemCampaignResult(results=results, elapsed=elapsed, cache_stats=stats)
+    return SystemCampaignResult(
+        results=results, elapsed=elapsed, cache_stats=stats, adaptive=trace
+    )
+
+
+def _adaptive_system(
+    flow, workloads, scenarios, runner, sampler_options, objectives, progress
+):
+    """Adaptive cell selection over the workload x scenario grid."""
+    from repro.magpie.scenarios import Scenario
+
+    names, chosen = flow.validate_grid(workloads, scenarios)
+    space = ParameterSpace(
+        [("workload", names), ("scenario", [s.value for s in chosen])]
+    )
+    results: Dict = {}
+
+    def evaluate(points):
+        cells = [
+            (point["workload"], Scenario(point["scenario"])) for point in points
+        ]
+        batch = run_system_cells(flow, cells, runner, progress=progress)
+        results.update(batch)
+        rows = [
+            _system_row(name, scenario, batch[(name, scenario)])
+            for name, scenario in cells
+        ]
+        return score_records(rows, objectives)
+
+    sampler = AdaptiveSampler(space, **dict(sampler_options or {}))
+    trace = sampler.run(evaluate)
+    return results, trace
+
+
+def run_system_campaign(
+    campaign_dir: str,
+    workloads: Optional[Iterable[str]] = None,
+    scenarios: Optional[Iterable] = None,
+    node_nm: int = 45,
+    base=None,
+    wer_target: float = 1e-9,
+    resume: bool = False,
+    retry_failed: bool = False,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SystemCampaignResult:
+    """Resumable :func:`explore_system`: cache + journal in a directory.
+
+    The full kernel x scenario grid with every completed cell journaled
+    as it lands; ``resume=True`` finishes a killed campaign without
+    re-simulating completed cells (they replay from the cache).  See
+    :func:`run_memory_campaign` for the directory layout and resume
+    semantics.
+    """
+    from repro.magpie.flow import MagpieFlow
+
+    flow = MagpieFlow(node_nm=node_nm, base=base, wer_target=wer_target)
+    names, chosen = flow.validate_grid(workloads, scenarios)
+    cells = [(name, scenario) for name in names for scenario in chosen]
+    signature = {
+        "kind": "system",
+        "workloads": names,
+        "scenarios": [s.value for s in chosen],
+        "node_nm": node_nm,
+        "wer_target": wer_target,
+        "base": flow.base.to_dict(),
+    }
+    cache = ResultCache(os.path.join(campaign_dir, "cache"))
+    runner = CampaignRunner(workers=workers, cache=cache)
+    jobs = _system_jobs(flow, cells)
+    state = CampaignState.open(
+        os.path.join(campaign_dir, JOURNAL_NAME),
+        campaign_key(signature),
+        total=len(jobs),
+        resume=resume,
+        meta=signature,
+    )
+    start = time.perf_counter()
+    outcomes = run_checkpointed(
+        jobs, runner, state, retry_failed=retry_failed, progress=progress
+    )
+    results = _system_results(flow, cells, outcomes)
+    elapsed = time.perf_counter() - start
+    return SystemCampaignResult(
+        results=results, elapsed=elapsed, cache_stats=cache.stats()
+    )

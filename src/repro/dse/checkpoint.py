@@ -1,0 +1,265 @@
+"""Campaign journals: resume a killed campaign where it stopped.
+
+A :class:`CampaignState` is an atomic JSON file living alongside the
+:class:`~repro.dse.cache.ResultCache` that records, per job key, whether
+the point completed and how.  It is written as results *arrive* (the
+runner streams them), so a campaign killed after N of M points leaves a
+journal with those N points and :func:`run_checkpointed` can finish the
+remaining M-N without re-evaluating anything:
+
+* successful points replay from the result cache (the journal never
+  duplicates result payloads — the cache is the store of record);
+* failed points replay their journaled error instead of re-raising the
+  evaluator (pass ``retry_failed=True`` to re-run them);
+* a journal written by a *different* campaign (other axes, other
+  settings — detected via the campaign signature hash) refuses to
+  resume rather than silently mixing results.
+
+The journal and the cache may disagree by at most the in-flight point
+when a campaign dies (the cache write lands just before the journal
+record); resumption handles both orders, because a journaled-ok point
+whose cache entry vanished simply re-evaluates.
+"""
+
+import json
+import os
+import tempfile
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dse.jobs import Job, JobResult, content_key
+from repro.dse.runner import CampaignRunner, Progress
+
+#: Journal schema version (bump on incompatible layout changes).
+JOURNAL_VERSION = 1
+
+#: Default journal file name inside a campaign directory.
+JOURNAL_NAME = "checkpoint.json"
+
+
+def campaign_key(signature: Dict) -> str:
+    """Stable hash identifying a campaign by its full configuration.
+
+    Args:
+        signature: JSON-ready dict of everything that determines the
+            job list (axes, settings, sampler).  Two campaigns share a
+            journal only if their signatures hash identically.
+    """
+    return content_key("campaign", signature)
+
+
+class CampaignState:
+    """Atomic on-disk journal of a campaign's completed points.
+
+    Args:
+        path: Journal file path (conventionally
+            ``<campaign_dir>/checkpoint.json``).
+        key: Campaign signature hash (see :func:`campaign_key`).
+        total: Planned point count (advisory; adaptive campaigns grow
+            it round by round).
+        meta: Optional JSON-ready context stored for ``status`` display.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        key: str,
+        total: int = 0,
+        meta: Optional[Dict] = None,
+    ):
+        self.path = str(path)
+        self.key = key
+        self.total = int(total)
+        self.meta = dict(meta) if meta else {}
+        #: job key -> {"ok": bool, "error": str|None, "elapsed": float}
+        self.completed: Dict[str, Dict] = {}
+        self.created = time.time()
+        self.updated = self.created
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignState":
+        """Read a journal back.
+
+        Raises:
+            FileNotFoundError: No journal at ``path``.
+            ValueError: Corrupt or incompatible journal.
+        """
+        with open(path) as handle:
+            try:
+                data = json.load(handle)
+            except ValueError:
+                raise ValueError("corrupt campaign journal: %s" % path)
+        if not isinstance(data, dict) or "campaign_key" not in data:
+            raise ValueError("not a campaign journal: %s" % path)
+        if data.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                "journal %s has version %r, this build reads %d"
+                % (path, data.get("version"), JOURNAL_VERSION)
+            )
+        state = cls(
+            path,
+            data["campaign_key"],
+            total=data.get("total", 0),
+            meta=data.get("meta"),
+        )
+        state.completed = dict(data.get("completed", {}))
+        state.created = data.get("created", state.created)
+        state.updated = data.get("updated", state.updated)
+        return state
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        key: str,
+        total: int,
+        resume: bool = False,
+        meta: Optional[Dict] = None,
+    ) -> "CampaignState":
+        """Create a fresh journal, or on ``resume`` reopen an existing one.
+
+        A fresh open overwrites any stale journal at ``path``; a resume
+        validates that the journal belongs to this campaign.
+
+        Raises:
+            ValueError: Resuming a journal written by a different
+                campaign (signature hash mismatch), or a corrupt one.
+        """
+        if resume and os.path.exists(path):
+            state = cls.load(path)
+            if state.key != key:
+                raise ValueError(
+                    "journal %s belongs to a different campaign "
+                    "(key %s..., expected %s...); refusing to resume"
+                    % (path, state.key[:12], key[:12])
+                )
+            if total > state.total:
+                state.total = total
+            return state
+        state = cls(path, key, total=total, meta=meta)
+        state.save()
+        return state
+
+    def save(self) -> None:
+        """Write the journal atomically (write + rename)."""
+        self.updated = time.time()
+        payload = {
+            "version": JOURNAL_VERSION,
+            "campaign_key": self.key,
+            "total": self.total,
+            "meta": self.meta,
+            "created": self.created,
+            "updated": self.updated,
+            "completed": self.completed,
+        }
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, outcome: JobResult) -> None:
+        """Journal one completed point and persist immediately.
+
+        Cache-served completions whose journaled status already matches
+        are skipped — a resume that replays N finished points performs
+        zero journal writes for them, keeping total journal I/O
+        proportional to fresh evaluations.
+        """
+        existing = self.completed.get(outcome.job.key)
+        if outcome.from_cache and existing is not None:
+            if existing.get("ok") == outcome.ok:
+                return
+        entry = {
+            "ok": outcome.ok,
+            "error": outcome.error,
+            "elapsed": outcome.elapsed,
+        }
+        if existing == entry:
+            return
+        self.completed[outcome.job.key] = entry
+        self.save()
+
+    def entry(self, key: str) -> Optional[Dict]:
+        """The journaled record for a job key, or None."""
+        return self.completed.get(key)
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return len(self.completed)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for entry in self.completed.values() if not entry["ok"])
+
+    def status(self) -> Dict:
+        """JSON-ready progress summary (the CLI ``status`` payload)."""
+        return {
+            "campaign_key": self.key,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "remaining": max(0, self.total - self.done),
+            "created": self.created,
+            "updated": self.updated,
+            "meta": self.meta,
+        }
+
+
+def run_checkpointed(
+    jobs: Sequence[Job],
+    runner: CampaignRunner,
+    state: CampaignState,
+    retry_failed: bool = False,
+    progress: Optional[Callable[[Progress], None]] = None,
+) -> List[JobResult]:
+    """Run jobs with every completion journaled as it arrives.
+
+    Points the journal marks failed replay their recorded error without
+    touching an evaluator (unless ``retry_failed``); points it marks ok
+    are submitted normally and served by the runner's result cache — so
+    resuming a killed campaign re-evaluates nothing that finished.
+
+    Results align with the input order, exactly like
+    :meth:`CampaignRunner.run`.  If the consumer (or a progress
+    callback) raises mid-run, everything journaled so far survives for
+    the next resume.
+    """
+    jobs = list(jobs)
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+
+    submitted: List[Job] = []
+    slots: Dict[str, deque] = {}
+    for index, job in enumerate(jobs):
+        entry = state.entry(job.key)
+        if entry is not None and not entry["ok"] and not retry_failed:
+            results[index] = JobResult(
+                job=job,
+                ok=False,
+                error=entry["error"],
+                elapsed=entry.get("elapsed", 0.0),
+                from_cache=True,
+            )
+            continue
+        slots.setdefault(job.key, deque()).append(index)
+        submitted.append(job)
+
+    for outcome in runner.run_iter(submitted, progress=progress):
+        state.record(outcome)
+        results[slots[outcome.job.key].popleft()] = outcome
+    return results  # type: ignore[return-value]

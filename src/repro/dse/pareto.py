@@ -13,7 +13,7 @@ points share a front.
 """
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 #: An objective: a key (minimised by default) or a (key, sense) pair
 #: with sense "min" or "max".

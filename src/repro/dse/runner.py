@@ -10,6 +10,10 @@ The runner turns a list of :class:`~repro.dse.jobs.Job` into
 * **parallelism** — misses fan out over a ``multiprocessing`` pool in
   chunks (workers=1 degenerates to an in-process serial loop, which the
   legacy sweep wrappers use to reproduce historic outputs exactly);
+* **streaming** — :meth:`CampaignRunner.run_iter` yields results as
+  they complete (``imap_unordered`` under the hood), so checkpoints and
+  progress displays see every point the moment it lands instead of
+  after the whole batch;
 * **determinism** — every job carries a seed derived from its content
   hash, so worker assignment and execution order cannot change results;
 * **failure isolation** — an evaluator exception becomes an error
@@ -23,10 +27,24 @@ import importlib
 import os
 import time
 import traceback
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.dse.cache import ResultCache
 from repro.dse.jobs import Job, JobResult
+
+#: Environment variable bounding the default pool size (CI runners and
+#: laptops want deterministic small pools without touching call sites).
+WORKERS_ENV = "REPRO_DSE_WORKERS"
 
 #: Built-in target names (evaluators live in ``repro.dse.campaign``).
 MEMORY_TARGET = "vaet-memory"
@@ -94,12 +112,91 @@ def _execute(
         return (False, None, error, time.perf_counter() - start)
 
 
+def _execute_indexed(
+    payload: Tuple[int, str, Dict, int]
+) -> Tuple[int, Tuple[bool, Optional[Dict], Optional[str], float]]:
+    """Worker entry for unordered maps: echo the submission index back."""
+    return payload[0], _execute(payload[1:])
+
+
+def default_workers() -> int:
+    """Default pool size: ``REPRO_DSE_WORKERS`` if set, else CPU count.
+
+    Raises:
+        ValueError: If the environment override is not a positive int.
+    """
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return os.cpu_count() or 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be a positive integer, got %r" % (WORKERS_ENV, raw)
+        )
+    if workers < 1:
+        raise ValueError(
+            "%s must be a positive integer, got %r" % (WORKERS_ENV, raw)
+        )
+    return workers
+
+
+@dataclass
+class Progress:
+    """Snapshot of a streaming run, passed to the progress callback.
+
+    The callback receives a fresh snapshot after every completed point
+    (cache hits included), so a display or checkpoint layer never waits
+    on the batch.
+
+    Attributes:
+        total: Points submitted to this run.
+        done: Points completed so far (cached + evaluated).
+        cached: Completions served from the result cache.
+        failed: Completions whose evaluator raised.
+        elapsed: Wall-clock since the run started [s].
+    """
+
+    total: int
+    done: int = 0
+    cached: int = 0
+    failed: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def evaluated(self) -> int:
+        """Points that actually ran an evaluator."""
+        return self.done - self.cached
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def eta(self) -> Optional[float]:
+        """Estimated seconds to completion.
+
+        Extrapolates the mean evaluation wall-clock over the remaining
+        points; None until the first evaluated (non-cached) point lands.
+        """
+        if self.remaining == 0:
+            return 0.0
+        if self.evaluated == 0:
+            return None
+        return self.elapsed / self.evaluated * self.remaining
+
+
+#: Signature of the progress hook: called with a Progress snapshot.
+ProgressCallback = Callable[[Progress], None]
+
+
 class CampaignRunner:
     """Cached, chunked, parallel job executor.
 
     Args:
-        workers: Pool size; ``None`` uses the CPU count, ``1`` runs
-            serially in-process (no pool, no pickling).
+        workers: Pool size; ``None`` uses ``REPRO_DSE_WORKERS`` when
+            set, else the CPU count; ``1`` runs serially in-process
+            (no pool, no pickling).
         cache: Optional :class:`ResultCache`; hits skip evaluation,
             successful results are written back.
         chunksize: Pool chunk size; default balances ~4 chunks per
@@ -114,31 +211,72 @@ class CampaignRunner:
     ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
-        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.workers = workers if workers is not None else default_workers()
         self.cache = cache
         self.chunksize = chunksize
 
-    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[Job],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[JobResult]:
         """Execute jobs, returning results aligned with the input order."""
         jobs = list(jobs)
         results: List[Optional[JobResult]] = [None] * len(jobs)
+        for index, outcome in self._iter_indexed(jobs, progress):
+            results[index] = outcome
+        return results  # type: ignore[return-value]
+
+    def run_iter(
+        self,
+        jobs: Sequence[Job],
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[JobResult]:
+        """Yield one :class:`JobResult` per job, in completion order.
+
+        Cache hits stream out first; evaluated points follow as workers
+        finish them (``imap_unordered``), not when the batch does.
+        Successful results are written to the cache *before* they are
+        yielded, so a consumer killed mid-iteration loses at most the
+        in-flight points — everything already yielded is durable.
+
+        Duplicate jobs yield one result each (evaluated once).
+        """
+        for _, outcome in self._iter_indexed(list(jobs), progress):
+            yield outcome
+
+    def _iter_indexed(
+        self,
+        jobs: List[Job],
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[Tuple[int, JobResult]]:
+        """Yield ``(input index, result)`` pairs in completion order."""
+        start = time.perf_counter()
+        state = Progress(total=len(jobs))
+
+        def tick(outcome: JobResult) -> None:
+            state.done += 1
+            state.cached += 1 if outcome.from_cache else 0
+            state.failed += 0 if outcome.ok else 1
+            state.elapsed = time.perf_counter() - start
+            if progress is not None:
+                progress(replace(state))
 
         # Cache lookups + same-campaign deduplication.
         pending: Dict[str, List[int]] = {}
         for index, job in enumerate(jobs):
             record = self.cache.get(job.key) if self.cache is not None else None
             if record is not None:
-                results[index] = JobResult(
+                outcome = JobResult(
                     job=job, ok=True, result=record["result"], from_cache=True
                 )
+                tick(outcome)
+                yield index, outcome
             else:
                 pending.setdefault(job.key, []).append(index)
 
         unique = [jobs[indices[0]] for indices in pending.values()]
-        payloads = [(job.target, dict(job.spec), job.seed) for job in unique]
-        outcomes = self._map(payloads)
-
-        for job, (ok, result, error, elapsed) in zip(unique, outcomes):
+        for job, (ok, result, error, elapsed) in self._imap(unique):
             if ok and self.cache is not None:
                 self.cache.put(
                     job.key,
@@ -150,20 +288,38 @@ class CampaignRunner:
                     },
                 )
             for index in pending[job.key]:
-                results[index] = JobResult(
+                outcome = JobResult(
                     job=jobs[index], ok=ok, result=result,
                     error=error, elapsed=elapsed,
                 )
-        return results  # type: ignore[return-value]
+                tick(outcome)
+                yield index, outcome
 
-    def _map(self, payloads: List[Tuple[str, Dict, int]]) -> List[Tuple]:
-        """Run payloads serially or over the pool."""
-        if not payloads:
-            return []
-        if self.workers == 1 or len(payloads) == 1:
-            return [_execute(payload) for payload in payloads]
+    def _imap(
+        self, unique: List[Job]
+    ) -> Iterator[Tuple[Job, Tuple[bool, Optional[Dict], Optional[str], float]]]:
+        """Yield ``(job, outcome)`` pairs in completion order.
+
+        Serial mode evaluates lazily one job per pull; pool mode streams
+        ``imap_unordered`` results.  Abandoning the generator mid-flight
+        (consumer exception) tears the pool down via its context
+        manager, so no workers leak.
+        """
+        if not unique:
+            return
+        if self.workers == 1 or len(unique) == 1:
+            for job in unique:
+                yield job, _execute((job.target, dict(job.spec), job.seed))
+            return
         import multiprocessing
 
+        payloads = [
+            (position, job.target, dict(job.spec), job.seed)
+            for position, job in enumerate(unique)
+        ]
         chunksize = self.chunksize or max(1, len(payloads) // (self.workers * 4))
         with multiprocessing.Pool(self.workers) as pool:
-            return pool.map(_execute, payloads, chunksize=chunksize)
+            for position, outcome in pool.imap_unordered(
+                _execute_indexed, payloads, chunksize=chunksize
+            ):
+                yield unique[position], outcome

@@ -16,11 +16,10 @@ The flow wires every layer of this repository together:
 4. **mcpat** — component energy roll-up, EDP.
 """
 
-import math
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.archsim.memtech import MemoryTechnology, SRAM_L1_45NM
+from repro.archsim.memtech import MemoryTechnology
 from repro.archsim.simulator import simulate
 from repro.archsim.soc import SoCConfig
 from repro.archsim.stats import ActivityReport
@@ -148,6 +147,7 @@ class MagpieFlow:
         workloads: Optional[Iterable[str]] = None,
         scenarios: Optional[Iterable[Scenario]] = None,
         runner=None,
+        progress=None,
     ) -> Dict[Tuple[str, Scenario], ScenarioResult]:
         """Evaluate a kernel x scenario grid.
 
@@ -162,43 +162,41 @@ class MagpieFlow:
             scenarios: Scenario members or their string values
                 (default: all).
             runner: Optional ``CampaignRunner``.
+            progress: Optional per-cell streaming callback (see
+                ``repro.dse.runner.Progress``).
+
+        Raises:
+            KeyError: On unknown kernel names or scenario values.
+        """
+        names, chosen = self.validate_grid(workloads, scenarios)
+
+        from repro.dse.campaign import run_system_cells
+        from repro.dse.runner import CampaignRunner
+
+        grid = [(name, scenario) for name in names for scenario in chosen]
+        engine = runner if runner is not None else CampaignRunner(workers=1)
+        return run_system_cells(self, grid, engine, progress=progress)
+
+    def validate_grid(
+        self,
+        workloads: Optional[Iterable[str]] = None,
+        scenarios: Optional[Iterable[Scenario]] = None,
+    ) -> Tuple[List[str], List[Scenario]]:
+        """Validated (kernel names, Scenario list) grid axes.
+
+        The single source of kernel/scenario validation, shared with the
+        ``repro.dse`` campaign entry points.
 
         Raises:
             KeyError: On unknown kernel names or scenario values.
         """
         names = list(workloads) if workloads is not None else sorted(PARSEC_KERNELS)
-        chosen = self._validate_scenarios(scenarios)
         for name in names:
             if name not in PARSEC_KERNELS:
                 raise KeyError(
                     "unknown kernel %r; available: %s" % (name, sorted(PARSEC_KERNELS))
                 )
-
-        from repro.dse.campaign import system_point_spec
-        from repro.dse.jobs import Job
-        from repro.dse.runner import CampaignRunner, SYSTEM_TARGET
-
-        grid = [(name, scenario) for name in names for scenario in chosen]
-        jobs = [
-            Job(SYSTEM_TARGET, system_point_spec(self, PARSEC_KERNELS[name], scenario))
-            for name, scenario in grid
-        ]
-        engine = runner if runner is not None else CampaignRunner(workers=1)
-        outcomes = engine.run(jobs)
-        results: Dict[Tuple[str, Scenario], ScenarioResult] = {}
-        for (name, scenario), outcome in zip(grid, outcomes):
-            if not outcome.ok:
-                raise RuntimeError(
-                    "MAGPIE job (%s, %s) failed: %s"
-                    % (name, scenario.value, outcome.error)
-                )
-            report = ActivityReport.parse(outcome.result["report"])
-            soc = self.build_soc(scenario)
-            energy = estimate_energy(soc, report)
-            results[(name, scenario)] = ScenarioResult(
-                scenario=scenario, report=report, energy=energy
-            )
-        return results
+        return names, self._validate_scenarios(scenarios)
 
     @staticmethod
     def _validate_scenarios(

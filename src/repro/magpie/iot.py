@@ -13,7 +13,6 @@ crossover below which non-volatility wins — the quantitative version
 of the paper's 5-10x claim.
 """
 
-import dataclasses
 from dataclasses import dataclass
 from typing import List, Sequence
 

@@ -7,7 +7,7 @@ and the cell type occupying the subarrays.
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.serde import check_known_fields
 

@@ -11,7 +11,6 @@ import math
 from dataclasses import dataclass
 
 from repro.cells.cellconfig import CellConfig
-from repro.core.switching import SwitchingModel
 from repro.nvsim.config import CellKind, MemoryConfig
 from repro.nvsim.senseamp_model import SenseAmpEstimate, sense_amp_estimate
 from repro.nvsim.wire import WireSegment, driver_resistance, local_wire

@@ -31,10 +31,8 @@ from repro.core.mtj import MTJTransport
 from repro.core.switching import SwitchingModel
 from repro.pdk.corners import (
     CMOS_CORNERS,
-    CMOSCorner,
     CornerName,
     MAGNETIC_CORNERS,
-    MagneticCorner,
     MagneticCornerName,
 )
 from repro.pdk.technology import CMOSTechnology, technology_for_node

@@ -13,7 +13,6 @@ under reliability constraints (target WER/RER, read-disturb budget)
 and reports the latency/energy/area frontier.
 """
 
-import math
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence
 

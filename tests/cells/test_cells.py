@@ -1,6 +1,5 @@
 """Tests for the MSS cell library: bit cell, SA, driver, NVFF, I-source."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core import (
-    BiasMagnetPair,
     CrosstalkAnalysis,
     MSS_FREE_LAYER,
     PillarGeometry,

@@ -1,0 +1,229 @@
+"""Tests for campaign journals and checkpointed (resumable) execution."""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    CampaignRunner,
+    CampaignState,
+    Job,
+    ResultCache,
+    campaign_key,
+    register_target,
+    run_checkpointed,
+)
+
+KEY = campaign_key({"kind": "test", "axes": [["x", [0, 1, 2, 3, 4, 5]]]})
+
+
+def _echo(spec, seed):
+    return {"value": spec["x"] * 10}
+
+
+def _fragile(spec, seed):
+    if spec["x"] == 1:
+        raise ValueError("point 1 is broken")
+    return {"value": spec["x"]}
+
+
+@pytest.fixture(autouse=True)
+def _targets():
+    register_target("ckpt-echo", _echo)
+    register_target("ckpt-fragile", _fragile)
+
+
+class Killed(Exception):
+    """Stands in for SIGKILL: aborts the campaign mid-stream."""
+
+
+class TestCampaignState:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        state = CampaignState.open(path, KEY, total=6, meta={"kind": "test"})
+        job = Job("ckpt-echo", {"x": 0})
+        (outcome,) = CampaignRunner(workers=1).run([job])
+        state.record(outcome)
+        loaded = CampaignState.load(path)
+        assert loaded.key == KEY
+        assert loaded.total == 6
+        assert loaded.done == 1
+        assert loaded.failed == 0
+        assert loaded.entry(job.key) == {
+            "ok": True,
+            "error": None,
+            "elapsed": outcome.elapsed,
+        }
+        assert loaded.meta == {"kind": "test"}
+
+    def test_status_payload(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        state = CampaignState.open(path, KEY, total=4)
+        status = state.status()
+        assert status["total"] == 4
+        assert status["done"] == 0
+        assert status["remaining"] == 4
+        assert status["campaign_key"] == KEY
+
+    def test_resume_rejects_foreign_journal(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        CampaignState.open(path, KEY, total=4)
+        other = campaign_key({"kind": "test", "axes": [["x", [9]]]})
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignState.open(path, other, total=4, resume=True)
+
+    def test_fresh_open_overwrites(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        state = CampaignState.open(path, KEY, total=4)
+        job = Job("ckpt-echo", {"x": 0})
+        (outcome,) = CampaignRunner(workers=1).run([job])
+        state.record(outcome)
+        fresh = CampaignState.open(path, KEY, total=4, resume=False)
+        assert fresh.done == 0
+        assert CampaignState.load(path).done == 0
+
+    def test_load_corrupt_raises(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text("{ not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            CampaignState.load(str(path))
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CampaignState.load(str(tmp_path / "nope.json"))
+
+    def test_journal_is_valid_json_after_every_record(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        state = CampaignState.open(path, KEY, total=3)
+        jobs = [Job("ckpt-echo", {"x": i}) for i in range(3)]
+        for outcome in CampaignRunner(workers=1).run(jobs):
+            state.record(outcome)
+            with open(path) as handle:
+                data = json.load(handle)
+            assert data["campaign_key"] == KEY
+
+
+class TestRunCheckpointed:
+    def _runner(self, tmp_path):
+        return CampaignRunner(
+            workers=1, cache=ResultCache(str(tmp_path / "cache"))
+        )
+
+    def test_kill_then_resume_zero_reevaluation(self, tmp_path):
+        """The acceptance criterion, on cheap jobs: kill after N of M
+        points, resume, finish with the N points untouched and results
+        identical to an uninterrupted run."""
+        calls = []
+
+        def counting(spec, seed):
+            calls.append(spec["x"])
+            return {"value": spec["x"]}
+
+        register_target("ckpt-count", counting)
+        jobs = [Job("ckpt-count", {"x": i}) for i in range(6)]
+        path = str(tmp_path / "checkpoint.json")
+
+        # Uninterrupted reference (separate cache, same evaluator).
+        reference = CampaignRunner(
+            workers=1, cache=ResultCache(str(tmp_path / "ref-cache"))
+        ).run(jobs)
+        assert len(calls) == 6
+
+        def bomb(event):
+            if event.done == 3:
+                raise Killed()
+
+        del calls[:]
+        runner = self._runner(tmp_path)
+        state = CampaignState.open(path, KEY, total=6)
+        with pytest.raises(Killed):
+            run_checkpointed(jobs, runner, state, progress=bomb)
+        assert len(calls) == 3  # killed after the 3rd evaluation
+
+        journal = CampaignState.load(path)
+        finished = set(journal.completed)
+        assert 1 <= journal.done <= 3
+
+        resumed_state = CampaignState.open(path, KEY, total=6, resume=True)
+        results = run_checkpointed(jobs, runner, resumed_state, progress=None)
+
+        # Zero re-evaluation: every point ran exactly once across both
+        # attempts, and the journaled points came back as cache hits.
+        assert sorted(calls) == list(range(6))
+        for job, outcome in zip(jobs, results):
+            if job.key in finished:
+                assert outcome.from_cache
+        # Byte-identical to the uninterrupted run.
+        assert [r.result for r in results] == [r.result for r in reference]
+        assert [r.ok for r in results] == [r.ok for r in reference]
+        assert CampaignState.load(path).done == 6
+
+    def test_failed_points_replay_without_retry(self, tmp_path):
+        jobs = [Job("ckpt-fragile", {"x": i}) for i in range(3)]
+        path = str(tmp_path / "checkpoint.json")
+        runner = self._runner(tmp_path)
+        state = CampaignState.open(path, KEY, total=3)
+        first = run_checkpointed(jobs, runner, state)
+        assert [r.ok for r in first] == [True, False, True]
+
+        calls = []
+
+        def healed(spec, seed):
+            calls.append(spec["x"])
+            return {"value": spec["x"]}
+
+        register_target("ckpt-fragile", healed)
+        resumed = CampaignState.open(path, KEY, total=3, resume=True)
+        replayed = run_checkpointed(jobs, runner, resumed)
+        assert calls == []  # journaled failure replayed, evaluator untouched
+        assert not replayed[1].ok
+        assert "point 1 is broken" in replayed[1].error
+        assert replayed[1].from_cache
+
+        retried = run_checkpointed(jobs, runner, resumed, retry_failed=True)
+        assert calls == [1]
+        assert retried[1].ok
+        register_target("ckpt-fragile", _fragile)
+
+    def test_duplicate_jobs_supported(self, tmp_path):
+        jobs = [Job("ckpt-echo", {"x": 7})] * 3
+        state = CampaignState.open(str(tmp_path / "c.json"), KEY, total=3)
+        results = run_checkpointed(jobs, self._runner(tmp_path), state)
+        assert [r.result["value"] for r in results] == [70, 70, 70]
+        assert state.done == 1  # one key, journaled once
+
+    def test_progress_reports_submitted_points(self, tmp_path):
+        events = []
+        jobs = [Job("ckpt-echo", {"x": i}) for i in range(4)]
+        state = CampaignState.open(str(tmp_path / "c.json"), KEY, total=4)
+        run_checkpointed(
+            jobs, self._runner(tmp_path), state, progress=events.append
+        )
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert events[-1].total == 4
+        assert events[-1].failed == 0
+
+    def test_journal_ok_with_missing_cache_reevaluates(self, tmp_path):
+        """A journaled-ok point whose cache entry vanished re-runs."""
+        calls = []
+
+        def counting(spec, seed):
+            calls.append(spec["x"])
+            return {"value": spec["x"]}
+
+        register_target("ckpt-count2", counting)
+        jobs = [Job("ckpt-count2", {"x": i}) for i in range(2)]
+        path = str(tmp_path / "checkpoint.json")
+        runner = self._runner(tmp_path)
+        state = CampaignState.open(path, KEY, total=2)
+        run_checkpointed(jobs, runner, state)
+        assert len(calls) == 2
+
+        # Wipe the cache but keep the journal.
+        import shutil
+
+        shutil.rmtree(str(tmp_path / "cache"))
+        resumed = CampaignState.open(path, KEY, total=2, resume=True)
+        results = run_checkpointed(jobs, runner, resumed)
+        assert len(calls) == 4  # both re-evaluated — correctness over thrift
+        assert all(r.ok for r in results)

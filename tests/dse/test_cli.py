@@ -1,0 +1,117 @@
+"""Tests for the ``python -m repro.dse`` command line."""
+
+import json
+
+import pytest
+
+from repro.dse.__main__ import load_spec, main
+
+MEMORY_SPEC = {
+    "kind": "memory",
+    "axes": {"subarray_rows": [256], "wer_target": [1e-9]},
+    "settings": {"num_words": 100, "error_population": 5000},
+    "sampler": "grid",
+}
+
+
+def _write_spec(tmp_path, spec):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+class TestSpecValidation:
+    def test_valid_memory_spec(self, tmp_path):
+        spec = load_spec(_write_spec(tmp_path, MEMORY_SPEC))
+        assert spec["kind"] == "memory"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            load_spec(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            load_spec(str(path))
+
+    def test_unknown_kind(self, tmp_path):
+        with pytest.raises(SystemExit, match="kind"):
+            load_spec(_write_spec(tmp_path, {"kind": "quantum"}))
+
+    def test_memory_needs_axes(self, tmp_path):
+        with pytest.raises(SystemExit, match="axes"):
+            load_spec(_write_spec(tmp_path, {"kind": "memory"}))
+
+    def test_unknown_sampler(self, tmp_path):
+        bad = dict(MEMORY_SPEC, sampler="bayesian")
+        with pytest.raises(SystemExit, match="sampler"):
+            load_spec(_write_spec(tmp_path, bad))
+
+    def test_system_is_grid_only(self, tmp_path):
+        bad = {"kind": "system", "sampler": "adaptive"}
+        with pytest.raises(SystemExit, match="grid-only"):
+            load_spec(_write_spec(tmp_path, bad))
+
+
+class TestDescribe:
+    def test_memory_describe(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        assert main(["describe", spec]) == 0
+        out = capsys.readouterr().out
+        assert "kind:      memory" in out
+        assert "grid size: 1" in out
+        assert "subarray_rows" in out
+
+    def test_system_describe(self, tmp_path, capsys):
+        spec = _write_spec(
+            tmp_path,
+            {
+                "kind": "system",
+                "workloads": ["bodytrack"],
+                "scenarios": ["Full-SRAM"],
+            },
+        )
+        assert main(["describe", spec]) == 0
+        out = capsys.readouterr().out
+        assert "kind:      system" in out
+        assert "grid size: 1" in out
+
+    def test_adaptive_describe_shows_budget(self, tmp_path, capsys):
+        spec = _write_spec(
+            tmp_path,
+            dict(
+                MEMORY_SPEC,
+                sampler="adaptive",
+                sampler_options={"batch": 4, "rounds": 3},
+            ),
+        )
+        assert main(["describe", spec]) == 0
+        assert "<= 12 jobs" in capsys.readouterr().out
+
+
+class TestStatus:
+    def test_status_without_journal_fails(self, tmp_path, capsys):
+        assert main(["status", "--dir", str(tmp_path)]) == 2
+        assert "no campaign journal" in capsys.readouterr().err
+
+
+class TestRunResumeStatus:
+    def test_run_then_status_then_resume(self, tmp_path, capsys):
+        """One 1-point campaign through the whole CLI surface."""
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        campaign_dir = str(tmp_path / "camp")
+
+        assert main(["run", spec, "--dir", campaign_dir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign finished" in out
+        assert "feasible: 1" in out
+
+        assert main(["status", "--dir", campaign_dir, "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 done (100.0%)" in out
+        assert '"done": 1' in out
+
+        assert main(["resume", spec, "--dir", campaign_dir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "1 hits / 0 misses" in out

@@ -95,3 +95,45 @@ class TestResultCache:
 
     def test_empty_cache_len(self, tmp_path):
         assert len(ResultCache(str(tmp_path / "nonexistent"))) == 0
+
+    def test_corrupt_entry_is_not_a_member(self, tmp_path):
+        """Membership must agree with get(): corrupt files are misses."""
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 4})
+        cache.put(key, {"result": 1})
+        assert key in cache
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        with open(path, "w") as handle:
+            handle.write("{truncated")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_membership_does_not_touch_counters(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 5})
+        cache.put(key, {"result": 1})
+        assert key in cache
+        assert content_key("t", {"x": 6}) not in cache
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_purge_corrupt_reports_removals(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        good = content_key("t", {"x": 7})
+        bad = content_key("t", {"x": 8})
+        cache.put(good, {"result": "keep"})
+        cache.put(bad, {"result": "doomed"})
+        path = os.path.join(str(tmp_path), bad[:2], bad + ".json")
+        with open(path, "w") as handle:
+            handle.write("]")
+        removed = cache.purge_corrupt()
+        assert removed == [bad]
+        assert not os.path.exists(path)
+        assert cache.get(good) == {"result": "keep"}
+        assert len(cache) == 1
+
+    def test_purge_corrupt_empty_and_clean_caches(self, tmp_path):
+        assert ResultCache(str(tmp_path / "missing")).purge_corrupt() == []
+        cache = ResultCache(str(tmp_path))
+        cache.put(content_key("t", {"x": 9}), {"result": 1})
+        assert cache.purge_corrupt() == []

@@ -6,7 +6,7 @@ import pytest
 
 from repro.archsim.cpu import BIG_CORE_45NM, CoreModel
 from repro.archsim.memtech import MemoryTechnology, STT_L2_45NM
-from repro.archsim.soc import ClusterConfig, SoCConfig
+from repro.archsim.soc import SoCConfig
 from repro.archsim.workloads import PARSEC_KERNELS, WorkloadDescriptor
 from repro.nvsim.config import CellKind, MemoryConfig, MemoryType
 from repro.vaet.explorer import DesignConstraints, DesignPoint

@@ -1,0 +1,141 @@
+"""Tests for streaming execution, progress reporting and pool sizing."""
+
+import pytest
+
+from repro.dse import (
+    WORKERS_ENV,
+    CampaignRunner,
+    Job,
+    ResultCache,
+    default_workers,
+    register_target,
+)
+
+
+def _echo(spec, seed):
+    return {"value": spec["x"] * 2}
+
+
+def _fragile(spec, seed):
+    if spec["x"] == 2:
+        raise ValueError("point 2 is broken")
+    return {"value": spec["x"]}
+
+
+@pytest.fixture(autouse=True)
+def _targets():
+    register_target("stream-echo", _echo)
+    register_target("stream-fragile", _fragile)
+
+
+class TestRunIter:
+    def test_serial_evaluation_is_lazy(self):
+        """run_iter evaluates one point per pull, not the batch up front."""
+        calls = []
+
+        def counting(spec, seed):
+            calls.append(spec["x"])
+            return {"value": spec["x"]}
+
+        register_target("stream-count", counting)
+        jobs = [Job("stream-count", {"x": i}) for i in range(4)]
+        iterator = CampaignRunner(workers=1).run_iter(jobs)
+        first = next(iterator)
+        assert first.ok
+        assert len(calls) == 1
+        next(iterator)
+        assert len(calls) == 2
+        rest = list(iterator)
+        assert len(calls) == 4
+        assert len(rest) == 2
+
+    def test_cache_hits_stream_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        jobs = [Job("stream-echo", {"x": i}) for i in range(4)]
+        runner = CampaignRunner(workers=1, cache=cache)
+        runner.run(jobs[:2])  # warm two of four
+        order = list(runner.run_iter(jobs))
+        assert [r.from_cache for r in order] == [True, True, False, False]
+
+    def test_yields_one_result_per_duplicate(self):
+        jobs = [Job("stream-echo", {"x": 3})] * 3
+        results = list(CampaignRunner(workers=1).run_iter(jobs))
+        assert len(results) == 3
+        assert all(r.result["value"] == 6 for r in results)
+
+    def test_parallel_matches_serial(self):
+        jobs = [Job("stream-echo", {"x": i}) for i in range(8)]
+        serial = CampaignRunner(workers=1).run(jobs)
+        parallel = CampaignRunner(workers=2, chunksize=1).run(jobs)
+        assert [r.result for r in serial] == [r.result for r in parallel]
+
+    def test_parallel_run_iter_completes_all(self):
+        jobs = [Job("stream-echo", {"x": i}) for i in range(8)]
+        results = list(CampaignRunner(workers=2, chunksize=1).run_iter(jobs))
+        assert sorted(r.result["value"] for r in results) == [
+            0, 2, 4, 6, 8, 10, 12, 14,
+        ]
+
+    def test_abandoning_iterator_is_clean(self):
+        jobs = [Job("stream-echo", {"x": i}) for i in range(6)]
+        iterator = CampaignRunner(workers=2, chunksize=1).run_iter(jobs)
+        next(iterator)
+        iterator.close()  # must tear the pool down without hanging
+
+
+class TestProgress:
+    def test_event_stream_counts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = CampaignRunner(workers=1, cache=cache)
+        jobs = [Job("stream-fragile", {"x": i}) for i in range(4)]
+        runner.run(jobs[:1])  # one cache hit for the real run
+
+        events = []
+        runner.run(jobs, progress=events.append)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert events[-1].total == 4
+        assert events[-1].cached == 1
+        assert events[-1].failed == 1
+        assert events[-1].remaining == 0
+        assert events[-1].eta == 0.0
+
+    def test_eta_none_until_first_evaluation(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = CampaignRunner(workers=1, cache=cache)
+        jobs = [Job("stream-echo", {"x": i}) for i in range(3)]
+        runner.run(jobs[:2])
+        events = []
+        runner.run(jobs, progress=events.append)
+        # First two events are pure cache hits: no evaluation rate yet.
+        assert events[0].eta is None
+        assert events[1].eta is None
+        assert events[2].eta == 0.0
+
+    def test_snapshots_are_independent(self):
+        events = []
+        jobs = [Job("stream-echo", {"x": i}) for i in range(3)]
+        CampaignRunner(workers=1).run(jobs, progress=events.append)
+        assert [e.done for e in events] == [1, 2, 3]  # not three aliases
+
+
+class TestWorkersEnv:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_workers() == 3
+        assert CampaignRunner().workers == 3
+
+    def test_explicit_workers_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert CampaignRunner(workers=2).workers == 2
+
+    def test_env_must_be_positive_int(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "zero")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            CampaignRunner()
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            CampaignRunner()
+
+    def test_unset_env_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() >= 1

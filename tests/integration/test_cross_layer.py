@@ -7,12 +7,12 @@ These are the paper's Fig. 10 arrows, executed for real: each stage's
 import pytest
 
 from repro.cells import characterize_cell, CellConfig
-
-pytestmark = pytest.mark.slow  # full cross-layer Monte Carlo chains
 from repro.magpie import MagpieFlow, Scenario
 from repro.nvsim import MemoryConfig, NVSimEstimator
 from repro.pdk import ProcessDesignKit
 from repro.vaet import VAETSTT
+
+pytestmark = pytest.mark.slow  # full cross-layer Monte Carlo chains
 
 
 @pytest.fixture(scope="module")

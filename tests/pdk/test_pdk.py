@@ -1,6 +1,5 @@
 """Tests for the process design kit: nodes, transistors, corners, variation."""
 
-import math
 
 import numpy as np
 import pytest

@@ -7,7 +7,6 @@ from repro.core.material import MSS_BARRIER, MSS_FREE_LAYER
 from repro.core.geometry import PillarGeometry
 from repro.pdk import ProcessDesignKit
 from repro.spice import (
-    Capacitor,
     Circuit,
     DC,
     MOSFET,

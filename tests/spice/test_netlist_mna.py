@@ -1,6 +1,5 @@
 """Tests for netlist bookkeeping and the MNA solver on linear circuits."""
 
-import numpy as np
 import pytest
 
 from repro.spice import (

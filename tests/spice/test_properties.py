@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.archsim import MemoryTechnology, SRAM_L2_45NM, STT_L2_45NM
+from repro.archsim import SRAM_L2_45NM, STT_L2_45NM
 from repro.spice import (
     Circuit,
     DC,

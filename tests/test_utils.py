@@ -1,6 +1,5 @@
 """Tests for repro.utils: constants, units, math helpers, tables."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

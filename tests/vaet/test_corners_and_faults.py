@@ -9,7 +9,6 @@ from repro.nvsim import MemoryConfig
 from repro.pdk import CornerName, MagneticCornerName, ProcessDesignKit
 from repro.pdk.variation import CMOSVariation, MTJVariation, ProcessVariation
 from repro.vaet import VAETSTT
-from repro.vaet.error_rates import ErrorRateAnalysis
 
 
 @pytest.fixture(scope="module")
