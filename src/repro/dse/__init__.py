@@ -12,9 +12,13 @@ subsystem every layer plugs into:
   streaming execution (:meth:`~repro.dse.runner.CampaignRunner.run_iter`
   + :class:`~repro.dse.runner.Progress` callbacks), chunked scheduling,
   content-derived seeds and failure isolation;
+* :mod:`repro.dse.journal` — append-only JSONL event log with torn-line
+  recovery and snapshot compaction (O(1) journal I/O per point);
+* :mod:`repro.dse.retry` — :class:`RetryPolicy`: budgeted per-point
+  retries with content-derived reseeding and flaky-point quarantine;
 * :mod:`repro.dse.checkpoint` — :class:`CampaignState` journals behind
   the resumable :func:`run_memory_campaign` / :func:`run_system_campaign`
-  entry points;
+  entry points (legacy atomic-JSON journals upgrade transparently);
 * :mod:`repro.dse.adaptive` — successive-halving/zoom
   :class:`AdaptiveSampler` (``sampler="adaptive"`` campaigns);
 * :mod:`repro.dse.pareto` — multi-objective frontier extraction;
@@ -34,11 +38,16 @@ from repro.dse.adaptive import (
 )
 from repro.dse.cache import ResultCache
 from repro.dse.checkpoint import (
+    JOURNAL_NAME,
+    LEGACY_JOURNAL_NAME,
     CampaignState,
     campaign_key,
+    journal_path,
     run_checkpointed,
 )
 from repro.dse.jobs import Job, JobResult, canonical_json, content_key
+from repro.dse.journal import JOURNAL_VERSION, JsonlJournal, read_events
+from repro.dse.retry import RetryPolicy
 from repro.dse.pareto import Objective, dominance_ranks, dominates, pareto_front
 from repro.dse.runner import (
     MEMORY_TARGET,
@@ -82,7 +91,14 @@ __all__ = [
     "get_target",
     "CampaignState",
     "campaign_key",
+    "journal_path",
     "run_checkpointed",
+    "JOURNAL_NAME",
+    "LEGACY_JOURNAL_NAME",
+    "JOURNAL_VERSION",
+    "JsonlJournal",
+    "read_events",
+    "RetryPolicy",
     "AdaptiveRound",
     "AdaptiveSampler",
     "AdaptiveTrace",

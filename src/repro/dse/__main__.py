@@ -5,7 +5,10 @@ Subcommands:
 * ``describe SPEC``         — summarise a campaign spec without running it;
 * ``run SPEC --dir DIR``    — run a resumable campaign with live progress;
 * ``resume SPEC --dir DIR`` — shorthand for ``run --resume``;
-* ``status --dir DIR``      — report a campaign directory's journal.
+* ``status --dir DIR``      — report a campaign directory's journal
+  (including retry and quarantine counts);
+* ``retry --dir DIR``       — re-release quarantined (flaky) points so
+  the next ``resume`` re-runs them with a fresh retry budget.
 
 A campaign spec is a JSON file::
 
@@ -26,12 +29,17 @@ A campaign spec is a JSON file::
       "settings": {"node_nm": 45, "wer_target": 1e-9}
     }
 
+A spec may also carry a ``"retry"`` object (``{"max_attempts": 3,
+"backoff": 0.5}``) enabling budgeted retries with flaky-point
+quarantine; ``--retries`` / ``--backoff`` override it per run.
+
 ``settings`` keys are passed through to :func:`run_memory_campaign` /
 :func:`run_system_campaign` verbatim, so everything those accept
 (``node_nm``, ``seed``, ``workers``, ...) is spec-addressable.  The
-campaign directory holds ``cache/`` and ``checkpoint.json``; both are
-written as results arrive, so a killed ``run`` continues with
-``resume``.
+campaign directory holds ``cache/`` and the append-only
+``journal.jsonl`` (legacy ``checkpoint.json`` journals are upgraded
+transparently); both are written as results arrive, so a killed
+``run`` continues with ``resume``.
 """
 
 import argparse
@@ -47,7 +55,8 @@ from repro.dse.campaign import (
     run_memory_campaign,
     run_system_campaign,
 )
-from repro.dse.checkpoint import JOURNAL_NAME, CampaignState
+from repro.dse.checkpoint import CampaignState, journal_path
+from repro.dse.retry import RetryPolicy
 from repro.dse.runner import Progress, default_workers
 from repro.dse.space import ParameterSpace
 
@@ -80,7 +89,31 @@ def load_spec(path: str) -> Dict:
             'spec %s: resumable system campaigns are grid-only; use the '
             "explore_system API for adaptive cell selection" % path
         )
+    if "retry" in spec:
+        try:
+            RetryPolicy.from_dict(spec["retry"])
+        except (TypeError, ValueError) as exc:
+            raise SystemExit('spec %s: bad "retry" object: %s' % (path, exc))
     return spec
+
+
+def _retry_policy(spec: Dict, args) -> Optional[RetryPolicy]:
+    """The effective retry policy: spec ``retry`` + CLI overrides."""
+    policy = RetryPolicy.from_dict(spec.get("retry"))
+    retries = getattr(args, "retries", None)
+    backoff = getattr(args, "backoff", None)
+    if retries is None and backoff is None:
+        return policy
+    base = policy if policy is not None else RetryPolicy()
+    try:
+        return RetryPolicy(
+            max_attempts=retries if retries is not None else base.max_attempts,
+            backoff=backoff if backoff is not None else base.backoff,
+            backoff_factor=base.backoff_factor,
+            max_backoff=base.max_backoff,
+        )
+    except ValueError as exc:
+        raise SystemExit("invalid --retries/--backoff: %s" % exc)
 
 
 def _memory_space(spec: Dict) -> ParameterSpace:
@@ -174,6 +207,7 @@ def _run_campaign(spec: Dict, args, resume: bool):
         campaign_dir=args.dir,
         resume=resume,
         retry_failed=args.retry_failed,
+        retry=_retry_policy(spec, args),
         progress=progress,
         **settings,
     )
@@ -213,7 +247,10 @@ def _summarise(result, campaign_dir: str, elapsed: float) -> None:
                   result.adaptive.evaluations,
                   result.adaptive.best_score,
               ))
-    print("  journal:  %s" % os.path.join(campaign_dir, JOURNAL_NAME))
+    if getattr(result, "quarantined", None):
+        print("  flaky:    %d quarantined (python -m repro.dse retry --dir %s)"
+              % (len(result.quarantined), campaign_dir))
+    print("  journal:  %s" % journal_path(campaign_dir))
 
 
 def cmd_run(args, resume: bool = False) -> int:
@@ -229,13 +266,13 @@ def cmd_resume(args) -> int:
 
 
 def cmd_status(args) -> int:
-    path = os.path.join(args.dir, JOURNAL_NAME)
+    path = journal_path(args.dir)
     try:
         state = CampaignState.load(path)
     except FileNotFoundError:
         print("no campaign journal at %s" % path, file=sys.stderr)
         return 2
-    except ValueError as exc:
+    except (OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     status = state.status()
@@ -251,6 +288,11 @@ def cmd_status(args) -> int:
               status["failed"],
               status["remaining"],
           ))
+    print("retries:   %d point(s) retried (%d extra runs), %d quarantined"
+          % (status["retried"], status["retries"], status["quarantined"]))
+    if status["quarantined"]:
+        print("flaky:     release with: python -m repro.dse retry --dir %s"
+              % args.dir)
     print("updated:   %s" % time.strftime(
         "%Y-%m-%d %H:%M:%S", time.localtime(status["updated"])
     ))
@@ -263,6 +305,40 @@ def cmd_status(args) -> int:
         print("sampler:   %s" % meta["sampler"])
     if args.json:
         print(json.dumps(status, indent=2))
+    return 0
+
+
+def cmd_retry(args) -> int:
+    """Re-release quarantined points so ``resume`` re-runs them."""
+    path = journal_path(args.dir)
+    try:
+        state = CampaignState.load(path)
+    except FileNotFoundError:
+        print("no campaign journal at %s" % path, file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.key:
+        unknown = [key for key in args.key if key not in state.quarantined]
+        if unknown:
+            print(
+                "not quarantined: %s" % ", ".join(unknown), file=sys.stderr
+            )
+            return 2
+        keys = args.key
+    else:
+        keys = None
+    try:
+        released = state.release(keys)
+        state.close()
+    except OSError as exc:
+        print("cannot update journal: %s" % exc, file=sys.stderr)
+        return 2
+    print("released %d quarantined point(s)" % len(released))
+    if released:
+        print("re-run them with: python -m repro.dse resume SPEC --dir %s"
+              % args.dir)
     return 0
 
 
@@ -281,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("spec", help="campaign spec JSON file")
         command.add_argument(
             "--dir", required=True,
-            help="campaign directory (cache/ + checkpoint.json)",
+            help="campaign directory (cache/ + journal.jsonl)",
         )
         command.add_argument(
             "--workers", type=int, default=None,
@@ -289,7 +365,17 @@ def build_parser() -> argparse.ArgumentParser:
         )
         command.add_argument(
             "--retry-failed", action="store_true",
-            help="re-run points the journal marks failed",
+            help="re-run points the journal marks failed "
+                 "(releases quarantined points first)",
+        )
+        command.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="retry budget per point (total attempts; enables "
+                 "reseeded retries + flaky-point quarantine)",
+        )
+        command.add_argument(
+            "--backoff", type=float, default=None, metavar="SECONDS",
+            help="base exponential backoff between attempts",
         )
         command.add_argument(
             "--quiet", action="store_true", help="suppress live progress"
@@ -313,6 +399,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="also dump the raw journal status"
     )
     status.set_defaults(func=cmd_status)
+
+    retry = sub.add_parser(
+        "retry", help="re-release quarantined (flaky) points"
+    )
+    retry.add_argument("--dir", required=True, help="campaign directory")
+    retry.add_argument(
+        "--key", action="append", default=None, metavar="JOB_KEY",
+        help="release only this job key (repeatable; default: all)",
+    )
+    retry.set_defaults(func=cmd_retry)
     return parser
 
 

@@ -32,19 +32,20 @@ finished points.
 import enum
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dse.adaptive import AdaptiveSampler, AdaptiveTrace, score_records
 from repro.dse.cache import ResultCache
 from repro.dse.checkpoint import (
-    JOURNAL_NAME,
     CampaignState,
     campaign_key,
+    journal_path,
     run_checkpointed,
 )
 from repro.dse.jobs import Job, JobResult
 from repro.dse.pareto import ObjectiveSpec, pareto_front
+from repro.dse.retry import RetryPolicy
 from repro.dse.runner import (
     MEMORY_TARGET,
     SYSTEM_TARGET,
@@ -312,6 +313,9 @@ class MemoryCampaignResult:
         elapsed: Campaign wall-clock [s].
         cache_stats: Cache session counters (None when uncached).
         adaptive: Zoom trace when the campaign ran ``sampler="adaptive"``.
+        quarantined: Job keys whose retry budget is exhausted (flaky
+            points) — excluded from :meth:`records` and therefore from
+            Pareto ranking.
     """
 
     jobs: List[Job]
@@ -319,11 +323,20 @@ class MemoryCampaignResult:
     elapsed: float
     cache_stats: Optional[Dict] = None
     adaptive: Optional[AdaptiveTrace] = None
+    quarantined: List[str] = field(default_factory=list)
 
     def records(self) -> List[Dict]:
-        """Feasible points as flat dicts: spec axes + metrics + EDP."""
+        """Feasible points as flat dicts: spec axes + metrics + EDP.
+
+        Quarantined (flaky) points are excluded even if an earlier
+        attempt left a result behind — a point the campaign cannot
+        evaluate reliably must not anchor a Pareto frontier.
+        """
+        blocked = set(self.quarantined)
         rows = []
         for job, outcome in zip(self.jobs, self.outcomes):
+            if job.key in blocked:
+                continue
             row = _memory_record(job, outcome)
             if row is not None:
                 rows.append(row)
@@ -395,6 +408,7 @@ def explore_memory(
     sampler: str = "grid",
     sampler_options: Optional[Dict] = None,
     objectives: Sequence[ObjectiveSpec] = ("edp_proxy",),
+    retry: Optional[RetryPolicy] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> MemoryCampaignResult:
     """Run a memory-level (VAET-STT) campaign over a parameter space.
@@ -425,6 +439,10 @@ def explore_memory(
             keep, margin, seed).
         objectives: Adaptive scoring objectives over the feasible
             records (Pareto dominance ranks when more than one).
+        retry: Optional :class:`~repro.dse.retry.RetryPolicy` — failed
+            points re-run with reseeded RNG streams before their
+            failure is final (journal-free here; use
+            :func:`run_memory_campaign` for quarantine bookkeeping).
         progress: Per-point streaming callback (one
             :class:`~repro.dse.runner.Progress` snapshot per completed
             point; adaptive campaigns restart the count each round).
@@ -448,14 +466,14 @@ def explore_memory(
         jobs, outcomes, trace = _run_adaptive(
             space,
             build_jobs,
-            lambda jobs: runner.run(jobs, progress=progress),
+            lambda jobs: runner.run(jobs, progress=progress, retry=retry),
             _memory_record,
             sampler_options,
             objectives,
         )
     else:
         jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
-        outcomes = runner.run(jobs, progress=progress)
+        outcomes = runner.run(jobs, progress=progress, retry=retry)
     elapsed = time.perf_counter() - start
     stats = runner.cache.stats() if runner.cache is not None else None
     return MemoryCampaignResult(
@@ -481,16 +499,18 @@ def run_memory_campaign(
     sampler: str = "grid",
     sampler_options: Optional[Dict] = None,
     objectives: Sequence[ObjectiveSpec] = ("edp_proxy",),
+    retry: Optional[RetryPolicy] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> MemoryCampaignResult:
     """Resumable :func:`explore_memory`: cache + journal in a directory.
 
     ``campaign_dir`` holds the result cache (``cache/``) and the
-    checkpoint journal (``checkpoint.json``), both written as results
-    arrive.  A campaign killed after N of M points continues with
-    ``resume=True``: the N finished points come back as cache/journal
-    hits (zero re-evaluation) and the results are identical to an
-    uninterrupted run.
+    append-only JSONL journal (``journal.jsonl``; legacy
+    ``checkpoint.json`` files are upgraded transparently on resume),
+    both written as results arrive.  A campaign killed after N of M
+    points continues with ``resume=True``: the N finished points come
+    back as cache/journal hits (zero re-evaluation) and the results are
+    identical to an uninterrupted run.
 
     Args:
         campaign_dir: Campaign home; created on first write.
@@ -498,7 +518,12 @@ def run_memory_campaign(
             Refuses a journal whose signature (axes + settings +
             sampler) differs from this call's.
         retry_failed: Re-run points the journal marks failed instead of
-            replaying their recorded errors.
+            replaying their recorded errors (quarantined points are
+            released first).
+        retry: Optional :class:`~repro.dse.retry.RetryPolicy` — failed
+            points re-run with reseeded RNG streams, each retry is
+            journaled (the budget spans resumes), and budget-exhausted
+            points are quarantined.
         (Remaining arguments are as in :func:`explore_memory`.)
     """
     if sampler not in SAMPLERS:
@@ -521,7 +546,7 @@ def run_memory_campaign(
     }
     cache = ResultCache(os.path.join(campaign_dir, "cache"))
     runner = CampaignRunner(workers=workers, cache=cache)
-    journal = os.path.join(campaign_dir, JOURNAL_NAME)
+    journal = journal_path(campaign_dir, prefer_existing=resume)
 
     def build_jobs(points):
         return _memory_jobs(
@@ -543,7 +568,8 @@ def run_memory_campaign(
             planned += len(jobs)
             state.total = max(state.total, planned)
             return run_checkpointed(
-                jobs, runner, state, retry_failed=retry_failed, progress=progress
+                jobs, runner, state, retry_failed=retry_failed,
+                retry=retry, progress=progress,
             )
 
         jobs, outcomes, trace = _run_adaptive(
@@ -557,12 +583,15 @@ def run_memory_campaign(
             resume=resume, meta=signature,
         )
         outcomes = run_checkpointed(
-            jobs, runner, state, retry_failed=retry_failed, progress=progress
+            jobs, runner, state, retry_failed=retry_failed,
+            retry=retry, progress=progress,
         )
+    state.close()
     elapsed = time.perf_counter() - start
     return MemoryCampaignResult(
         jobs=jobs, outcomes=outcomes, elapsed=elapsed,
         cache_stats=cache.stats(), adaptive=trace,
+        quarantined=sorted(state.quarantined),
     )
 
 
@@ -761,6 +790,7 @@ def run_system_campaign(
     wer_target: float = 1e-9,
     resume: bool = False,
     retry_failed: bool = False,
+    retry: Optional[RetryPolicy] = None,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> SystemCampaignResult:
@@ -768,7 +798,9 @@ def run_system_campaign(
 
     The full kernel x scenario grid with every completed cell journaled
     as it lands; ``resume=True`` finishes a killed campaign without
-    re-simulating completed cells (they replay from the cache).  See
+    re-simulating completed cells (they replay from the cache).  A
+    ``retry`` policy re-runs failed cells (journaled, budget spans
+    resumes) before the grid's fail-fast contract raises.  See
     :func:`run_memory_campaign` for the directory layout and resume
     semantics.
     """
@@ -788,8 +820,9 @@ def run_system_campaign(
     cache = ResultCache(os.path.join(campaign_dir, "cache"))
     runner = CampaignRunner(workers=workers, cache=cache)
     jobs = _system_jobs(flow, cells)
+    journal = journal_path(campaign_dir, prefer_existing=resume)
     state = CampaignState.open(
-        os.path.join(campaign_dir, JOURNAL_NAME),
+        journal,
         campaign_key(signature),
         total=len(jobs),
         resume=resume,
@@ -797,8 +830,10 @@ def run_system_campaign(
     )
     start = time.perf_counter()
     outcomes = run_checkpointed(
-        jobs, runner, state, retry_failed=retry_failed, progress=progress
+        jobs, runner, state, retry_failed=retry_failed,
+        retry=retry, progress=progress,
     )
+    state.close()
     results = _system_results(flow, cells, outcomes)
     elapsed = time.perf_counter() - start
     return SystemCampaignResult(

@@ -39,10 +39,15 @@ class Job:
     Attributes:
         target: Registered evaluator name (see ``repro.dse.runner``).
         spec: JSON-ready evaluation spec.
+        reseed: Retry generation (0 = first attempt).  Deliberately
+            excluded from the content key — a retried point keeps its
+            cache address and journal identity — but folded into the
+            derived RNG seed so each retry samples a fresh stream.
     """
 
     target: str
     spec: Mapping
+    reseed: int = 0
 
     def __post_init__(self) -> None:
         # Freeze the key eagerly: it validates the spec is hashable
@@ -58,9 +63,14 @@ class Job:
     def seed(self) -> int:
         """Deterministic per-job RNG seed derived from the key.
 
-        A pure function of the job content, so serial, parallel and
-        cached executions of the same point are bit-identical.
+        A pure function of the job content (plus the retry generation),
+        so serial, parallel and cached executions of the same point are
+        bit-identical, while retries draw decorrelated streams.
         """
+        if self.reseed:
+            salted = "%s#retry%d" % (self.key, self.reseed)
+            digest = hashlib.sha256(salted.encode("utf-8")).hexdigest()
+            return int(digest[:16], 16)
         return int(self.key[:16], 16)
 
 
@@ -76,6 +86,9 @@ class JobResult:
         error: Stringified exception on failure.
         elapsed: Evaluation wall-clock [s] (0 for cache hits).
         from_cache: True if served from the result cache.
+        attempts: Evaluator invocations behind this outcome, including
+            journaled attempts from earlier runs (1 for cache hits and
+            untried points).
     """
 
     job: Job
@@ -84,3 +97,4 @@ class JobResult:
     error: Optional[str] = None
     elapsed: float = 0.0
     from_cache: bool = False
+    attempts: int = 1

@@ -17,7 +17,10 @@ The runner turns a list of :class:`~repro.dse.jobs.Job` into
 * **determinism** — every job carries a seed derived from its content
   hash, so worker assignment and execution order cannot change results;
 * **failure isolation** — an evaluator exception becomes an error
-  record on that one point; the campaign completes.
+  record on that one point; the campaign completes;
+* **budgeted retries** — with a :class:`~repro.dse.retry.RetryPolicy`,
+  failed points re-run with reseeded RNG streams (in backoff-batched
+  rounds) before their failure is final.
 
 Evaluator functions are registered by name (the job's ``target``) so the
 payload shipped to workers is plain picklable data.
@@ -41,6 +44,10 @@ from typing import (
 
 from repro.dse.cache import ResultCache
 from repro.dse.jobs import Job, JobResult
+from repro.dse.retry import RetryPolicy
+
+#: Called once per scheduled retry: (job, failed_attempt, error, backoff).
+RetryCallback = Callable[[Job, int, Optional[str], float], None]
 
 #: Environment variable bounding the default pool size (CI runners and
 #: laptops want deterministic small pools without touching call sites).
@@ -219,11 +226,16 @@ class CampaignRunner:
         self,
         jobs: Sequence[Job],
         progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_offsets: Optional[Mapping[str, int]] = None,
+        on_retry: Optional[RetryCallback] = None,
     ) -> List[JobResult]:
         """Execute jobs, returning results aligned with the input order."""
         jobs = list(jobs)
         results: List[Optional[JobResult]] = [None] * len(jobs)
-        for index, outcome in self._iter_indexed(jobs, progress):
+        for index, outcome in self._iter_indexed(
+            jobs, progress, retry, retry_offsets, on_retry
+        ):
             results[index] = outcome
         return results  # type: ignore[return-value]
 
@@ -231,6 +243,9 @@ class CampaignRunner:
         self,
         jobs: Sequence[Job],
         progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_offsets: Optional[Mapping[str, int]] = None,
+        on_retry: Optional[RetryCallback] = None,
     ) -> Iterator[JobResult]:
         """Yield one :class:`JobResult` per job, in completion order.
 
@@ -241,16 +256,39 @@ class CampaignRunner:
         in-flight points — everything already yielded is durable.
 
         Duplicate jobs yield one result each (evaluated once).
+
+        Args:
+            retry: Optional :class:`~repro.dse.retry.RetryPolicy` — a
+                failed point re-runs with a reseeded RNG until it
+                succeeds or its invocation budget is spent; only the
+                final outcome is yielded (with ``attempts`` set).
+            retry_offsets: Job key -> invocations already spent (from a
+                journal), charged against the budget.
+            on_retry: Callback fired once per scheduled retry with
+                ``(job, failed_attempt, error, backoff_seconds)`` —
+                the checkpoint layer journals these.
         """
-        for _, outcome in self._iter_indexed(list(jobs), progress):
+        for _, outcome in self._iter_indexed(
+            list(jobs), progress, retry, retry_offsets, on_retry
+        ):
             yield outcome
 
     def _iter_indexed(
         self,
         jobs: List[Job],
         progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_offsets: Optional[Mapping[str, int]] = None,
+        on_retry: Optional[RetryCallback] = None,
     ) -> Iterator[Tuple[int, JobResult]]:
-        """Yield ``(input index, result)`` pairs in completion order."""
+        """Yield ``(input index, result)`` pairs in completion order.
+
+        Retries run in rounds: every failure eligible for another
+        attempt is held back, the round's longest backoff is slept
+        once, and the reseeded jobs go through the pool together —
+        so a mostly-healthy campaign never serialises on one flaky
+        point's delays.
+        """
         start = time.perf_counter()
         state = Progress(total=len(jobs))
 
@@ -275,25 +313,45 @@ class CampaignRunner:
             else:
                 pending.setdefault(job.key, []).append(index)
 
-        unique = [jobs[indices[0]] for indices in pending.values()]
-        for job, (ok, result, error, elapsed) in self._imap(unique):
-            if ok and self.cache is not None:
-                self.cache.put(
-                    job.key,
-                    {
-                        "target": job.target,
-                        "spec": dict(job.spec),
-                        "result": result,
-                        "elapsed": elapsed,
-                    },
-                )
-            for index in pending[job.key]:
-                outcome = JobResult(
-                    job=jobs[index], ok=ok, result=result,
-                    error=error, elapsed=elapsed,
-                )
-                tick(outcome)
-                yield index, outcome
+        offsets = dict(retry_offsets or {})
+        attempts: Dict[str, int] = {}
+        to_run = [jobs[indices[0]] for indices in pending.values()]
+        while to_run:
+            retries: List[Tuple[Job, float]] = []
+            for job, (ok, result, error, elapsed) in self._imap(to_run):
+                used = attempts.get(job.key, offsets.get(job.key, 0)) + 1
+                attempts[job.key] = used
+                if not ok and retry is not None and retry.should_retry(used):
+                    backoff = retry.backoff_for(used)
+                    if on_retry is not None:
+                        on_retry(job, used, error, backoff)
+                    retries.append((job, backoff))
+                    continue
+                if ok and self.cache is not None:
+                    self.cache.put(
+                        job.key,
+                        {
+                            "target": job.target,
+                            "spec": dict(job.spec),
+                            "result": result,
+                            "elapsed": elapsed,
+                        },
+                    )
+                for index in pending[job.key]:
+                    outcome = JobResult(
+                        job=jobs[index], ok=ok, result=result,
+                        error=error, elapsed=elapsed, attempts=used,
+                    )
+                    tick(outcome)
+                    yield index, outcome
+            if not retries:
+                break
+            delay = max(backoff for _, backoff in retries)
+            if delay > 0:
+                time.sleep(delay)
+            to_run = [
+                retry.reseed(job, attempts[job.key]) for job, _ in retries
+            ]
 
     def _imap(
         self, unique: List[Job]

@@ -1,0 +1,12 @@
+"""Root test fixtures and import plumbing.
+
+Puts the ``tests/`` directory itself on ``sys.path`` so suites in
+subdirectories (``tests/dse``, ...) can import the shared helpers that
+live in :mod:`test_utils` (fault injection: ``CrashingRunner``,
+``torn_write``) regardless of pytest's collection order.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,6 +1,7 @@
 """Tests for campaign journals and checkpointed (resumable) execution."""
 
 import json
+import os
 
 import pytest
 
@@ -92,15 +93,67 @@ class TestCampaignState:
         with pytest.raises(FileNotFoundError):
             CampaignState.load(str(tmp_path / "nope.json"))
 
-    def test_journal_is_valid_json_after_every_record(self, tmp_path):
-        path = str(tmp_path / "checkpoint.json")
+    def test_journal_is_valid_jsonl_after_every_record(self, tmp_path):
+        """Every append leaves one parseable JSON object per line."""
+        path = str(tmp_path / "journal.jsonl")
         state = CampaignState.open(path, KEY, total=3)
         jobs = [Job("ckpt-echo", {"x": i}) for i in range(3)]
+        for count, outcome in enumerate(CampaignRunner(workers=1).run(jobs)):
+            state.record(outcome)
+            state.sync()
+            with open(path) as handle:
+                events = [json.loads(line) for line in handle if line.strip()]
+            assert events[0]["event"] == "begin"
+            assert events[0]["campaign_key"] == KEY
+            assert sum(1 for e in events if e["event"] == "done") == count + 1
+            loaded = CampaignState.load(path)
+            assert loaded.done == count + 1
+
+    def test_record_appends_one_line_per_point(self, tmp_path):
+        """O(1) journal I/O: history is never rewritten on record()."""
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=4)
+        jobs = [Job("ckpt-echo", {"x": i}) for i in range(4)]
+        sizes = []
         for outcome in CampaignRunner(workers=1).run(jobs):
             state.record(outcome)
-            with open(path) as handle:
-                data = json.load(handle)
-            assert data["campaign_key"] == KEY
+            state.sync()
+            sizes.append(os.path.getsize(path))
+        growth = [b - a for a, b in zip(sizes, sizes[1:])]
+        # Each completion appends one bounded line: growth is flat, not
+        # proportional to the number of points already journaled.
+        assert max(growth) <= 2 * min(growth)
+
+    def test_save_failure_leaves_no_tmp_and_keeps_journal(self, tmp_path):
+        """Regression: an unserialisable snapshot payload must neither
+        litter ``*.tmp`` files nor damage the journal on disk."""
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=1, meta={"kind": "test"})
+        job = Job("ckpt-echo", {"x": 0})
+        (outcome,) = CampaignRunner(workers=1).run([job])
+        state.record(outcome)
+        state.meta["poison"] = object()  # not JSON-serialisable
+        with pytest.raises(TypeError):
+            state.save()
+        assert list(tmp_path.glob("*.tmp")) == []
+        loaded = CampaignState.load(path)
+        assert loaded.done == 1
+        assert loaded.entry(job.key)["ok"] is True
+
+    def test_atomic_write_cleans_tmp_when_replace_fails(
+        self, tmp_path, monkeypatch
+    ):
+        """The tmp file is removed in a finally even when the final
+        rename blows up mid-write."""
+        from repro.dse.journal import atomic_write_text
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(str(tmp_path / "out.json"), "{}")
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestRunCheckpointed:

@@ -90,10 +90,106 @@ class TestDescribe:
         assert "<= 12 jobs" in capsys.readouterr().out
 
 
+class TestSpecRetryValidation:
+    def test_valid_retry_object(self, tmp_path):
+        spec = load_spec(_write_spec(
+            tmp_path, dict(MEMORY_SPEC, retry={"max_attempts": 2})
+        ))
+        assert spec["retry"] == {"max_attempts": 2}
+
+    def test_bad_retry_object(self, tmp_path):
+        bad = dict(MEMORY_SPEC, retry={"tries": 2})
+        with pytest.raises(SystemExit, match="retry"):
+            load_spec(_write_spec(tmp_path, bad))
+
+    def test_cli_flags_override_spec(self, tmp_path):
+        from argparse import Namespace
+
+        from repro.dse.__main__ import _retry_policy
+
+        spec = dict(MEMORY_SPEC, retry={"max_attempts": 2, "backoff": 1.0})
+        policy = _retry_policy(spec, Namespace(retries=5, backoff=None))
+        assert policy.max_attempts == 5
+        assert policy.backoff == 1.0
+        assert _retry_policy(MEMORY_SPEC, Namespace(retries=None, backoff=None)) is None
+        flags_only = _retry_policy(MEMORY_SPEC, Namespace(retries=None, backoff=0.5))
+        assert flags_only.backoff == 0.5
+
+    def test_invalid_flags_exit_cleanly(self):
+        from argparse import Namespace
+
+        from repro.dse.__main__ import _retry_policy
+
+        with pytest.raises(SystemExit, match="--retries"):
+            _retry_policy(MEMORY_SPEC, Namespace(retries=0, backoff=None))
+        with pytest.raises(SystemExit, match="--retries"):
+            _retry_policy(MEMORY_SPEC, Namespace(retries=None, backoff=-1.0))
+
+
 class TestStatus:
     def test_status_without_journal_fails(self, tmp_path, capsys):
         assert main(["status", "--dir", str(tmp_path)]) == 2
         assert "no campaign journal" in capsys.readouterr().err
+
+
+def _quarantined_dir(tmp_path):
+    """A campaign directory whose journal holds one quarantined point."""
+    from repro.dse import CampaignState, Job, campaign_key, journal_path
+
+    job = Job("cli-boom", {"x": 1})
+    state = CampaignState.open(
+        journal_path(str(tmp_path)), campaign_key({"kind": "cli"}), total=2
+    )
+    from repro.dse import JobResult
+
+    state.record(JobResult(job=job, ok=False, error="boom", attempts=3))
+    state.quarantine(job.key, 3)
+    state.close()
+    return job
+
+
+class TestRetrySubcommand:
+    def test_retry_without_journal_fails(self, tmp_path, capsys):
+        assert main(["retry", "--dir", str(tmp_path)]) == 2
+        assert "no campaign journal" in capsys.readouterr().err
+
+    def test_retry_releases_all(self, tmp_path, capsys):
+        from repro.dse import CampaignState, journal_path
+
+        _quarantined_dir(tmp_path)
+        assert main(["retry", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "released 1 quarantined point(s)" in out
+        assert "resume" in out
+        state = CampaignState.load(journal_path(str(tmp_path)))
+        assert state.quarantined == set()
+        assert state.done == 0  # the failed entry was cleared for re-run
+
+    def test_retry_specific_key(self, tmp_path, capsys):
+        job = _quarantined_dir(tmp_path)
+        assert main(["retry", "--dir", str(tmp_path), "--key", job.key]) == 0
+        assert "released 1" in capsys.readouterr().out
+
+    def test_retry_unknown_key_fails(self, tmp_path, capsys):
+        _quarantined_dir(tmp_path)
+        assert main(["retry", "--dir", str(tmp_path), "--key", "feedbeef"]) == 2
+        assert "not quarantined" in capsys.readouterr().err
+
+    def test_retry_nothing_to_release(self, tmp_path, capsys):
+        from repro.dse import CampaignState, campaign_key, journal_path
+
+        CampaignState.open(
+            journal_path(str(tmp_path)), campaign_key({"kind": "cli"}), total=1
+        ).close()
+        assert main(["retry", "--dir", str(tmp_path)]) == 0
+        assert "released 0" in capsys.readouterr().out
+
+    def test_status_reports_quarantine(self, tmp_path, capsys):
+        _quarantined_dir(tmp_path)
+        assert main(["status", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert "python -m repro.dse retry" in out
 
 
 class TestRunResumeStatus:

@@ -1,0 +1,515 @@
+"""Fault-injection tests for the JSONL journal: torn lines, kills,
+compaction, retries, quarantine, and legacy migration.
+
+The cheap mechanics live here (echo evaluators, workers=1); the
+end-to-end campaigns over real evaluators stay in
+test_resume_campaign.py.  ``CrashingRunner`` / ``torn_write`` come from
+``tests/test_utils.py``.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+from test_utils import CampaignKilled, CrashingRunner, torn_write
+
+from repro.dse import (
+    JOURNAL_NAME,
+    CampaignRunner,
+    CampaignState,
+    Job,
+    ResultCache,
+    RetryPolicy,
+    campaign_key,
+    journal_path,
+    read_events,
+    register_target,
+    run_checkpointed,
+)
+from repro.dse.journal import snapshot_path
+
+KEY = campaign_key({"kind": "journal-test", "axes": [["x", [0, 1, 2, 3]]]})
+
+CALLS = []
+
+
+def _echo(spec, seed):
+    CALLS.append((spec["x"], seed))
+    return {"value": spec["x"] * 10}
+
+
+def _boom(spec, seed):
+    CALLS.append((spec["x"], seed))
+    raise ValueError("point %d always breaks" % spec["x"])
+
+
+def _flaky(spec, seed):
+    """Fails until the reseeded second attempt comes around."""
+    CALLS.append((spec["x"], seed))
+    previous = sum(1 for x, _ in CALLS[:-1] if x == spec["x"])
+    if previous < spec.get("heal_after", 1):
+        raise ValueError("flaky point %d (attempt %d)" % (spec["x"], previous + 1))
+    return {"value": spec["x"] * 10}
+
+
+@pytest.fixture(autouse=True)
+def _targets():
+    register_target("jrnl-echo", _echo)
+    register_target("jrnl-boom", _boom)
+    register_target("jrnl-flaky", _flaky)
+    del CALLS[:]
+
+
+def _runner(tmp_path, name="cache"):
+    return CampaignRunner(workers=1, cache=ResultCache(str(tmp_path / name)))
+
+
+def _complete_campaign(tmp_path, n=4):
+    """A finished n-point campaign; returns (jobs, results, journal path)."""
+    jobs = [Job("jrnl-echo", {"x": i}) for i in range(n)]
+    path = str(tmp_path / JOURNAL_NAME)
+    state = CampaignState.open(path, KEY, total=n)
+    results = run_checkpointed(jobs, _runner(tmp_path), state)
+    state.close()
+    return jobs, results, path
+
+
+class TestTornLineRecovery:
+    def test_recovery_from_every_byte_offset(self, tmp_path):
+        """Truncating the journal at ANY byte offset past the begin
+        line loads cleanly and keeps every fully-written event."""
+        _, _, path = _complete_campaign(tmp_path, n=4)
+        raw = open(path, "rb").read()
+        lines = raw.decode().splitlines(keepends=True)
+        header_end = len(lines[0].encode())
+        # done-event count that survives a truncation at each offset.
+        boundaries = []
+        position = 0
+        for line in lines:
+            position += len(line.encode())
+            boundaries.append((position, line))
+
+        work = str(tmp_path / "torn.jsonl")
+        for offset in range(header_end, len(raw) + 1):
+            shutil.copyfile(path, work)
+            torn_write(work, offset)
+            state = CampaignState.load(work)
+            survivors = sum(
+                1
+                for end, line in boundaries
+                if '"done"' in line
+                # A complete record survives even without its final
+                # newline terminator (end - 1 == offset).
+                and (end <= offset or end - 1 == offset)
+            )
+            assert state.done == survivors, "offset %d" % offset
+            assert state.key == KEY
+
+    def test_torn_tail_is_truncated_before_next_append(self, tmp_path):
+        jobs, _, path = _complete_campaign(tmp_path, n=3)
+        torn_write(path, os.path.getsize(path) - 5)
+        state = CampaignState.open(path, KEY, total=4, resume=True)
+        assert state.done == 2  # the torn third point is gone
+        extra = Job("jrnl-echo", {"x": 99})
+        run_checkpointed(
+            resumed_jobs(jobs) + [extra], _runner(tmp_path), state
+        )
+        state.close()
+        _, torn = read_events(path)
+        assert torn == 0  # the torn bytes were cut, not buried
+        assert CampaignState.load(path).done == 4
+
+    def test_interior_corruption_raises(self, tmp_path):
+        _, _, path = _complete_campaign(tmp_path, n=3)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[2] = b'{"event": "done", "key":  GARBAGE\n'
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(ValueError, match="corrupt"):
+            CampaignState.load(path)
+
+    def test_whole_file_garbage_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("{ not json at all")
+        with pytest.raises(ValueError, match="corrupt"):
+            CampaignState.load(str(path))
+
+
+class TestKillAndResume:
+    def test_kill_then_tear_then_resume_identical(self, tmp_path):
+        """The acceptance criterion end to end: kill the campaign
+        mid-stream, tear the journal at every byte offset of its final
+        line, resume — zero re-evaluation of intact points, results
+        identical to an uninterrupted run."""
+        jobs = [Job("jrnl-echo", {"x": i}) for i in range(4)]
+        reference = CampaignRunner(
+            workers=1, cache=ResultCache(str(tmp_path / "ref-cache"))
+        ).run(jobs)
+
+        base = tmp_path / "killed"
+        base.mkdir()
+        path = str(base / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=4)
+        killer = CrashingRunner(_runner(base), crash_after=2)
+        with pytest.raises(CampaignKilled):
+            run_checkpointed(jobs, killer, state)
+        state.close()
+        frozen = open(path, "rb").read()
+        done_at_kill = CampaignState.load(path).done
+        assert done_at_kill == 2
+
+        # The final journal line may be torn anywhere: every offset
+        # from "last line fully gone" to "fully present" must resume
+        # to the identical end state.
+        last_line_start = frozen.rfind(b"\n", 0, len(frozen) - 1) + 1
+        for offset in range(last_line_start, len(frozen) + 1):
+            for name in (JOURNAL_NAME, snapshot_path(JOURNAL_NAME)):
+                target = str(base / name)
+                if os.path.exists(target):
+                    os.unlink(target)
+            with open(path, "wb") as handle:
+                handle.write(frozen)
+            torn_write(path, offset)
+
+            del CALLS[:]
+            resumed = CampaignState.open(path, KEY, total=4, resume=True)
+            survivors = set(resumed.completed)
+            results = run_checkpointed(resumed_jobs(jobs), _runner(base), resumed)
+            resumed.close()
+            # Intact points replay from the cache: never re-evaluated.
+            evaluated = {x for x, _ in CALLS}
+            for job in jobs:
+                if job.key in survivors:
+                    assert job.spec["x"] not in evaluated
+            assert [r.result for r in results] == [r.result for r in reference]
+            assert [r.ok for r in results] == [r.ok for r in reference]
+            assert CampaignState.load(path).done == 4
+
+
+def resumed_jobs(jobs):
+    """Fresh Job objects (same content) — resumption never relies on
+    object identity, only on content keys."""
+    return [Job(job.target, dict(job.spec)) for job in jobs]
+
+
+class TestCompaction:
+    def test_compaction_preserves_state_and_shrinks_log(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState(path, KEY, total=40, compact_threshold=20)
+        jobs = [Job("jrnl-echo", {"x": i}) for i in range(40)]
+        results = CampaignRunner(workers=1).run(jobs)
+        for outcome in results:
+            state.record(outcome)
+        state.close()
+        assert os.path.exists(snapshot_path(path))
+        events, _ = read_events(path)
+        # Far fewer lines than points: the log was folded away.
+        assert len(events) < 25
+        loaded = CampaignState.load(path)
+        assert loaded.done == 40
+        assert loaded.failed == 0
+        for job, outcome in zip(jobs, results):
+            assert loaded.entry(job.key)["ok"] is outcome.ok
+
+    def test_save_compacts_on_demand(self, tmp_path):
+        _, _, path = _complete_campaign(tmp_path, n=4)
+        state = CampaignState.load(path)
+        state.save()
+        state.close()
+        events, _ = read_events(path)
+        assert [e["event"] for e in events] == ["begin"]
+        assert CampaignState.load(path).done == 4
+
+    def test_crash_between_snapshot_and_rewrite_is_idempotent(self, tmp_path):
+        """Snapshot written, journal rewrite lost: replaying the full
+        log over the snapshot must converge to the same state."""
+        _, _, path = _complete_campaign(tmp_path, n=4)
+        full_log = open(path, "rb").read()
+        state = CampaignState.load(path)
+        state.save()  # snapshot + one-line tail
+        state.close()
+        with open(path, "wb") as handle:  # crash: old log restored
+            handle.write(full_log)
+        loaded = CampaignState.load(path)
+        assert loaded.done == 4
+        assert loaded.failed == 0
+        assert loaded.total == 4
+
+    def test_stale_snapshot_from_other_campaign_is_ignored(self, tmp_path):
+        _, _, path = _complete_campaign(tmp_path, n=3)
+        state = CampaignState.load(path)
+        state.save()
+        state.close()
+        # A fresh campaign at the same path must not inherit anything.
+        other = campaign_key({"kind": "journal-test", "axes": [["x", [9]]]})
+        fresh = CampaignState.open(path, other, total=1)
+        fresh.close()
+        assert CampaignState.load(path).done == 0
+        assert not os.path.exists(snapshot_path(path))
+
+
+class TestRetryAndQuarantine:
+    def test_flaky_point_recovers_on_reseeded_retry(self, tmp_path):
+        jobs = [Job("jrnl-flaky", {"x": 1})]
+        path = str(tmp_path / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=1)
+        policy = RetryPolicy(max_attempts=3)
+        (result,) = run_checkpointed(
+            jobs, _runner(tmp_path), state, retry=policy
+        )
+        state.close()
+        assert result.ok
+        assert result.attempts == 2
+        assert len(CALLS) == 2
+        seeds = [seed for _, seed in CALLS]
+        assert seeds[0] != seeds[1]  # content-derived reseeding
+        loaded = CampaignState.load(path)
+        assert loaded.retried == 1
+        assert loaded.retries == 1
+        assert loaded.quarantined == set()
+        kinds = [e["event"] for e in read_events(path)[0]]
+        assert "retry" in kinds and "done" in kinds
+
+    def test_budget_exhaustion_quarantines(self, tmp_path):
+        jobs = [Job("jrnl-boom", {"x": 5}), Job("jrnl-echo", {"x": 1})]
+        path = str(tmp_path / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=2)
+        policy = RetryPolicy(max_attempts=3)
+        results = run_checkpointed(
+            jobs, _runner(tmp_path), state, retry=policy
+        )
+        state.close()
+        assert not results[0].ok
+        assert results[0].attempts == 3
+        assert results[1].ok
+        assert sum(1 for x, _ in CALLS if x == 5) == 3
+        loaded = CampaignState.load(path)
+        assert loaded.quarantined == {jobs[0].key}
+        status = loaded.status()
+        assert status["quarantined"] == 1
+        assert status["quarantine"] == [jobs[0].key]
+        assert status["retried"] == 1
+        assert status["retries"] == 2
+
+    def test_quarantined_point_not_rerun_on_resume(self, tmp_path):
+        jobs = [Job("jrnl-boom", {"x": 5})]
+        path = str(tmp_path / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=1)
+        policy = RetryPolicy(max_attempts=2)
+        run_checkpointed(jobs, _runner(tmp_path), state, retry=policy)
+        state.close()
+        assert len(CALLS) == 2
+
+        del CALLS[:]
+        resumed = CampaignState.open(path, KEY, total=1, resume=True)
+        (replayed,) = run_checkpointed(
+            jobs, _runner(tmp_path), resumed, retry=policy
+        )
+        resumed.close()
+        assert CALLS == []  # quarantine blocks re-evaluation
+        assert not replayed.ok
+        assert "always breaks" in replayed.error
+        assert replayed.from_cache
+
+    def test_budget_spans_resumes(self, tmp_path):
+        """Attempts journaled before a kill count against the budget."""
+        jobs = [Job("jrnl-boom", {"x": 5})]
+        path = str(tmp_path / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=1)
+        run_checkpointed(
+            jobs, _runner(tmp_path), state, retry=RetryPolicy(max_attempts=2)
+        )
+        state.close()
+        assert len(CALLS) == 2  # budget of 2 spent, point quarantined
+
+        # Resuming with a *larger* budget: quarantine still holds...
+        del CALLS[:]
+        resumed = CampaignState.open(path, KEY, total=1, resume=True)
+        run_checkpointed(
+            jobs, _runner(tmp_path), resumed, retry=RetryPolicy(max_attempts=4)
+        )
+        assert CALLS == []
+        # ...until released; then only the *remaining* budget is fresh.
+        released = resumed.release()
+        assert released == [jobs[0].key]
+        (result,) = run_checkpointed(
+            jobs, _runner(tmp_path), resumed, retry=RetryPolicy(max_attempts=4)
+        )
+        resumed.close()
+        assert len(CALLS) == 4
+        assert not result.ok and result.attempts == 4
+
+    def test_retry_failed_releases_quarantine(self, tmp_path):
+        jobs = [Job("jrnl-boom", {"x": 5})]
+        path = str(tmp_path / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=1)
+        policy = RetryPolicy(max_attempts=2)
+        run_checkpointed(jobs, _runner(tmp_path), state, retry=policy)
+        assert jobs[0].key in state.quarantined
+
+        register_target("jrnl-boom", _echo)  # the point is healed
+        del CALLS[:]
+        (result,) = run_checkpointed(
+            jobs, _runner(tmp_path), state, retry_failed=True, retry=policy
+        )
+        state.close()
+        register_target("jrnl-boom", _boom)
+        assert result.ok
+        assert len(CALLS) == 1
+        loaded = CampaignState.load(path)
+        assert loaded.quarantined == set()
+        assert loaded.entry(jobs[0].key)["ok"] is True
+
+    def test_failed_points_without_policy_replay_unchanged(self, tmp_path):
+        """No policy, no budget: the PR-2 contract is untouched."""
+        jobs = [Job("jrnl-boom", {"x": 5})]
+        path = str(tmp_path / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=1)
+        run_checkpointed(jobs, _runner(tmp_path), state)
+        assert len(CALLS) == 1
+        (replayed,) = run_checkpointed(jobs, _runner(tmp_path), state)
+        state.close()
+        assert len(CALLS) == 1
+        assert not replayed.ok and replayed.from_cache
+        assert CampaignState.load(path).quarantined == set()
+
+    def test_quarantined_excluded_from_records_and_pareto(self):
+        from repro.dse import JobResult, MemoryCampaignResult
+
+        def outcome(x):
+            job = Job(
+                "vaet-memory",
+                {
+                    "node_nm": 45,
+                    "constraints": {"wer_target": 1e-9},
+                    "config": {"x": x},
+                },
+            )
+            point = {
+                "config": {"rows": 64, "x": x},
+                "write_latency": 1.0 + x,
+                "write_energy": 2.0,
+                "area": 1.0,
+            }
+            return job, JobResult(
+                job=job, ok=True, result={"feasible": True, "point": point}
+            )
+
+        pairs = [outcome(0), outcome(1)]
+        result = MemoryCampaignResult(
+            jobs=[j for j, _ in pairs],
+            outcomes=[o for _, o in pairs],
+            elapsed=0.0,
+            quarantined=[pairs[0][0].key],
+        )
+        records = result.records()
+        assert len(records) == 1  # the quarantined point is excluded
+        assert records[0]["key"] == pairs[1][0].key
+        assert all(
+            row["key"] != pairs[0][0].key for row in result.pareto()
+        )
+
+
+class TestLegacyMigration:
+    FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                           "legacy_checkpoint.json")
+    GOLDEN = os.path.join(os.path.dirname(__file__), "fixtures",
+                          "legacy_checkpoint_status.json")
+
+    def _stage(self, tmp_path):
+        target = tmp_path / "checkpoint.json"
+        shutil.copyfile(self.FIXTURE, str(target))
+        return str(target)
+
+    def test_golden_status_preserved_by_upgrade(self, tmp_path):
+        legacy = self._stage(tmp_path)
+        state = CampaignState.load(legacy)
+        with open(self.GOLDEN) as handle:
+            golden = json.load(handle)
+        assert state.status() == golden
+        # The upgrade landed a JSONL journal next to the legacy file...
+        upgraded = os.path.join(str(tmp_path), JOURNAL_NAME)
+        assert os.path.exists(upgraded)
+        assert journal_path(str(tmp_path)) == upgraded
+        # ...that reports the identical status after a round trip.
+        assert CampaignState.load(upgraded).status() == golden
+
+    def test_legacy_resume_identical_to_uninterrupted(self, tmp_path):
+        """Kill-and-resume equivalence for the legacy format: a v1
+        journal resumes with zero re-evaluation and identical results."""
+        jobs = [Job("jrnl-echo", {"x": i}) for i in range(4)]
+        runner = _runner(tmp_path)
+        reference = CampaignRunner(
+            workers=1, cache=ResultCache(str(tmp_path / "ref-cache"))
+        ).run(jobs)
+
+        # A campaign killed after 2 points, journaled in the v1 format.
+        killer = CrashingRunner(runner, crash_after=2)
+        path = str(tmp_path / JOURNAL_NAME)
+        state = CampaignState.open(path, KEY, total=4)
+        with pytest.raises(CampaignKilled):
+            run_checkpointed(jobs, killer, state)
+        state.close()
+        legacy_payload = {
+            "version": 1,
+            "campaign_key": KEY,
+            "total": 4,
+            "meta": {"kind": "journal-test"},
+            "created": 1700000000.0,
+            "updated": 1700000100.0,
+            "completed": dict(state.completed),
+        }
+        os.unlink(path)
+        legacy = str(tmp_path / "checkpoint.json")
+        with open(legacy, "w") as handle:
+            json.dump(legacy_payload, handle)
+
+        del CALLS[:]
+        resumed = CampaignState.open(
+            journal_path(str(tmp_path)), KEY, total=4, resume=True
+        )
+        assert resumed.path.endswith(JOURNAL_NAME)  # upgraded in flight
+        results = run_checkpointed(resumed_jobs(jobs), runner, resumed)
+        resumed.close()
+        finished = {x for x, _ in CALLS}
+        assert finished == {2, 3}  # only the unfinished half evaluated
+        assert [r.result for r in results] == [r.result for r in reference]
+        assert CampaignState.load(resumed.path).done == 4
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text(json.dumps({"version": 99, "campaign_key": "x"}))
+        with pytest.raises(ValueError, match="version"):
+            CampaignState.load(str(path))
+
+    def test_readonly_directory_still_loads(self, tmp_path, monkeypatch):
+        """Inspecting an archived (read-only) legacy campaign must not
+        crash on the upgrade's write attempt.  (chmod is no barrier to
+        a root test run, so the denial is injected at the write.)"""
+        legacy = self._stage(tmp_path)
+
+        def denied(path, text):
+            raise PermissionError("read-only file system: %s" % path)
+
+        import repro.dse.checkpoint as checkpoint_module
+
+        monkeypatch.setattr(checkpoint_module, "atomic_write_text", denied)
+        state = CampaignState.load(legacy)
+        assert state.done == 3
+        assert state.status()["failed"] == 1
+        assert not os.path.exists(os.path.join(str(tmp_path), JOURNAL_NAME))
+
+
+class TestOpenOptions:
+    def test_resume_honours_durability_settings(self, tmp_path):
+        _, _, path = _complete_campaign(tmp_path, n=3)
+        resumed = CampaignState.open(
+            path, KEY, total=3, resume=True,
+            fsync_every=1, compact_threshold=2,
+        )
+        assert resumed._journal.fsync_every == 1
+        assert resumed._journal.compact_threshold == 2
+        resumed.close()
+        with pytest.raises(ValueError, match="fsync_every"):
+            CampaignState.open(path, KEY, total=3, resume=True, fsync_every=0)

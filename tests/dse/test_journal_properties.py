@@ -1,0 +1,190 @@
+"""Property-based round-trip tests for the JSONL journal.
+
+Random event sequences (seeded ``random`` — no extra dependencies) are
+applied both to a :class:`CampaignState` on disk and to a plain
+in-memory reference model.  After interleaved compactions, reloads and
+torn-tail injections, replaying the journal must yield exactly the
+model's ``done`` / ``failed`` / ``quarantined`` sets and attempt
+counts.
+
+The tear oracle is non-circular: a copy of the model is snapshotted at
+every journal line boundary, so after truncating the file the expected
+state is the snapshot belonging to the surviving prefix — never
+re-derived from the code under test.
+"""
+
+import copy
+import os
+import random
+
+from repro.dse import CampaignState, Job, JobResult, campaign_key
+
+KEY = campaign_key({"kind": "journal-props"})
+
+N_POINTS = 12
+
+
+class ReferenceModel:
+    """What the journal *means*, as plain dicts and sets."""
+
+    def __init__(self):
+        self.completed = {}  # key -> {"ok", "error", "elapsed"}
+        self.attempts = {}
+        self.quarantined = set()
+
+    def record(self, key, ok, error, elapsed, attempts):
+        self.completed[key] = {"ok": ok, "error": error, "elapsed": elapsed}
+        if attempts > self.attempts.get(key, 0):
+            self.attempts[key] = attempts
+        if ok:
+            self.quarantined.discard(key)
+
+    def retry(self, key, attempt):
+        if attempt > self.attempts.get(key, 0):
+            self.attempts[key] = attempt
+
+    def quarantine(self, key, attempts):
+        if key in self.quarantined:
+            return
+        self.quarantined.add(key)
+        if attempts > self.attempts.get(key, 0):
+            self.attempts[key] = attempts
+
+    def release(self, key):
+        if key not in self.quarantined:
+            return
+        self.quarantined.discard(key)
+        self.attempts.pop(key, None)
+        entry = self.completed.get(key)
+        if entry is not None and not entry["ok"]:
+            self.completed.pop(key)
+
+    @property
+    def done_keys(self):
+        return {k for k, e in self.completed.items() if e["ok"]}
+
+    @property
+    def failed_keys(self):
+        return {k for k, e in self.completed.items() if not e["ok"]}
+
+
+def _check(state, model):
+    assert set(state.completed) == set(model.completed)
+    for key, entry in model.completed.items():
+        assert state.completed[key] == entry
+    assert state.quarantined == model.quarantined
+    assert state.attempts == model.attempts
+    assert state.done == len(model.completed)
+    assert state.failed == len(model.failed_keys)
+
+
+def _run_sequence(tmp_path, seed, steps=120):
+    rng = random.Random(seed)
+    jobs = [Job("props-echo", {"x": i}) for i in range(N_POINTS)]
+    path = str(tmp_path / ("journal-%d.jsonl" % seed))
+    # Tiny compaction threshold so sequences cross it several times.
+    state = CampaignState.open(
+        path, KEY, total=N_POINTS, compact_threshold=25
+    )
+    model = ReferenceModel()
+
+    # Journal size (always a newline-terminated line boundary) ->
+    # frozen model copy.  Auto-compaction shrinks the file; stale
+    # boundaries are dropped when that happens.
+    snapshots = {}
+    boundaries = []
+
+    def snap():
+        size = os.path.getsize(path)
+        if boundaries and size < boundaries[-1]:
+            snapshots.clear()
+            del boundaries[:]
+        if size == 0 or size in snapshots:
+            return
+        with open(path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                return  # unterminated tail: not a boundary
+        boundaries.append(size)
+        snapshots[size] = copy.deepcopy(model)
+
+    for step in range(steps):
+        op = rng.choice(
+            ["done", "failed", "retry", "quarantine", "release",
+             "compact", "reload", "tear", "tear"]
+        )
+        job = rng.choice(jobs)
+        # Unique elapsed per step: the dedupe path must never conflate
+        # two distinct completions in this harness.
+        elapsed = step + round(rng.uniform(0.0, 1.0), 6)
+        if op == "done":
+            attempts = rng.randint(1, 4)
+            state.record(JobResult(
+                job=job, ok=True, result={"v": 1},
+                elapsed=elapsed, attempts=attempts,
+            ))
+            model.record(job.key, True, None, elapsed, attempts)
+        elif op == "failed":
+            attempts = rng.randint(1, 4)
+            error = "boom-%d" % rng.randint(0, 3)
+            state.record(JobResult(
+                job=job, ok=False, error=error,
+                elapsed=elapsed, attempts=attempts,
+            ))
+            model.record(job.key, False, error, elapsed, attempts)
+        elif op == "retry":
+            attempt = rng.randint(1, 4)
+            state.record_retry(job.key, attempt, "flaky", 0.0)
+            model.retry(job.key, attempt)
+        elif op == "quarantine":
+            attempts = rng.randint(1, 4)
+            state.quarantine(job.key, attempts)
+            model.quarantine(job.key, attempts)
+        elif op == "release":
+            state.release([job.key])
+            model.release(job.key)
+        elif op == "compact":
+            state.save()
+            snapshots.clear()
+            del boundaries[:]
+        elif op == "reload":
+            state.close()
+            state = CampaignState.load(path)
+            _check(state, model)
+        elif op == "tear" and len(boundaries) >= 2:
+            state.close()
+            index = rng.randrange(1, len(boundaries))
+            cut = rng.randint(1, boundaries[index] - boundaries[index - 1])
+            with open(path, "r+b") as handle:
+                handle.truncate(boundaries[index] - cut)
+            if cut == 1:
+                # Only the terminator went: the final record is whole
+                # and recovery keeps it.
+                model = copy.deepcopy(snapshots[boundaries[index]])
+            else:
+                model = copy.deepcopy(snapshots[boundaries[index - 1]])
+            # Sizes past the cut may be reached again with different
+            # content: their snapshots are dead.
+            for stale in boundaries[index:]:
+                snapshots.pop(stale, None)
+            del boundaries[index:]
+            state = CampaignState.load(path)
+            _check(state, model)
+        snap()
+        _check(state, model)
+
+    state.close()
+    reloaded = CampaignState.load(path)
+    _check(reloaded, model)
+    reloaded.save()  # final compaction must be lossless too
+    reloaded.close()
+    _check(CampaignState.load(path), model)
+
+
+def test_random_sequences_round_trip(tmp_path):
+    for seed in range(10):
+        _run_sequence(tmp_path, seed)
+
+
+def test_long_sequence_with_heavy_compaction(tmp_path):
+    _run_sequence(tmp_path, seed=1234, steps=400)

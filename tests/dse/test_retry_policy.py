@@ -1,0 +1,92 @@
+"""Unit tests for RetryPolicy: budgets, backoff schedule, reseeding."""
+
+import pytest
+
+from repro.dse import Job, RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.backoff == 0.0
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(max_backoff=-0.1)
+
+    def test_rejects_shrinking_factor(self):
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestBudget:
+    def test_should_retry_counts_total_invocations(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_single_attempt_never_retries(self):
+        assert not RetryPolicy(max_attempts=1).should_retry(1)
+
+
+class TestBackoff:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(backoff=0.5, backoff_factor=2.0)
+        assert policy.backoff_for(1) == pytest.approx(0.5)
+        assert policy.backoff_for(2) == pytest.approx(1.0)
+        assert policy.backoff_for(3) == pytest.approx(2.0)
+
+    def test_cap(self):
+        policy = RetryPolicy(backoff=10.0, backoff_factor=10.0, max_backoff=25.0)
+        assert policy.backoff_for(1) == pytest.approx(10.0)
+        assert policy.backoff_for(2) == pytest.approx(25.0)
+
+    def test_zero_base_stays_zero(self):
+        assert RetryPolicy().backoff_for(5) == 0.0
+
+    def test_attempt_numbers_start_at_one(self):
+        with pytest.raises(ValueError, match="start at 1"):
+            RetryPolicy().backoff_for(0)
+
+
+class TestFromDict:
+    def test_none_passes_through(self):
+        assert RetryPolicy.from_dict(None) is None
+
+    def test_policy_passes_through(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert RetryPolicy.from_dict(policy) is policy
+
+    def test_builds_from_dict(self):
+        policy = RetryPolicy.from_dict({"max_attempts": 4, "backoff": 0.25})
+        assert policy.max_attempts == 4
+        assert policy.backoff == 0.25
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown retry option"):
+            RetryPolicy.from_dict({"attempts": 4})
+
+
+class TestReseed:
+    def test_reseed_keeps_key_changes_seed(self):
+        job = Job("reseed-test", {"x": 1})
+        policy = RetryPolicy()
+        second = policy.reseed(job, 1)
+        third = policy.reseed(job, 2)
+        assert second.key == job.key == third.key
+        seeds = {job.seed, second.seed, third.seed}
+        assert len(seeds) == 3  # decorrelated, deterministic streams
+
+    def test_reseed_is_deterministic(self):
+        job = Job("reseed-test", {"x": 1})
+        assert RetryPolicy().reseed(job, 1).seed == Job(
+            "reseed-test", {"x": 1}, reseed=1
+        ).seed

@@ -1,4 +1,11 @@
-"""Tests for repro.utils: constants, units, math helpers, tables."""
+"""Tests for repro.utils, plus shared fault-injection test helpers.
+
+The helpers at the bottom (:class:`CrashingRunner`, :func:`torn_write`,
+:exc:`CampaignKilled`) simulate the two ways a campaign dies in the
+wild — the process is killed between points, and a write is torn
+mid-append — and are imported by the journal suites under ``tests/dse``
+(``tests/conftest.py`` puts this directory on ``sys.path``).
+"""
 
 
 import pytest
@@ -152,3 +159,64 @@ class TestTable:
         table = Table(["x"])
         table.add_row([0.0])
         assert table.rows[0][0] == "0"
+
+
+# -- fault-injection helpers (shared by tests/dse) ----------------------
+
+
+class CampaignKilled(Exception):
+    """Raised by :class:`CrashingRunner`: stands in for SIGKILL."""
+
+
+class CrashingRunner:
+    """A :class:`~repro.dse.runner.CampaignRunner` that dies mid-stream.
+
+    Wraps a real runner and raises :exc:`CampaignKilled` after
+    ``crash_after`` results have been yielded — *after* the consumer
+    (checkpoint layer, progress display) has processed them, exactly
+    like a kill landing between two journal appends.  Pair with
+    :func:`torn_write` to also tear the journal's final line.
+
+    Args:
+        runner: The real runner to wrap.
+        crash_after: Results to deliver before dying.
+    """
+
+    def __init__(self, runner, crash_after=1):
+        self.runner = runner
+        self.crash_after = int(crash_after)
+
+    def __getattr__(self, name):
+        return getattr(self.runner, name)
+
+    def run_iter(self, jobs, progress=None, **kwargs):
+        delivered = 0
+        for outcome in self.runner.run_iter(jobs, progress=progress, **kwargs):
+            yield outcome
+            delivered += 1
+            if delivered >= self.crash_after:
+                raise CampaignKilled(
+                    "killed after %d delivered point(s)" % delivered
+                )
+
+    def run(self, jobs, progress=None, **kwargs):
+        return list(self.run_iter(jobs, progress=progress, **kwargs))
+
+
+def torn_write(path, offset):
+    """Truncate a file at an arbitrary byte ``offset``.
+
+    Simulates a crash (or power loss) mid-append: everything past the
+    offset vanishes, typically leaving a torn final line.  Returns the
+    number of bytes removed.
+    """
+    import os
+
+    size = os.path.getsize(path)
+    if not 0 <= offset <= size:
+        raise ValueError(
+            "offset %d outside file of %d bytes" % (offset, size)
+        )
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+    return size - offset
