@@ -38,10 +38,15 @@ sys.path.insert(0, os.path.dirname(__file__))
 from artifacts import save_artifact  # noqa: E402
 
 from repro.dse import (  # noqa: E402
+    SELFTEST_TARGET,
+    CampaignRunner,
     CampaignState,
     Job,
     JobResult,
     ParameterSpace,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    WorkerPullExecutor,
     campaign_key,
     default_workers,
     explore_memory,
@@ -215,6 +220,76 @@ def test_journal_append_throughput_full():
     assert summary["points"] >= 10_000
 
 
+# -- executor comparison -------------------------------------------------
+
+
+def executor_bench(points=24, sleep_s=0.05, workers=2):
+    """Serial vs pool vs N-worker worker-pull wall-clock, same jobs.
+
+    Synthetic sleeping points isolate the executors' dispatch overhead
+    from Monte-Carlo noise: with evaluation cost pinned at ``sleep_s``,
+    serial wall-clock is ~``points * sleep_s`` and any parallel backend
+    divides it by its effective worker count (worker-pull additionally
+    pays per-process startup once and filesystem polling per point).
+    """
+    jobs = [
+        Job(SELFTEST_TARGET, {"x": i, "sleep_s": sleep_s}) for i in range(points)
+    ]
+    summary = {"points": points, "sleep_s": sleep_s, "workers": workers}
+
+    def timed(name, runner):
+        tick = time.perf_counter()
+        results = runner.run(jobs)
+        wall = time.perf_counter() - tick
+        assert all(r.ok for r in results), "executor %s failed a point" % name
+        summary["%s_wall_s" % name] = wall
+        return wall
+
+    serial = timed("serial", CampaignRunner(workers=1, executor=SerialExecutor()))
+    pool = timed(
+        "pool", CampaignRunner(workers=workers,
+                               executor=ProcessPoolExecutor(workers)),
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-pull-") as campaign_dir:
+        executor = WorkerPullExecutor(
+            campaign_dir, spawn_workers=workers, lease_ttl=10.0, poll=0.01,
+            timeout=300,
+        )
+        try:
+            pull = timed(
+                "worker_pull", CampaignRunner(workers=workers, executor=executor)
+            )
+        finally:
+            executor.close()
+    summary["pool_speedup"] = serial / max(pool, 1e-9)
+    summary["worker_pull_speedup"] = serial / max(pull, 1e-9)
+    return summary
+
+
+def _check_and_save_executors(name, summary):
+    # Sanity only — worker-pull pays interpreter startup for its
+    # spawned processes, so absolute speedups are hardware-dependent;
+    # the artefact records them, the assertions guard correctness.
+    import multiprocessing
+
+    assert summary["serial_wall_s"] >= summary["points"] * summary["sleep_s"]
+    # The pool-beats-serial claim only holds where pool startup is
+    # cheap (fork) and the workload amortises it (>= 1 s serially);
+    # under spawn (macOS/Windows) or at smoke scale it is recorded,
+    # not asserted.
+    baseline = summary["points"] * summary["sleep_s"]
+    if multiprocessing.get_start_method() == "fork" and baseline >= 1.0:
+        assert summary["pool_speedup"] > 1.0
+    save_artifact(name, json.dumps(summary, indent=2))
+    return summary
+
+
+def test_executor_comparison():
+    """Fast tier-1 path: the three executors agree and are measured."""
+    summary = executor_bench(points=12, sleep_s=0.02)
+    _check_and_save_executors("dse_executor_bench.json", summary)
+
+
 def test_dse_campaign_smoke(benchmark, tmp_path):
     """Fast tier-1 path: 24 points, reduced Monte Carlo effort."""
     space = smoke_space()
@@ -254,7 +329,21 @@ def main(argv=None) -> int:
     mode.add_argument(
         "--full", action="store_true", help="216-point campaign"
     )
+    mode.add_argument(
+        "--executors", action="store_true",
+        help="executor comparison only (serial vs pool vs 2-worker "
+             "worker-pull wall-clock on synthetic points)",
+    )
     args = parser.parse_args(argv)
+
+    if args.executors:
+        print("executors: 24 sleeping points, serial vs pool vs worker-pull")
+        summary = _check_and_save_executors(
+            "dse_executor_bench.json",
+            executor_bench(points=24, sleep_s=0.05, workers=2),
+        )
+        print(json.dumps(summary, indent=2))
+        return 0
 
     if args.full:
         name, space, settings = "dse_campaign_full.json", full_space(), FULL_SETTINGS

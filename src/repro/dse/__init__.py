@@ -8,10 +8,19 @@ subsystem every layer plugs into:
 * :mod:`repro.dse.jobs` — content-hash keyed :class:`Job` records;
 * :mod:`repro.dse.cache` — on-disk JSON :class:`ResultCache` (identical
   re-runs are lookups, not simulations);
-* :mod:`repro.dse.runner` — multiprocessing :class:`CampaignRunner` with
-  streaming execution (:meth:`~repro.dse.runner.CampaignRunner.run_iter`
-  + :class:`~repro.dse.runner.Progress` callbacks), chunked scheduling,
+* :mod:`repro.dse.runner` — :class:`CampaignRunner` with streaming
+  execution (:meth:`~repro.dse.runner.CampaignRunner.run_iter` +
+  :class:`~repro.dse.runner.Progress` callbacks), chunked scheduling,
   content-derived seeds and failure isolation;
+* :mod:`repro.dse.executors` — pluggable execution backends behind the
+  :class:`Executor` protocol: :class:`SerialExecutor`,
+  :class:`ProcessPoolExecutor`, and :class:`WorkerPullExecutor` — N
+  independent ``python -m repro.dse worker`` processes (any host that
+  mounts the campaign directory) leasing points through journal-backed
+  claim events with heartbeat + expiry reclaim;
+* :mod:`repro.dse.shard` — :class:`ShardedResultCache` fan-out and
+  crash-safe, idempotent :func:`merge_caches` over multi-writer cache
+  directories;
 * :mod:`repro.dse.journal` — append-only JSONL event log with torn-line
   recovery and snapshot compaction (O(1) journal I/O per point);
 * :mod:`repro.dse.retry` — :class:`RetryPolicy`: budgeted per-point
@@ -45,9 +54,22 @@ from repro.dse.checkpoint import (
     journal_path,
     run_checkpointed,
 )
+from repro.dse.executors import (
+    EXECUTOR_NAMES,
+    SELFTEST_TARGET,
+    Executor,
+    LeaseTable,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    WorkerPullExecutor,
+    WorkQueue,
+    make_executor,
+    run_worker,
+)
 from repro.dse.jobs import Job, JobResult, canonical_json, content_key
 from repro.dse.journal import JOURNAL_VERSION, JsonlJournal, read_events
 from repro.dse.retry import RetryPolicy
+from repro.dse.shard import ShardedResultCache, merge_caches, shard_index
 from repro.dse.pareto import Objective, dominance_ranks, dominates, pareto_front
 from repro.dse.runner import (
     MEMORY_TARGET,
@@ -81,7 +103,20 @@ __all__ = [
     "canonical_json",
     "content_key",
     "ResultCache",
+    "ShardedResultCache",
+    "shard_index",
+    "merge_caches",
     "CampaignRunner",
+    "Executor",
+    "EXECUTOR_NAMES",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "WorkerPullExecutor",
+    "WorkQueue",
+    "LeaseTable",
+    "make_executor",
+    "run_worker",
+    "SELFTEST_TARGET",
     "Progress",
     "default_workers",
     "WORKERS_ENV",

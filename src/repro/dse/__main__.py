@@ -8,7 +8,19 @@ Subcommands:
 * ``status --dir DIR``      — report a campaign directory's journal
   (including retry and quarantine counts);
 * ``retry --dir DIR``       — re-release quarantined (flaky) points so
-  the next ``resume`` re-runs them with a fresh retry budget.
+  the next ``resume`` re-runs them with a fresh retry budget;
+* ``worker DIR``            — evaluate points for a worker-pull
+  campaign rooted at DIR (start any number, on any host that mounts
+  the directory; each claims points through lease events and exits on
+  the coordinator's stop sentinel or ``--idle-timeout``);
+* ``merge --dir DIR --workers-dirs D [D...]`` — fold cache/shard
+  directories written elsewhere into a campaign's cache (crash-safe,
+  idempotent).
+
+``run``/``resume`` select the execution backend with ``--executor
+serial|pool|worker-pull``; ``--executor worker-pull --spawn-workers N``
+also launches N local workers for the run's duration (multi-host
+campaigns instead start ``worker`` processes by hand).
 
 A campaign spec is a JSON file::
 
@@ -56,8 +68,15 @@ from repro.dse.campaign import (
     run_system_campaign,
 )
 from repro.dse.checkpoint import CampaignState, journal_path
+from repro.dse.executors import (
+    CACHE_DIR_NAME,
+    EXECUTOR_NAMES,
+    WorkerStalled,
+    run_worker,
+)
 from repro.dse.retry import RetryPolicy
 from repro.dse.runner import Progress, default_workers
+from repro.dse.shard import merge_caches
 from repro.dse.space import ParameterSpace
 
 
@@ -198,10 +217,36 @@ def cmd_describe(args) -> int:
     return 0
 
 
+def _executor_options(args) -> Optional[Dict]:
+    """Keyword options for a named executor, from the CLI flags."""
+    options = {}
+    if getattr(args, "spawn_workers", None):
+        options["spawn_workers"] = args.spawn_workers
+    if getattr(args, "lease_ttl", None) is not None:
+        options["lease_ttl"] = args.lease_ttl
+    if getattr(args, "stall_timeout", None) is not None:
+        options["timeout"] = args.stall_timeout
+    if options and getattr(args, "executor", None) != "worker-pull":
+        raise SystemExit(
+            "--spawn-workers/--lease-ttl/--stall-timeout apply only to "
+            "--executor worker-pull"
+        )
+    return options or None
+
+
 def _run_campaign(spec: Dict, args, resume: bool):
     settings = dict(spec.get("settings", {}))
     if args.workers is not None:
         settings["workers"] = args.workers
+    workers_dirs = getattr(args, "workers_dirs", None)
+    if workers_dirs:
+        # A typo or an unmounted share must not silently merge nothing
+        # and re-evaluate every remotely-computed point.
+        missing = [d for d in workers_dirs if not os.path.isdir(d)]
+        if missing:
+            raise SystemExit(
+                "--workers-dirs: not a directory: %s" % ", ".join(missing)
+            )
     progress = None if args.quiet else progress_printer()
     common = dict(
         campaign_dir=args.dir,
@@ -209,6 +254,9 @@ def _run_campaign(spec: Dict, args, resume: bool):
         retry_failed=args.retry_failed,
         retry=_retry_policy(spec, args),
         progress=progress,
+        executor=getattr(args, "executor", None),
+        executor_options=_executor_options(args),
+        workers_dirs=workers_dirs,
         **settings,
     )
     if spec["kind"] == "memory":
@@ -256,7 +304,15 @@ def _summarise(result, campaign_dir: str, elapsed: float) -> None:
 def cmd_run(args, resume: bool = False) -> int:
     spec = load_spec(args.spec)
     start = time.perf_counter()
-    result = _run_campaign(spec, args, resume=resume or args.resume)
+    try:
+        result = _run_campaign(spec, args, resume=resume or args.resume)
+    except WorkerStalled as exc:
+        print("campaign stalled: %s" % exc, file=sys.stderr)
+        print(
+            "start workers with: python -m repro.dse worker %s" % args.dir,
+            file=sys.stderr,
+        )
+        return 3
     _summarise(result, args.dir, time.perf_counter() - start)
     return 0
 
@@ -296,7 +352,7 @@ def cmd_status(args) -> int:
     print("updated:   %s" % time.strftime(
         "%Y-%m-%d %H:%M:%S", time.localtime(status["updated"])
     ))
-    cache = ResultCache(os.path.join(args.dir, "cache"))
+    cache = ResultCache(os.path.join(args.dir, CACHE_DIR_NAME))
     print("cache:     %d entries" % len(cache))
     meta = status.get("meta") or {}
     if meta.get("kind"):
@@ -342,6 +398,44 @@ def cmd_retry(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """Evaluate points for a worker-pull campaign until stopped."""
+    try:
+        evaluated = run_worker(
+            args.dir,
+            worker_id=args.id,
+            lease_ttl=args.ttl,
+            poll=args.poll,
+            idle_timeout=args.idle_timeout,
+            once=args.once,
+            max_tasks=args.max_tasks,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print("worker done: evaluated %d task(s)" % evaluated)
+    return 0
+
+
+def cmd_merge(args) -> int:
+    """Fold worker cache/shard directories into a campaign's cache."""
+    missing = [d for d in args.workers_dirs if not os.path.isdir(d)]
+    if missing:
+        print("not a directory: %s" % ", ".join(missing), file=sys.stderr)
+        return 2
+    dest = os.path.join(args.dir, CACHE_DIR_NAME)
+    counts = merge_caches(dest, args.workers_dirs)
+    print(
+        "merged %(merged)d record(s) (%(skipped)d already present, "
+        "%(corrupt)d corrupt skipped)" % counts
+    )
+    print("cache:     %d entries" % len(ResultCache(dest)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.dse",
@@ -380,6 +474,32 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--quiet", action="store_true", help="suppress live progress"
         )
+        command.add_argument(
+            "--executor", choices=EXECUTOR_NAMES, default=None,
+            help="execution backend (default: in-process pool; "
+                 "worker-pull leases points to `worker` processes)",
+        )
+        command.add_argument(
+            "--spawn-workers", type=int, default=0, metavar="N",
+            help="with --executor worker-pull: launch N local worker "
+                 "processes for the run's duration",
+        )
+        command.add_argument(
+            "--lease-ttl", type=float, default=None, metavar="SECONDS",
+            help="with --executor worker-pull: lease time-to-live "
+                 "(a dead worker's points reclaim after this long)",
+        )
+        command.add_argument(
+            "--stall-timeout", type=float, default=None, metavar="SECONDS",
+            help="with --executor worker-pull: abort when no result "
+                 "arrives for this long (default: wait forever for "
+                 "workers to show up)",
+        )
+        command.add_argument(
+            "--workers-dirs", nargs="+", default=None, metavar="DIR",
+            help="cache/shard directories written elsewhere to merge "
+                 "into the campaign cache before running",
+        )
 
     run = sub.add_parser("run", help="run a campaign (resumably)")
     add_run_arguments(run)
@@ -409,6 +529,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="release only this job key (repeatable; default: all)",
     )
     retry.set_defaults(func=cmd_retry)
+
+    worker = sub.add_parser(
+        "worker", help="evaluate points for a worker-pull campaign"
+    )
+    worker.add_argument("dir", help="campaign directory (the coordinator's --dir)")
+    worker.add_argument(
+        "--id", default=None,
+        help="worker identity for lease journals (default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--ttl", type=float, default=30.0, metavar="SECONDS",
+        help="lease time-to-live without a heartbeat (default: 30)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="queue scan interval when idle (default: 0.2)",
+    )
+    worker.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with nothing claimable "
+             "(default: wait for the stop sentinel)",
+    )
+    worker.add_argument(
+        "--once", action="store_true",
+        help="exit as soon as a scan finds nothing claimable",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after evaluating N tasks",
+    )
+    worker.set_defaults(func=cmd_worker)
+
+    merge = sub.add_parser(
+        "merge", help="fold worker cache/shard directories into a campaign"
+    )
+    merge.add_argument("--dir", required=True, help="campaign directory")
+    merge.add_argument(
+        "--workers-dirs", nargs="+", required=True, metavar="DIR",
+        help="cache/shard directories to merge into the campaign cache",
+    )
+    merge.set_defaults(func=cmd_merge)
     return parser
 
 

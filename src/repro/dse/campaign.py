@@ -43,7 +43,9 @@ from repro.dse.checkpoint import (
     journal_path,
     run_checkpointed,
 )
+from repro.dse.executors import CACHE_DIR_NAME, make_executor
 from repro.dse.jobs import Job, JobResult
+from repro.dse.shard import merge_caches
 from repro.dse.pareto import ObjectiveSpec, pareto_front
 from repro.dse.retry import RetryPolicy
 from repro.dse.runner import (
@@ -378,6 +380,37 @@ def _memory_settings(base_config, constraints):
     return base_config, constraints
 
 
+def _campaign_cache(campaign_dir: str, workers_dirs) -> ResultCache:
+    """The campaign's shared cache, pre-merged with worker-local stores.
+
+    ``workers_dirs`` (cache or shard directories written by workers
+    that could not mount the campaign directory) are folded in first,
+    so the run aggregates everything already evaluated elsewhere.
+    """
+    cache = ResultCache(os.path.join(campaign_dir, CACHE_DIR_NAME))
+    if workers_dirs:
+        merge_caches(cache, workers_dirs)
+    return cache
+
+
+def _campaign_executor(executor, campaign_dir, workers, executor_options):
+    """Resolve the ``executor=`` argument of the campaign entry points.
+
+    Returns ``(executor instance or None, close_when_done)`` — a name
+    string builds a fresh executor this campaign owns (and must close);
+    an instance passes through and stays the caller's to manage.
+    """
+    if executor is None:
+        return None, False
+    built = make_executor(
+        executor,
+        campaign_dir=campaign_dir,
+        workers=workers,
+        **dict(executor_options or {}),
+    )
+    return built, built is not executor
+
+
 def _static_points(
     space: ParameterSpace,
     sampler: str,
@@ -501,6 +534,9 @@ def run_memory_campaign(
     objectives: Sequence[ObjectiveSpec] = ("edp_proxy",),
     retry: Optional[RetryPolicy] = None,
     progress: Optional[ProgressCallback] = None,
+    executor=None,
+    executor_options: Optional[Dict] = None,
+    workers_dirs: Optional[Sequence[str]] = None,
 ) -> MemoryCampaignResult:
     """Resumable :func:`explore_memory`: cache + journal in a directory.
 
@@ -524,6 +560,18 @@ def run_memory_campaign(
             points re-run with reseeded RNG streams, each retry is
             journaled (the budget spans resumes), and budget-exhausted
             points are quarantined.
+        executor: Execution backend: ``"serial"``, ``"pool"``,
+            ``"worker-pull"`` (points are leased to independent
+            ``python -m repro.dse worker`` processes sharing this
+            directory — see :mod:`repro.dse.executors`), or an
+            :class:`~repro.dse.executors.Executor` instance.  The
+            executor changes *where* points evaluate, never the journal
+            format, the campaign signature, or the results.
+        executor_options: Extra keyword arguments for a named executor
+            (``spawn_workers``, ``lease_ttl``, ``timeout``, ...).
+        workers_dirs: Cache/shard directories written elsewhere (e.g.
+            by workers without access to this directory) to merge into
+            the campaign cache before running.
         (Remaining arguments are as in :func:`explore_memory`.)
     """
     if sampler not in SAMPLERS:
@@ -544,8 +592,11 @@ def run_memory_campaign(
         "sampler_options": dict(sampler_options or {}),
         "objectives": [list(o) if isinstance(o, tuple) else o for o in objectives],
     }
-    cache = ResultCache(os.path.join(campaign_dir, "cache"))
-    runner = CampaignRunner(workers=workers, cache=cache)
+    cache = _campaign_cache(campaign_dir, workers_dirs)
+    engine, owns_executor = _campaign_executor(
+        executor, campaign_dir, workers, executor_options
+    )
+    runner = CampaignRunner(workers=workers, cache=cache, executor=engine)
     journal = journal_path(campaign_dir, prefer_existing=resume)
 
     def build_jobs(points):
@@ -556,36 +607,40 @@ def run_memory_campaign(
 
     start = time.perf_counter()
     trace = None
-    if sampler == "adaptive":
-        state = CampaignState.open(
-            journal, campaign_key(signature), total=0,
-            resume=resume, meta=signature,
-        )
-        planned = 0
+    try:
+        if sampler == "adaptive":
+            state = CampaignState.open(
+                journal, campaign_key(signature), total=0,
+                resume=resume, meta=signature,
+            )
+            planned = 0
 
-        def execute(jobs):
-            nonlocal planned
-            planned += len(jobs)
-            state.total = max(state.total, planned)
-            return run_checkpointed(
+            def execute(jobs):
+                nonlocal planned
+                planned += len(jobs)
+                state.total = max(state.total, planned)
+                return run_checkpointed(
+                    jobs, runner, state, retry_failed=retry_failed,
+                    retry=retry, progress=progress,
+                )
+
+            jobs, outcomes, trace = _run_adaptive(
+                space, build_jobs, execute, _memory_record,
+                sampler_options, objectives,
+            )
+        else:
+            jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
+            state = CampaignState.open(
+                journal, campaign_key(signature), total=len(jobs),
+                resume=resume, meta=signature,
+            )
+            outcomes = run_checkpointed(
                 jobs, runner, state, retry_failed=retry_failed,
                 retry=retry, progress=progress,
             )
-
-        jobs, outcomes, trace = _run_adaptive(
-            space, build_jobs, execute, _memory_record,
-            sampler_options, objectives,
-        )
-    else:
-        jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
-        state = CampaignState.open(
-            journal, campaign_key(signature), total=len(jobs),
-            resume=resume, meta=signature,
-        )
-        outcomes = run_checkpointed(
-            jobs, runner, state, retry_failed=retry_failed,
-            retry=retry, progress=progress,
-        )
+    finally:
+        if owns_executor:
+            engine.close()
     state.close()
     elapsed = time.perf_counter() - start
     return MemoryCampaignResult(
@@ -793,6 +848,9 @@ def run_system_campaign(
     retry: Optional[RetryPolicy] = None,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    executor=None,
+    executor_options: Optional[Dict] = None,
+    workers_dirs: Optional[Sequence[str]] = None,
 ) -> SystemCampaignResult:
     """Resumable :func:`explore_system`: cache + journal in a directory.
 
@@ -801,8 +859,9 @@ def run_system_campaign(
     re-simulating completed cells (they replay from the cache).  A
     ``retry`` policy re-runs failed cells (journaled, budget spans
     resumes) before the grid's fail-fast contract raises.  See
-    :func:`run_memory_campaign` for the directory layout and resume
-    semantics.
+    :func:`run_memory_campaign` for the directory layout, the
+    ``executor`` / ``executor_options`` / ``workers_dirs`` plumbing,
+    and the resume semantics.
     """
     from repro.magpie.flow import MagpieFlow
 
@@ -817,8 +876,11 @@ def run_system_campaign(
         "wer_target": wer_target,
         "base": flow.base.to_dict(),
     }
-    cache = ResultCache(os.path.join(campaign_dir, "cache"))
-    runner = CampaignRunner(workers=workers, cache=cache)
+    cache = _campaign_cache(campaign_dir, workers_dirs)
+    engine, owns_executor = _campaign_executor(
+        executor, campaign_dir, workers, executor_options
+    )
+    runner = CampaignRunner(workers=workers, cache=cache, executor=engine)
     jobs = _system_jobs(flow, cells)
     journal = journal_path(campaign_dir, prefer_existing=resume)
     state = CampaignState.open(
@@ -829,10 +891,14 @@ def run_system_campaign(
         meta=signature,
     )
     start = time.perf_counter()
-    outcomes = run_checkpointed(
-        jobs, runner, state, retry_failed=retry_failed,
-        retry=retry, progress=progress,
-    )
+    try:
+        outcomes = run_checkpointed(
+            jobs, runner, state, retry_failed=retry_failed,
+            retry=retry, progress=progress,
+        )
+    finally:
+        if owns_executor:
+            engine.close()
     state.close()
     results = _system_results(flow, cells, outcomes)
     elapsed = time.perf_counter() - start

@@ -61,18 +61,18 @@ EVENT_KINDS = (
 )
 
 
-def atomic_write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tmp + rename).
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
 
     The temporary file is removed in a ``finally`` if it still exists,
-    so a serialisation error mid-write never litters the directory.
+    so an error mid-write never litters the directory.
     """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -82,6 +82,11 @@ def atomic_write_text(path: str, text: str) -> None:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + rename)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def atomic_write_json(path: str, payload: Dict) -> None:

@@ -7,9 +7,12 @@ The runner turns a list of :class:`~repro.dse.jobs.Job` into
   without touching a worker;
 * **deduplication** — identical jobs submitted twice in one campaign
   evaluate once;
-* **parallelism** — misses fan out over a ``multiprocessing`` pool in
-  chunks (workers=1 degenerates to an in-process serial loop, which the
-  legacy sweep wrappers use to reproduce historic outputs exactly);
+* **parallelism** — misses fan out through a pluggable
+  :class:`~repro.dse.executors.Executor` (default: a ``multiprocessing``
+  pool in chunks; workers=1 degenerates to an in-process serial loop,
+  which the legacy sweep wrappers use to reproduce historic outputs
+  exactly; ``executor="worker-pull"`` hands the points to independent
+  worker processes that may live on other hosts);
 * **streaming** — :meth:`CampaignRunner.run_iter` yields results as
   they complete (``imap_unordered`` under the hood), so checkpoints and
   progress displays see every point the moment it lands instead of
@@ -84,9 +87,10 @@ def get_target(name: str) -> Callable[[Mapping, int], Dict]:
         KeyError: If the name is not registered and not importable.
     """
     if name not in _TARGETS:
-        # Built-ins register at campaign import; spawned workers start
-        # with an empty registry, so resolve lazily here.
+        # Built-ins register at campaign/executors import; spawned
+        # workers start with an empty registry, so resolve lazily here.
         import repro.dse.campaign  # noqa: F401
+        import repro.dse.executors  # noqa: F401
 
     if name not in _TARGETS and ":" in name:
         module_name, _, attr = name.partition(":")
@@ -208,6 +212,11 @@ class CampaignRunner:
             successful results are written back.
         chunksize: Pool chunk size; default balances ~4 chunks per
             worker to amortise dispatch without starving the pool.
+        executor: Optional :class:`~repro.dse.executors.Executor`
+            instance overriding the built-in choice (serial loop for
+            ``workers=1`` or single-job batches, process pool
+            otherwise).  The runner's cache/retry/progress semantics
+            are identical under every executor.
     """
 
     def __init__(
@@ -215,12 +224,23 @@ class CampaignRunner:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         chunksize: Optional[int] = None,
+        executor=None,
     ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers if workers is not None else default_workers()
         self.cache = cache
         self.chunksize = chunksize
+        self.executor = executor
+
+    def with_executor(self, executor) -> "CampaignRunner":
+        """A runner sharing this one's cache/sizing but another executor."""
+        return CampaignRunner(
+            workers=self.workers,
+            cache=self.cache,
+            chunksize=self.chunksize,
+            executor=executor,
+        )
 
     def run(
         self,
@@ -315,6 +335,7 @@ class CampaignRunner:
 
         offsets = dict(retry_offsets or {})
         attempts: Dict[str, int] = {}
+        write_back = self.cache is not None and not self._executor_persists()
         to_run = [jobs[indices[0]] for indices in pending.values()]
         while to_run:
             retries: List[Tuple[Job, float]] = []
@@ -327,7 +348,7 @@ class CampaignRunner:
                         on_retry(job, used, error, backoff)
                     retries.append((job, backoff))
                     continue
-                if ok and self.cache is not None:
+                if ok and write_back:
                     self.cache.put(
                         job.key,
                         {
@@ -353,31 +374,45 @@ class CampaignRunner:
                 retry.reseed(job, attempts[job.key]) for job, _ in retries
             ]
 
+    def _executor_persists(self) -> bool:
+        """True if the executor already writes results into our cache.
+
+        A :class:`~repro.dse.executors.WorkerPullExecutor` advertises
+        the cache root its workers store to (``persist_root``); when it
+        is this runner's own plain-layout cache, the write-back in
+        :meth:`_iter_indexed` would duplicate every record — skip it.
+        """
+        from repro.dse.cache import ResultCache as PlainCache
+
+        root = getattr(self.executor, "persist_root", None)
+        return (
+            root is not None
+            and type(self.cache) is PlainCache  # workers use the plain layout
+            and os.path.abspath(root) == os.path.abspath(self.cache.root)
+        )
+
     def _imap(
         self, unique: List[Job]
     ) -> Iterator[Tuple[Job, Tuple[bool, Optional[Dict], Optional[str], float]]]:
         """Yield ``(job, outcome)`` pairs in completion order.
 
-        Serial mode evaluates lazily one job per pull; pool mode streams
-        ``imap_unordered`` results.  Abandoning the generator mid-flight
-        (consumer exception) tears the pool down via its context
-        manager, so no workers leak.
+        Delegates to the configured executor; without one, the historic
+        behaviour is chosen per batch — a lazy in-process serial loop
+        for ``workers=1`` or single-job batches, else a process pool
+        streaming ``imap_unordered``.  Abandoning the generator
+        mid-flight (consumer exception) tears the executor's resources
+        down via its own cleanup, so no pool workers leak.
         """
         if not unique:
             return
-        if self.workers == 1 or len(unique) == 1:
-            for job in unique:
-                yield job, _execute((job.target, dict(job.spec), job.seed))
-            return
-        import multiprocessing
+        executor = self.executor
+        if executor is None:
+            # Imported lazily: executors imports this module.
+            from repro.dse.executors import ProcessPoolExecutor, SerialExecutor
 
-        payloads = [
-            (position, job.target, dict(job.spec), job.seed)
-            for position, job in enumerate(unique)
-        ]
-        chunksize = self.chunksize or max(1, len(payloads) // (self.workers * 4))
-        with multiprocessing.Pool(self.workers) as pool:
-            for position, outcome in pool.imap_unordered(
-                _execute_indexed, payloads, chunksize=chunksize
-            ):
-                yield unique[position], outcome
+            if self.workers == 1 or len(unique) == 1:
+                executor = SerialExecutor()
+            else:
+                executor = ProcessPoolExecutor(self.workers, self.chunksize)
+        for job, outcome in executor.imap(unique):
+            yield job, outcome

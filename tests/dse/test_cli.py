@@ -211,3 +211,107 @@ class TestRunResumeStatus:
         assert main(["resume", spec, "--dir", campaign_dir, "--quiet"]) == 0
         out = capsys.readouterr().out
         assert "1 hits / 0 misses" in out
+
+    def test_run_with_serial_executor(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        campaign_dir = str(tmp_path / "serial-camp")
+        assert main([
+            "run", spec, "--dir", campaign_dir, "--quiet",
+            "--executor", "serial",
+        ]) == 0
+        assert "feasible: 1" in capsys.readouterr().out
+
+    def test_unknown_executor_rejected_by_parser(self, tmp_path):
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        with pytest.raises(SystemExit):
+            main(["run", spec, "--dir", str(tmp_path), "--executor", "warp"])
+
+    def test_worker_pull_flags_require_worker_pull(self, tmp_path):
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        with pytest.raises(SystemExit, match="worker-pull"):
+            main([
+                "run", spec, "--dir", str(tmp_path / "c"), "--quiet",
+                "--executor", "pool", "--spawn-workers", "2",
+            ])
+        with pytest.raises(SystemExit, match="worker-pull"):
+            main([
+                "run", spec, "--dir", str(tmp_path / "c"), "--quiet",
+                "--lease-ttl", "5",
+            ])
+
+    def test_stall_timeout_aborts_cleanly_without_workers(
+        self, tmp_path, capsys
+    ):
+        """A worker-pull run with no workers must not hang silently."""
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        code = main([
+            "run", spec, "--dir", str(tmp_path / "stall"), "--quiet",
+            "--executor", "worker-pull", "--stall-timeout", "0.2",
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "campaign stalled" in err
+        assert "python -m repro.dse worker" in err
+
+
+class TestWorkerSubcommand:
+    def test_worker_once_on_empty_queue(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path), "--once"]) == 0
+        assert "evaluated 0 task(s)" in capsys.readouterr().out
+
+    def test_worker_drains_published_tasks(self, tmp_path, capsys):
+        from repro.dse import Job, SELFTEST_TARGET, WorkQueue
+
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        for i in range(3):
+            queue.publish(Job(SELFTEST_TARGET, {"x": i}))
+        assert main([
+            "worker", str(tmp_path), "--once", "--id", "cli-worker",
+        ]) == 0
+        assert "evaluated 3 task(s)" in capsys.readouterr().out
+
+    def test_worker_rejects_bad_ttl(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path), "--ttl", "0", "--once"]) == 2
+        assert "lease_ttl" in capsys.readouterr().err
+
+
+class TestMergeSubcommand:
+    def test_merge_folds_workers_dirs(self, tmp_path, capsys):
+        from repro.dse import ResultCache, content_key
+
+        source = ResultCache(str(tmp_path / "worker-cache"))
+        keys = [content_key("cli-merge", {"i": i}) for i in range(4)]
+        for key in keys:
+            source.put(key, {"result": 1})
+        campaign_dir = str(tmp_path / "camp")
+        assert main([
+            "merge", "--dir", campaign_dir,
+            "--workers-dirs", str(tmp_path / "worker-cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "merged 4 record(s)" in out
+        assert "4 entries" in out
+        # Idempotent re-merge.
+        assert main([
+            "merge", "--dir", campaign_dir,
+            "--workers-dirs", str(tmp_path / "worker-cache"),
+        ]) == 0
+        assert "merged 0 record(s) (4 already present" in capsys.readouterr().out
+
+    def test_run_rejects_missing_workers_dirs(self, tmp_path):
+        """A typo'd --workers-dirs must fail loudly, not silently merge
+        nothing and re-evaluate every remotely-computed point."""
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        with pytest.raises(SystemExit, match="not a directory"):
+            main([
+                "run", spec, "--dir", str(tmp_path / "c"), "--quiet",
+                "--workers-dirs", str(tmp_path / "ghost"),
+            ])
+
+    def test_merge_rejects_missing_source(self, tmp_path, capsys):
+        assert main([
+            "merge", "--dir", str(tmp_path),
+            "--workers-dirs", str(tmp_path / "ghost"),
+        ]) == 2
+        assert "not a directory" in capsys.readouterr().err

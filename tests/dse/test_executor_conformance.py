@@ -1,0 +1,269 @@
+"""Executor conformance suite: every backend, identical campaign semantics.
+
+The same scenarios — full campaign, cached replay, kill/resume,
+retry/quarantine, Pareto extraction — run against every
+:class:`~repro.dse.executors.Executor` implementation and must produce
+*identical* results, journals and status payloads.  The serial
+reference for each scenario is computed in a separate campaign
+directory with the plain historic runner, so an executor can only pass
+by agreeing with the executor-free semantics byte for byte.
+
+The worker-pull harness runs a real worker loop (in a background
+thread, so the claim/lease/heartbeat protocol is exercised end to end
+in-process); subprocess workers are covered by ``test_worker_pull.py``.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.dse import (
+    SELFTEST_TARGET,
+    CampaignRunner,
+    CampaignState,
+    Job,
+    ProcessPoolExecutor,
+    ResultCache,
+    RetryPolicy,
+    SerialExecutor,
+    WorkerPullExecutor,
+    campaign_key,
+    pareto_front,
+    run_checkpointed,
+    run_worker,
+)
+from test_utils import CampaignKilled, CrashingRunner
+
+KEY = campaign_key({"kind": "executor-conformance"})
+
+EXECUTORS = ("serial", "pool", "worker-pull")
+
+#: Status fields that must match across executors (timestamps and meta
+#: are run-specific by design).
+STATUS_FIELDS = (
+    "total", "done", "failed", "remaining",
+    "retried", "retries", "quarantined", "quarantine",
+)
+
+
+def _jobs(points=6, **extra):
+    return [Job(SELFTEST_TARGET, dict({"x": i}, **extra)) for i in range(points)]
+
+
+def _status_view(state):
+    status = state.status()
+    return {field: status[field] for field in STATUS_FIELDS}
+
+
+def _summary(outcomes):
+    """The comparable essence of a campaign's outcomes, input-ordered."""
+    return [
+        (o.ok, o.result, (o.error or "").splitlines()[:1], o.attempts)
+        for o in outcomes
+    ]
+
+
+def _records(outcomes):
+    return [
+        {"value": o.result["value"], "cost": o.result["cost"]}
+        for o in outcomes
+        if o.ok
+    ]
+
+
+class ExecutorHarness:
+    """One campaign directory wired to one executor implementation.
+
+    For ``worker-pull`` a single worker loop runs in a background
+    thread (one worker keeps claim ordering deterministic; multi-worker
+    races are covered by the worker-pull suite).
+    """
+
+    def __init__(self, name, campaign_dir):
+        self.name = name
+        self.campaign_dir = str(campaign_dir)
+        self.threads = []
+        if name == "serial":
+            self.executor = SerialExecutor()
+        elif name == "pool":
+            self.executor = ProcessPoolExecutor(workers=2)
+        elif name == "worker-pull":
+            self.executor = WorkerPullExecutor(
+                self.campaign_dir, lease_ttl=10.0, poll=0.005, timeout=60
+            )
+            thread = threading.Thread(
+                target=run_worker,
+                args=(self.campaign_dir,),
+                kwargs=dict(worker_id="conformance", lease_ttl=10.0, poll=0.005),
+                daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+        else:  # pragma: no cover - parametrisation bug
+            raise ValueError(name)
+
+    def runner(self):
+        cache = ResultCache(os.path.join(self.campaign_dir, "cache"))
+        return CampaignRunner(workers=2, cache=cache, executor=self.executor)
+
+    def state(self, total, resume=False):
+        path = os.path.join(self.campaign_dir, "journal.jsonl")
+        return CampaignState.open(path, KEY, total=total, resume=resume)
+
+    def close(self):
+        self.executor.close()
+        for thread in self.threads:
+            thread.join(timeout=30)
+        assert all(not t.is_alive() for t in self.threads)
+
+
+@pytest.fixture(params=EXECUTORS)
+def harness(request, tmp_path):
+    instance = ExecutorHarness(request.param, tmp_path / "camp")
+    yield instance
+    instance.close()
+
+
+def _reference(tmp_path, jobs, **kwargs):
+    """The executor-free serial semantics, in an isolated directory."""
+    ref_dir = tmp_path / "reference"
+    runner = CampaignRunner(
+        workers=1, cache=ResultCache(str(ref_dir / "cache"))
+    )
+    state = CampaignState.open(
+        str(ref_dir / "journal.jsonl"), KEY, total=len(jobs)
+    )
+    outcomes = run_checkpointed(jobs, runner, state, **kwargs)
+    return outcomes, state
+
+
+class TestConformance:
+    def test_campaign_matches_serial_reference(self, harness, tmp_path):
+        """records(), Pareto front and status() identical per executor."""
+        jobs = _jobs(6)
+        reference, ref_state = _reference(tmp_path, jobs)
+
+        outcomes = run_checkpointed(jobs, harness.runner(), harness.state(len(jobs)))
+        assert _summary(outcomes) == _summary(reference)
+        assert _records(outcomes) == _records(reference)
+        assert pareto_front(_records(outcomes), ("value", "cost")) == pareto_front(
+            _records(reference), ("value", "cost")
+        )
+        reloaded = CampaignState.load(
+            os.path.join(harness.campaign_dir, "journal.jsonl")
+        )
+        assert _status_view(reloaded) == _status_view(ref_state)
+
+    def test_cached_replay_is_pure_lookup(self, harness):
+        """A warm re-run serves every point from the cache, identically."""
+        jobs = _jobs(5)
+        runner = harness.runner()
+        cold = run_checkpointed(jobs, runner, harness.state(len(jobs)))
+        warm = run_checkpointed(
+            jobs, harness.runner(), harness.state(len(jobs), resume=True)
+        )
+        assert all(o.from_cache for o in warm)
+        assert [o.result for o in warm] == [o.result for o in cold]
+
+    def test_kill_resume_loses_nothing_and_reevaluates_nothing(
+        self, harness, tmp_path, monkeypatch
+    ):
+        """Kill after 3 of 6 points, resume: every point evaluated once."""
+        scratch = tmp_path / "invocations"
+        monkeypatch.setenv("REPRO_DSE_SELFTEST_DIR", str(scratch))
+        jobs = _jobs(6, count=True)
+        reference, ref_state = _reference(tmp_path, jobs)
+        for marker in scratch.iterdir():
+            marker.unlink()  # reference consumed its own invocations
+
+        state = harness.state(len(jobs))
+        with pytest.raises(CampaignKilled):
+            run_checkpointed(
+                jobs, CrashingRunner(harness.runner(), crash_after=3), state
+            )
+        journaled = CampaignState.load(
+            os.path.join(harness.campaign_dir, "journal.jsonl")
+        )
+        assert 1 <= journaled.done <= 3
+        finished = set(journaled.completed)
+
+        outcomes = run_checkpointed(
+            jobs, harness.runner(), harness.state(len(jobs), resume=True)
+        )
+        assert _summary(outcomes) == _summary(reference)
+        counts = {
+            marker.name: marker.stat().st_size for marker in scratch.iterdir()
+        }
+        assert sorted(counts) == ["count-%d" % i for i in range(6)]
+        for job in jobs:
+            invocations = counts["count-%d" % job.spec["x"]]
+            if harness.name == "pool" and job.key not in finished:
+                # A killed pool loses its in-flight evaluations (they
+                # were never journaled or cached), so an unfinished
+                # point may legitimately evaluate a second time.
+                assert invocations in (1, 2)
+            else:
+                # Serial evaluates lazily and worker-pull evaluations
+                # are durable (workers write the shared cache), so a
+                # kill re-evaluates *nothing* — the acceptance bar.
+                assert invocations == 1
+        reloaded = CampaignState.load(
+            os.path.join(harness.campaign_dir, "journal.jsonl")
+        )
+        assert _status_view(reloaded) == _status_view(ref_state)
+
+    def test_retry_failed_resume_reruns_failed_points(
+        self, harness, tmp_path, monkeypatch
+    ):
+        """Regression: a resumed failed point reuses its task identity
+        (``reseed=0``), so worker-pull must reopen the stale ``done``
+        lease event instead of waiting forever for a claim."""
+        scratch = tmp_path / "heal"
+        monkeypatch.setenv("REPRO_DSE_SELFTEST_DIR", str(scratch))
+        jobs = _jobs(2) + [Job(SELFTEST_TARGET, {"x": 77, "fail_first": 1})]
+        first = run_checkpointed(
+            jobs, harness.runner(), harness.state(len(jobs))
+        )
+        assert [o.ok for o in first] == [True, True, False]
+        resumed = run_checkpointed(
+            jobs,
+            harness.runner(),
+            harness.state(len(jobs), resume=True),
+            retry_failed=True,
+        )
+        assert all(o.ok for o in resumed)
+        assert resumed[2].result["value"] == 154
+        assert not resumed[2].from_cache  # genuinely re-evaluated
+
+    def test_retry_and_quarantine_identical(self, harness, tmp_path, monkeypatch):
+        """Flaky points recover, hopeless points quarantine — everywhere."""
+        scratch = tmp_path / "flaky"
+        monkeypatch.setenv("REPRO_DSE_SELFTEST_DIR", str(scratch))
+        retry = RetryPolicy(max_attempts=2, backoff=0.0)
+        jobs = _jobs(3) + [
+            Job(SELFTEST_TARGET, {"x": 90, "fail_first": 1}),
+            Job(SELFTEST_TARGET, {"x": 91, "fail": "always"}),
+        ]
+        reference, ref_state = _reference(tmp_path, jobs, retry=retry)
+        import shutil
+
+        shutil.rmtree(str(scratch))
+
+        outcomes = run_checkpointed(
+            jobs, harness.runner(), harness.state(len(jobs)), retry=retry
+        )
+        assert _summary(outcomes) == _summary(reference)
+        flaky = outcomes[3]
+        assert flaky.ok and flaky.attempts == 2
+        hopeless = outcomes[4]
+        assert not hopeless.ok and hopeless.attempts == 2
+
+        reloaded = CampaignState.load(
+            os.path.join(harness.campaign_dir, "journal.jsonl")
+        )
+        view = _status_view(reloaded)
+        assert view == _status_view(ref_state)
+        assert view["quarantined"] == 1
+        assert view["quarantine"] == [jobs[4].key]
+        assert view["retried"] == 2  # flaky + hopeless both took a retry

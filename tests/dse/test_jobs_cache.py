@@ -137,3 +137,112 @@ class TestResultCache:
         cache = ResultCache(str(tmp_path))
         cache.put(content_key("t", {"x": 9}), {"result": 1})
         assert cache.purge_corrupt() == []
+
+
+class TestCorruptQuarantine:
+    """Regression: a torn record must not be re-read as a miss forever.
+
+    Before the fix, ``get()`` on a corrupt file returned None but left
+    the bad bytes in place — every future lookup re-parsed them, the
+    slot could never hit, and nothing flagged the disk fault.  Now the
+    first contact renames the file to ``*.corrupt``: the slot becomes a
+    plain miss that the next ``put`` repairs, and the evidence
+    survives for forensics.
+    """
+
+    def _corrupt(self, cache, key):
+        cache.put(key, {"result": "doomed"})
+        path = cache.path_for(key)
+        with open(path, "w") as handle:
+            handle.write('{"result": "do')  # torn mid-write
+        return path
+
+    def test_get_quarantines_and_put_repairs(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 10})
+        path = self._corrupt(cache, key)
+        assert cache.get(key) is None
+        assert not os.path.exists(path)  # bad bytes moved aside...
+        assert os.path.exists(path + ".corrupt")  # ...not destroyed
+        assert cache.corrupt == 1
+        cache.put(key, {"result": "fresh"})
+        assert cache.get(key) == {"result": "fresh"}
+
+    def test_second_lookup_is_a_plain_miss(self, tmp_path):
+        """The quarantine happens exactly once, not on every lookup."""
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 11})
+        self._corrupt(cache, key)
+        assert cache.get(key) is None
+        assert cache.get(key) is None
+        assert cache.corrupt == 1  # one rename, then ordinary misses
+        assert cache.stats()["misses"] == 2
+
+    def test_membership_also_quarantines(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 12})
+        path = self._corrupt(cache, key)
+        assert key not in cache
+        assert os.path.exists(path + ".corrupt")
+
+    def test_runner_reevaluates_quarantined_point(self, tmp_path):
+        """End to end: a torn cache record re-runs the point and the
+        repaired record serves the next campaign from cache."""
+        from repro.dse import CampaignRunner, register_target
+
+        calls = []
+
+        def counting(spec, seed):
+            calls.append(spec["x"])
+            return {"v": spec["x"]}
+
+        register_target("quarantine-count", counting)
+        cache = ResultCache(str(tmp_path))
+        job = Job("quarantine-count", {"x": 1})
+        CampaignRunner(workers=1, cache=cache).run([job])
+        with open(cache.path_for(job.key), "w") as handle:
+            handle.write("{torn")
+        (second,) = CampaignRunner(workers=1, cache=cache).run([job])
+        assert second.ok and not second.from_cache
+        assert calls == [1, 1]  # re-evaluated once, not served the tear
+        (third,) = CampaignRunner(workers=1, cache=cache).run([job])
+        assert third.from_cache  # the put() repaired the slot
+        assert calls == [1, 1]
+
+    def test_quarantine_spares_a_concurrently_repaired_record(self, tmp_path):
+        """TOCTOU guard: if another writer repaired the slot between
+        the failed parse and the rename, the valid record survives."""
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 14})
+        cache.put(key, {"result": "fresh"})
+        # Simulate the race: _quarantine fires although the slot now
+        # holds a valid record (the corrupt bytes were already fixed).
+        cache._quarantine(cache.path_for(key))
+        assert cache.get(key) == {"result": "fresh"}
+        assert cache.corrupt == 0
+        assert not os.path.exists(cache.path_for(key) + ".corrupt")
+
+    def test_purge_corrupt_collects_quarantined_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 13})
+        path = self._corrupt(cache, key)
+        assert cache.get(key) is None  # quarantined
+        removed = cache.purge_corrupt()
+        assert removed == [key]
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_purge_corrupt_removes_unreadable_records(self, tmp_path):
+        """A record whose *read* fails (disk fault, dangling link) is
+        not parse-quarantined, but purge must still delete and report
+        it — it promised to reclaim the cache."""
+        cache = ResultCache(str(tmp_path))
+        key = content_key("t", {"x": 15})
+        cache.put(key, {"result": 1})
+        path = cache.path_for(key)
+        os.unlink(path)
+        os.symlink(str(tmp_path / "gone"), path)  # open() -> OSError
+        assert cache.get(key) is None
+        assert not os.path.exists(path + ".corrupt")  # not a parse error
+        removed = cache.purge_corrupt()
+        assert removed == [key]
+        assert not os.path.lexists(path)

@@ -1,0 +1,223 @@
+"""Property-based tests for the worker-pull lease protocol.
+
+Seeded-random schedules of worker claim / heartbeat / crash / reclaim
+events (mirroring ``test_journal_properties.py``) are applied both to
+an in-memory reference model and — through real per-worker journal
+files on disk — to :meth:`LeaseTable.replay`.  After every step the
+fold of the on-disk journals must agree with the model on ownership
+and completion; torn tails and shuffled replay order must not change
+the outcome.
+
+The model is deliberately plain (a dict and a set, rules spelled out
+longhand) so the protocol's meaning is stated twice independently:
+once here, once in :mod:`repro.dse.executors`.
+"""
+
+import os
+import random
+
+from repro.dse import LeaseTable
+from repro.dse.executors import LeaseJournal, read_lease_events
+
+WORKERS = ["w0", "w1", "w2", "w3"]
+TASKS = ["t%d" % i for i in range(8)]
+TTL = 10.0
+
+
+class ReferenceLeases:
+    """What the claim events *mean*: one owner per task, until expiry."""
+
+    def __init__(self):
+        self.owners = {}  # task -> (worker, lease expiry)
+        self.completed = set()
+
+    def owner(self, task, now):
+        entry = self.owners.get(task)
+        if entry is None or now >= entry[1]:
+            return None
+        return entry[0]
+
+    def claim(self, task, worker, t, ttl):
+        if task in self.completed:
+            return False
+        holder = self.owner(task, t)
+        if holder is not None and holder != worker:
+            return False
+        self.owners[task] = (worker, t + ttl)
+        return True
+
+    def heartbeat(self, task, worker, t, ttl):
+        entry = self.owners.get(task)
+        if task in self.completed or entry is None or entry[0] != worker:
+            return False
+        self.owners[task] = (worker, t + ttl)
+        return True
+
+    def release(self, task, worker):
+        entry = self.owners.get(task)
+        if entry is None or entry[0] != worker:
+            return False
+        del self.owners[task]
+        return True
+
+    def done(self, task):
+        self.completed.add(task)
+        self.owners.pop(task, None)
+
+    def reopen(self, task):
+        self.completed.discard(task)
+        self.owners.pop(task, None)
+
+
+def _check(events, model, now):
+    """The on-disk fold must agree with the model, task by task."""
+    table = LeaseTable.replay(events)
+    for task in TASKS:
+        assert table.owner(task, now) == model.owner(task, now), task
+    assert table.completed == model.completed
+
+
+def _run_schedule(tmp_path, seed, steps=150):
+    rng = random.Random(seed)
+    leases_dir = tmp_path / ("leases-%d" % seed)
+    journals = {
+        worker: LeaseJournal(str(leases_dir / (worker + ".jsonl")), worker)
+        for worker in WORKERS
+    }
+    alive = set(WORKERS)
+    model = ReferenceLeases()
+    events = []
+    now = 1000.0
+
+    def emit(worker, event):
+        event = dict(event, t=now)
+        journals[worker].append(dict(event))
+        # append() adds worker/seq; mirror what landed on disk.
+        events.append(dict(event, worker=worker, seq=journals[worker]._seq))
+
+    for _ in range(steps):
+        # Strictly increasing time keeps incremental application and
+        # the sorted replay in the same order (tie-breaking is covered
+        # by the shuffle check below).
+        now += rng.uniform(0.01, TTL / 2.0)
+        op = rng.choice(
+            ["claim", "claim", "heartbeat", "release", "done",
+             "reopen", "crash", "revive"]
+        )
+        task = rng.choice(TASKS)
+        if op == "crash" and len(alive) > 1:
+            # A crashed worker simply stops emitting events: its leases
+            # expire on their own and others reclaim the tasks.
+            alive.discard(rng.choice(sorted(alive)))
+            continue
+        if op == "revive":
+            alive.add(rng.choice(WORKERS))
+            continue
+        worker = rng.choice(sorted(alive))
+        if op == "claim":
+            emit(worker, {"event": "claim", "task": task, "ttl": TTL})
+            claimed = model.claim(task, worker, now, TTL)
+            # Reclaim-after-expiry invariant, from the model's mouth:
+            # a claim on a free-or-expired, not-completed task wins.
+            if task not in model.completed:
+                assert claimed == (model.owner(task, now) == worker)
+        elif op == "heartbeat":
+            emit(worker, {"event": "heartbeat", "task": task, "ttl": TTL})
+            model.heartbeat(task, worker, now, TTL)
+        elif op == "release":
+            emit(worker, {"event": "release", "task": task})
+            model.release(task, worker)
+        elif op == "done":
+            emit(worker, {"event": "done", "task": task})
+            model.done(task)
+        elif op == "reopen":
+            emit(worker, {"event": "reopen", "task": task})
+            model.reopen(task)
+        disk_events = []
+        for worker_id in WORKERS:
+            disk_events.extend(
+                read_lease_events(str(leases_dir / (worker_id + ".jsonl")))
+            )
+        _check(disk_events, model, now)
+
+    # A torn final append (worker killed mid-write) is skipped, losing
+    # at most that one event — everything before it still folds.
+    victim = rng.choice(sorted(alive))
+    path = str(leases_dir / (victim + ".jsonl"))
+    if os.path.exists(path):
+        with open(path, "ab") as handle:
+            handle.write(b'{"event":"claim","task":"t0","wor')
+        torn = read_lease_events(path)
+        clean = [e for e in events if e["worker"] == victim]
+        assert torn == clean
+
+    # Replay is order-independent: any shuffle folds identically.
+    shuffled = list(events)
+    rng.shuffle(shuffled)
+    reference_fold = LeaseTable.replay(events)
+    shuffled_fold = LeaseTable.replay(shuffled)
+    assert shuffled_fold.leases == reference_fold.leases
+    assert shuffled_fold.completed == reference_fold.completed
+
+
+def test_random_schedules_match_reference(tmp_path):
+    for seed in range(8):
+        _run_schedule(tmp_path, seed)
+
+
+def test_long_schedule(tmp_path):
+    _run_schedule(tmp_path, seed=4242, steps=500)
+
+
+class TestLeaseTableRules:
+    """Pointwise rules the random walk might only graze."""
+
+    def test_claim_conflict_denied_until_expiry(self):
+        table = LeaseTable()
+        assert table.claim("t", "a", 0.0, 10.0)
+        assert not table.claim("t", "b", 5.0, 10.0)  # lease still live
+        assert table.owner("t", 5.0) == "a"
+        assert table.claim("t", "b", 10.0, 10.0)  # expired: reclaim
+        assert table.owner("t", 10.0) == "b"
+
+    def test_heartbeat_extends_only_holder(self):
+        table = LeaseTable()
+        table.claim("t", "a", 0.0, 10.0)
+        assert not table.heartbeat("t", "b", 5.0, 10.0)
+        assert table.heartbeat("t", "a", 5.0, 10.0)
+        assert table.expires("t") == 15.0
+
+    def test_dead_worker_lease_reclaimed(self):
+        """The acceptance scenario in miniature: claim, crash, reclaim."""
+        table = LeaseTable()
+        table.claim("t", "dead", 0.0, 10.0)
+        # No heartbeat ever arrives; the lease runs out.
+        assert table.owner("t", 9.9) == "dead"
+        assert table.owner("t", 10.0) is None
+        assert table.claim("t", "survivor", 12.0, 10.0)
+        assert table.owner("t", 12.0) == "survivor"
+
+    def test_done_blocks_claims_until_reopen(self):
+        table = LeaseTable()
+        table.claim("t", "a", 0.0, 10.0)
+        table.done("t", "a")
+        assert not table.claim("t", "b", 20.0, 10.0)
+        table.reopen("t")
+        assert table.claim("t", "b", 21.0, 10.0)
+
+    def test_release_frees_immediately(self):
+        table = LeaseTable()
+        table.claim("t", "a", 0.0, 10.0)
+        assert table.release("t", "a")
+        assert table.claim("t", "b", 1.0, 10.0)
+
+    def test_replay_sorts_by_time_not_arrival(self):
+        """A late-read earlier claim still wins the fold."""
+        events = [
+            {"event": "claim", "task": "t", "worker": "b", "t": 2.0,
+             "ttl": 10.0, "seq": 1},
+            {"event": "claim", "task": "t", "worker": "a", "t": 1.0,
+             "ttl": 10.0, "seq": 1},
+        ]
+        table = LeaseTable.replay(events)
+        assert table.owner("t", 3.0) == "a"

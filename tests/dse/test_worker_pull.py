@@ -1,0 +1,484 @@
+"""Worker-pull protocol tests: queue, leases, real workers, real kills.
+
+The conformance suite proves the executor's campaign *semantics*; this
+module proves the distributed mechanics — lease reclaim after a worker
+dies (as subprocesses, with a real SIGKILL), heartbeats, torn result
+quarantine, stop sentinels, and the stall guard.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.dse import (
+    SELFTEST_TARGET,
+    CampaignRunner,
+    Job,
+    ResultCache,
+    SerialExecutor,
+    WorkerPullExecutor,
+    make_executor,
+    run_worker,
+)
+from repro.dse.executors import (
+    TORN_RESULT,
+    LeaseJournal,
+    WorkerStalled,
+    WorkQueue,
+    _Heartbeat,
+    task_id,
+)
+
+
+def _jobs(points, **extra):
+    return [Job(SELFTEST_TARGET, dict({"x": i}, **extra)) for i in range(points)]
+
+
+class TestWorkQueue:
+    def test_publish_is_idempotent_and_reseed_aware(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        job = Job(SELFTEST_TARGET, {"x": 1})
+        tid = queue.publish(job)
+        assert tid == task_id(job) == "%s-0" % job.key
+        before = os.path.getmtime(queue.task_path(tid))
+        queue.publish(job)  # second publish must not rewrite
+        assert os.path.getmtime(queue.task_path(tid)) == before
+        retried = Job(job.target, job.spec, reseed=2)
+        assert queue.publish(retried) == "%s-2" % job.key
+        assert len(queue.pending_tasks()) == 2
+
+    def test_roundtrip_result(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        tid = queue.publish(Job(SELFTEST_TARGET, {"x": 3}))
+        assert queue.read_result(tid) is None
+        queue.publish_result(tid, (True, {"value": 6}, None, 0.5), "w0")
+        ok, result, error, elapsed = queue.read_result(tid)
+        assert ok and result == {"value": 6} and error is None
+        queue.consume(tid)
+        assert queue.pending_tasks() == []
+        assert queue.read_result(tid) is None
+
+    def test_torn_result_is_quarantined(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        tid = queue.publish(Job(SELFTEST_TARGET, {"x": 4}))
+        with open(queue.result_path(tid), "w") as handle:
+            handle.write('{"ok": true, "resu')  # torn mid-write
+        assert queue.read_result(tid) is TORN_RESULT
+        assert os.path.exists(queue.result_path(tid) + ".corrupt")
+        # The slot reads as "no result yet", so the task re-runs.
+        assert queue.read_result(tid) is None
+        assert tid in queue.pending_tasks()
+
+    def test_stop_sentinel(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        assert not queue.stop_requested()
+        queue.request_stop()
+        assert queue.stop_requested()
+        queue.clear_stop()
+        assert not queue.stop_requested()
+
+    def test_stale_stop_sentinel_ignored_by_newer_workers(self, tmp_path):
+        """A sentinel left by a finished campaign must not kill workers
+        pre-started for the next one — regardless of clock skew, since
+        detection is by state change, not timestamp comparison."""
+        queue = WorkQueue(str(tmp_path))
+        queue.request_stop()
+        assert queue.stop_requested()  # an unscoped check still sees it
+        # Workers born under the stale sentinel serve the queue anyway
+        # (a stop binds only the workers alive when it was written).
+        queue.publish(Job(SELFTEST_TARGET, {"x": 2}))
+        assert run_worker(str(tmp_path), worker_id="fresh", once=True) == 1
+        assert queue.stop_stamp() is not None  # left for the coordinator
+
+
+class TestWorkerLoop:
+    def test_once_drains_queue_and_exits(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        jobs = _jobs(3)
+        for job in jobs:
+            queue.publish(job)
+        evaluated = run_worker(
+            str(tmp_path), worker_id="solo", lease_ttl=5.0, once=True
+        )
+        assert evaluated == 3
+        for job in jobs:
+            ok, result, error, _ = queue.read_result(task_id(job))
+            assert ok and result["value"] == 2 * job.spec["x"]
+        # Evaluations are durable: the shared campaign cache has them.
+        cache = ResultCache(queue.cache_dir)
+        assert all(job.key in cache for job in jobs)
+
+    def test_fresh_stop_sentinel_ends_a_live_worker(self, tmp_path):
+        """A stop that *appears* during the worker's lifetime ends it;
+        work published afterwards stays unclaimed."""
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        worker = threading.Thread(
+            target=run_worker,
+            args=(str(tmp_path),),
+            kwargs=dict(worker_id="w", poll=0.01),
+            daemon=True,
+        )
+        worker.start()
+        time.sleep(0.1)  # the worker is polling an empty queue
+        queue.request_stop()
+        worker.join(timeout=10)
+        assert not worker.is_alive()
+        tid = queue.publish(Job(SELFTEST_TARGET, {"x": 1}))
+        assert queue.pending_tasks() == [tid]  # nobody serving anymore
+
+    def test_idle_timeout_expires(self, tmp_path):
+        start = time.monotonic()
+        assert run_worker(
+            str(tmp_path), worker_id="w", poll=0.01, idle_timeout=0.05
+        ) == 0
+        assert time.monotonic() - start < 5.0
+
+    def test_max_tasks_bounds_the_worker(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        for job in _jobs(4):
+            queue.publish(job)
+        assert run_worker(
+            str(tmp_path), worker_id="w", once=True, max_tasks=2
+        ) == 2
+        assert len(queue.pending_tasks()) == 2
+
+    def test_rejects_nonpositive_ttl(self, tmp_path):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            run_worker(str(tmp_path), lease_ttl=0.0)
+
+    def test_dead_worker_lease_reclaimed_by_survivor(self, tmp_path):
+        """A claimed-but-never-finished task re-runs after lease expiry."""
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        job = Job(SELFTEST_TARGET, {"x": 7})
+        tid = queue.publish(job)
+        # The "dead" worker claims with a short TTL and then vanishes:
+        # no heartbeat, no result, exactly like a SIGKILL mid-task.
+        dead = LeaseJournal(queue.lease_path("dead"), "dead")
+        dead.claim(tid, 0.3)
+        # While the lease lives, the survivor cannot claim the point.
+        assert run_worker(
+            str(tmp_path), worker_id="survivor", lease_ttl=5.0, once=True
+        ) == 0
+        assert queue.lease_table().owner(tid, time.time()) == "dead"
+        time.sleep(0.35)  # the dead worker's lease expires
+        assert run_worker(
+            str(tmp_path), worker_id="survivor", lease_ttl=5.0, once=True
+        ) == 1
+        ok, result, _, _ = queue.read_result(tid)
+        assert ok and result["value"] == 14
+
+    def test_claimed_task_served_from_durable_cache(self, tmp_path, monkeypatch):
+        """A point another worker already evaluated durably (cache
+        written, result file lost to a kill) is served as a file read,
+        never re-run through the evaluator."""
+        monkeypatch.setenv("REPRO_DSE_SELFTEST_DIR", str(tmp_path / "inv"))
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        job = Job(SELFTEST_TARGET, {"x": 6, "count": True})
+        tid = queue.publish(job)
+        store = ResultCache(queue.cache_dir)
+        store.put(
+            job.key,
+            {"target": job.target, "spec": dict(job.spec),
+             "result": {"value": 12, "cost": 94, "seed": job.seed},
+             "elapsed": 1.5},
+        )
+        assert run_worker(str(tmp_path), worker_id="w", once=True) == 1
+        ok, result, error, elapsed = queue.read_result(tid)
+        assert ok and result["value"] == 12 and elapsed == 1.5
+        # No invocation marker: the evaluator never ran.
+        assert not os.path.exists(str(tmp_path / "inv" / "count-6"))
+
+    def test_lagging_clock_can_claim_a_reopened_task(self, tmp_path):
+        """Regression: a reopened task keeps its old ``done`` in the
+        fold; a survivor whose clock lags the done author must still
+        win a claim immediately (stamped causally past the done), not
+        wait out the skew."""
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        job = Job(SELFTEST_TARGET, {"x": 8})
+        tid = queue.publish(job)
+        fast = LeaseJournal(queue.lease_path("fast-clock"), "fast-clock")
+        fast.append({"event": "done", "task": tid, "t": time.time() + 120.0})
+        executor = WorkerPullExecutor(str(tmp_path))
+        executor._reopen(tid)
+        executor.close()
+        queue.clear_stop()  # close() wrote the sentinel; the queue lives on
+        assert run_worker(
+            str(tmp_path), worker_id="laggard", lease_ttl=5.0, once=True
+        ) == 1
+        ok, result, _, _ = queue.read_result(tid)
+        assert ok and result["value"] == 16
+
+    def test_claim_outruns_a_skewed_reopen_timestamp(self, tmp_path):
+        """Regression: the *reopen* may come from a coordinator whose
+        clock runs ahead; a claim bumped only past the done would sort
+        before that reopen, be cancelled by the done, and stall the
+        task for the skew duration."""
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        job = Job(SELFTEST_TARGET, {"x": 9})
+        tid = queue.publish(job)
+        worker = LeaseJournal(queue.lease_path("normal"), "normal")
+        worker.append({"event": "done", "task": tid, "t": time.time()})
+        fast_coord = LeaseJournal(queue.lease_path("coord"), "coord")
+        fast_coord.append(
+            {"event": "reopen", "task": tid, "t": time.time() + 120.0}
+        )
+        assert run_worker(
+            str(tmp_path), worker_id="laggard2", lease_ttl=5.0, once=True
+        ) == 1
+        ok, result, _, _ = queue.read_result(tid)
+        assert ok and result["value"] == 18
+
+    def test_heartbeat_extends_lease_during_evaluation(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        journal = LeaseJournal(queue.lease_path("beater"), "beater")
+        journal.claim("task-x", 0.3)
+        heartbeat = _Heartbeat(journal, "task-x", 0.3)
+        try:
+            time.sleep(0.5)
+        finally:
+            heartbeat.stop()
+        events = queue.lease_events()
+        assert sum(1 for e in events if e["event"] == "heartbeat") >= 1
+        # The lease outlived its original TTL thanks to the beats.
+        assert queue.lease_table().owner("task-x", time.time() - 0.05) == "beater"
+
+
+class TestWorkerPullExecutor:
+    def test_stall_guard_raises_without_workers(self, tmp_path):
+        executor = WorkerPullExecutor(
+            str(tmp_path), poll=0.01, timeout=0.15
+        )
+        runner = CampaignRunner(workers=2, executor=executor)
+        with pytest.raises(WorkerStalled, match="still pending"):
+            runner.run(_jobs(2))
+        executor.close()
+
+    def test_closed_executor_refuses_work(self, tmp_path):
+        executor = WorkerPullExecutor(str(tmp_path))
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            list(executor.imap(_jobs(1)))
+
+    def test_context_manager_stops_workers_on_exit(self, tmp_path):
+        with WorkerPullExecutor(str(tmp_path)) as executor:
+            assert not executor.queue.stop_requested()
+        assert executor.queue.stop_requested()
+        executor.close()  # idempotent
+
+    def test_reopen_outruns_a_skewed_done_timestamp(self, tmp_path):
+        """Regression: the coordinator's clock may lag the worker that
+        appended ``done`` (cross-host NTP skew); a reopen stamped by
+        raw wall-clock would sort *before* the done, be cancelled by
+        it, and wedge the task as completed forever."""
+        executor = WorkerPullExecutor(str(tmp_path))
+        queue = executor.queue
+        queue.ensure()
+        tid = "feed-0"
+        future = time.time() + 120.0  # the worker's clock runs ahead
+        worker = LeaseJournal(queue.lease_path("fast-clock"), "fast-clock")
+        worker.append({"event": "done", "task": tid, "t": future})
+        assert tid in queue.lease_table().completed
+        executor._reopen(tid)
+        table = queue.lease_table()
+        assert tid not in table.completed
+        assert table.claim(tid, "anyone", future + 1.0, 30.0)
+        executor.close()
+
+    def test_lease_table_memoised_until_a_journal_grows(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        journal = LeaseJournal(queue.lease_path("w"), "w")
+        journal.claim("t-0", 30.0)
+        first = queue.lease_table()
+        assert queue.lease_table() is first  # nothing changed: free fold
+        journal.done("t-0")
+        second = queue.lease_table()
+        assert second is not first
+        assert "t-0" in second.completed
+
+    def test_torn_result_reopened_and_reevaluated(self, tmp_path):
+        """A torn outcome file must re-run the point, not wedge the run."""
+        executor = WorkerPullExecutor(
+            str(tmp_path), lease_ttl=5.0, poll=0.01, timeout=60
+        )
+        queue = executor.queue
+        queue.ensure()
+        job = Job(SELFTEST_TARGET, {"x": 5})
+        tid = queue.publish(job)
+        with open(queue.result_path(tid), "w") as handle:
+            handle.write("{torn")
+        worker = threading.Thread(
+            target=run_worker,
+            args=(str(tmp_path),),
+            kwargs=dict(worker_id="w", lease_ttl=5.0, poll=0.01),
+            daemon=True,
+        )
+        worker.start()
+        try:
+            (outcome,) = CampaignRunner(workers=2, executor=executor).run([job])
+        finally:
+            executor.close()
+            worker.join(timeout=30)
+        assert outcome.ok and outcome.result["value"] == 10
+        assert os.path.exists(queue.result_path(tid) + ".corrupt")
+
+    def test_make_executor_resolution(self, tmp_path):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert make_executor("pool", workers=2).workers == 2
+        pull = make_executor("worker-pull", campaign_dir=str(tmp_path))
+        assert isinstance(pull, WorkerPullExecutor)
+        passthrough = SerialExecutor()
+        assert make_executor(passthrough) is passthrough
+        with pytest.raises(ValueError, match="campaign directory"):
+            make_executor("worker-pull")
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("quantum")
+        with pytest.raises(ValueError, match="spawn_workers"):
+            WorkerPullExecutor(str(tmp_path), spawn_workers=-1)
+
+    def test_make_executor_rejects_inapplicable_options(self, tmp_path):
+        with pytest.raises(ValueError, match="does not accept"):
+            make_executor("pool", spawn_workers=2)
+        with pytest.raises(ValueError, match="does not accept"):
+            make_executor("serial", lease_ttl=5.0)
+        # Options alongside a ready-made instance would be silently
+        # dropped (the caller would believe its lease_ttl applies).
+        with pytest.raises(ValueError, match="executor instance"):
+            make_executor(SerialExecutor(), lease_ttl=5.0)
+
+    def test_crashing_spawned_workers_fail_fast(self, tmp_path, monkeypatch):
+        """Nonzero worker exits abort the run instead of crash-looping;
+        clean (idle-timeout) exits respawn instead of aborting."""
+        import sys as _sys
+
+        executor = WorkerPullExecutor(
+            str(tmp_path), spawn_workers=1, poll=0.01, timeout=10.0
+        )
+        monkeypatch.setattr(
+            executor, "_spawn_command",
+            lambda: [_sys.executable, "-c", "import sys; sys.exit(7)"],
+        )
+        runner = CampaignRunner(workers=2, executor=executor)
+        with pytest.raises(WorkerStalled, match="failed"):
+            runner.run(_jobs(2))
+        executor.close()
+
+    def test_cleanly_exited_spawned_workers_are_respawned(
+        self, tmp_path, monkeypatch
+    ):
+        """Spawned workers that idle-time out (exit 0) keep relaunching
+        while the queue is pending (multi-host fleets may be serving
+        it); only the stall timeout ends the wait."""
+        import sys as _sys
+
+        executor = WorkerPullExecutor(
+            str(tmp_path), spawn_workers=1, poll=0.01, timeout=2.5
+        )
+        spawn_rounds = []
+        monkeypatch.setattr(
+            executor, "_spawn_command",
+            lambda: spawn_rounds.append(1)
+            or [_sys.executable, "-c", "raise SystemExit(0)"],
+        )
+        runner = CampaignRunner(workers=2, executor=executor)
+        with pytest.raises(WorkerStalled, match="no result"):
+            runner.run(_jobs(1))
+        # The initial launch plus >= 1 respawn round (rate-limited 1/s).
+        assert len(spawn_rounds) >= 2
+        executor.close()
+
+    def test_spawned_workers_get_an_idle_timeout(self, tmp_path):
+        """Orphan insurance: a coordinator SIGKILLed without close()
+        must not leave spawned workers polling forever."""
+        executor = WorkerPullExecutor(str(tmp_path), spawn_workers=2)
+        cmd = executor._spawn_command()
+        assert "--idle-timeout" in cmd
+        assert float(cmd[cmd.index("--idle-timeout") + 1]) > 0
+
+
+class TestSubprocessWorkers:
+    """Real worker processes — the multi-host story on one machine."""
+
+    def test_spawned_workers_run_a_campaign(self, tmp_path):
+        executor = WorkerPullExecutor(
+            str(tmp_path), spawn_workers=2, lease_ttl=5.0, poll=0.02,
+            timeout=120,
+        )
+        cache = ResultCache(os.path.join(str(tmp_path), "cache"))
+        runner = CampaignRunner(workers=2, cache=cache, executor=executor)
+        try:
+            results = runner.run(_jobs(6))
+        finally:
+            executor.close()
+        assert [r.result["value"] for r in results] == [2 * i for i in range(6)]
+        assert len(cache) == 6
+        # The workers persisted every record; the coordinator must not
+        # have written the same bytes a second time.
+        assert cache.writes == 0
+        assert all(p.returncode == 0 for p in executor.procs) or not executor.procs
+
+    def test_kill_one_of_two_workers_loses_no_points(self, tmp_path):
+        """The acceptance criterion: SIGKILL one worker mid-campaign;
+        the survivor reclaims its leased point and every point lands."""
+        executor = WorkerPullExecutor(
+            str(tmp_path), spawn_workers=2, lease_ttl=2.0, poll=0.02,
+            timeout=120,
+        )
+        cache = ResultCache(os.path.join(str(tmp_path), "cache"))
+        runner = CampaignRunner(workers=2, cache=cache, executor=executor)
+        jobs = _jobs(8, sleep_s=0.2)
+        outcomes = []
+        killed = False
+        try:
+            for outcome in runner.run_iter(jobs):
+                outcomes.append(outcome)
+                if not killed:
+                    # Both workers are mid-task; this one dies hard.
+                    os.kill(executor.procs[0].pid, signal.SIGKILL)
+                    executor.procs[0].wait()
+                    killed = True
+        finally:
+            executor.close()
+        assert killed
+        assert len(outcomes) == 8
+        assert sorted(o.result["value"] for o in outcomes) == [
+            2 * i for i in range(8)
+        ]
+        assert all(o.ok for o in outcomes)
+        # Every result that did land was evaluated by *some* worker and
+        # is durable in the shared cache.
+        assert len(cache) == 8
+
+    def test_worker_writes_are_valid_results(self, tmp_path):
+        """Worker-written cache records match the runner's own schema."""
+        executor = WorkerPullExecutor(
+            str(tmp_path), spawn_workers=1, lease_ttl=5.0, poll=0.02,
+            timeout=120,
+        )
+        cache = ResultCache(os.path.join(str(tmp_path), "cache"))
+        runner = CampaignRunner(workers=2, cache=cache, executor=executor)
+        (job,) = _jobs(1)
+        try:
+            runner.run([job])
+        finally:
+            executor.close()
+        with open(cache.path_for(job.key)) as handle:
+            record = json.load(handle)
+        assert record["target"] == SELFTEST_TARGET
+        assert record["spec"] == {"x": 0}
+        assert record["result"]["value"] == 0

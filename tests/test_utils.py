@@ -1,9 +1,11 @@
 """Tests for repro.utils, plus shared fault-injection test helpers.
 
 The helpers at the bottom (:class:`CrashingRunner`, :func:`torn_write`,
-:exc:`CampaignKilled`) simulate the two ways a campaign dies in the
-wild — the process is killed between points, and a write is torn
-mid-append — and are imported by the journal suites under ``tests/dse``
+:exc:`CampaignKilled`, and the multi-writer hammers
+:func:`hammer_cache` / :func:`spawn_hammers`) simulate the ways a
+campaign dies or races in the wild — the process is killed between
+points, a write is torn mid-append, and many processes write one cache
+concurrently — and are imported by the suites under ``tests/dse``
 (``tests/conftest.py`` puts this directory on ``sys.path``).
 """
 
@@ -220,3 +222,57 @@ def torn_write(path, offset):
     with open(path, "r+b") as handle:
         handle.truncate(offset)
     return size - offset
+
+
+def hammer_cache(root, keys, rounds, shards=0):
+    """One stress process: write/read overlapping keys, assert sanity.
+
+    Runs in a child process (module-level so it pickles).  Every round
+    puts a fresh record for every key and immediately reads it back —
+    read-your-writes must hold even while 7 sibling processes replace
+    the same files.  Any violation raises, which
+    :func:`spawn_hammers`'s caller sees as a nonzero exit code.
+
+    Args:
+        root: Cache directory shared by all hammer processes.
+        keys: Content-hash keys (overlapping across processes).
+        rounds: put+get sweeps to run.
+        shards: 0 = plain :class:`ResultCache`; >0 = a
+            :class:`ShardedResultCache` with that many shards.
+    """
+    from repro.dse.cache import ResultCache
+    from repro.dse.shard import ShardedResultCache
+
+    cache = (
+        ShardedResultCache(root, shards) if shards else ResultCache(root)
+    )
+    import os
+
+    stamp = os.getpid()
+    for round_number in range(rounds):
+        for key in keys:
+            cache.put(key, {"key": key, "round": round_number, "pid": stamp})
+            record = cache.get(key)
+            # Another process may have replaced the record (atomic
+            # rename), but a reader must never see a torn/absent one.
+            assert record is not None, "read-your-writes violated for %s" % key
+            assert record["key"] == key, "foreign record under %s" % key
+    return cache.writes
+
+
+def spawn_hammers(root, keys, processes=8, rounds=10, shards=0):
+    """Run :func:`hammer_cache` in N concurrent processes; return exitcodes."""
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    workers = [
+        context.Process(
+            target=hammer_cache, args=(root, list(keys), rounds, shards)
+        )
+        for _ in range(processes)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+    return [worker.exitcode for worker in workers]
