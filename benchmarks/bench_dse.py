@@ -16,6 +16,13 @@ Runs two ways:
 
       PYTHONPATH=src python benchmarks/bench_dse.py --smoke
       PYTHONPATH=src python benchmarks/bench_dse.py --full
+      PYTHONPATH=src python benchmarks/bench_dse.py --snapshot BENCH_dse.json
+
+The ``--snapshot`` mode combines journal throughput, per-event
+lease-fold cost (watermark vs whole-history replay) and the four-way
+executor comparison into one JSON document — ``BENCH_dse.json`` at the
+repo root is such a snapshot, and ``benchmarks/compare_bench.py``
+prints a (non-gating) baseline-vs-current comparison in CI.
 
 ``REPRO_DSE_WORKERS`` bounds the worker pool in both modes (CI runners
 set it to the vCPU count for deterministic pool sizes).
@@ -43,14 +50,18 @@ from repro.dse import (  # noqa: E402
     CampaignState,
     Job,
     JobResult,
+    LeaseTable,
+    NetworkExecutor,
     ParameterSpace,
     ProcessPoolExecutor,
     SerialExecutor,
     WorkerPullExecutor,
+    WorkQueue,
     campaign_key,
     default_workers,
     explore_memory,
 )
+from repro.dse.executors import read_lease_events  # noqa: E402
 
 
 def _campaign(space, cache_dir, **settings):
@@ -220,17 +231,120 @@ def test_journal_append_throughput_full():
     assert summary["points"] >= 10_000
 
 
+# -- lease-fold cost -----------------------------------------------------
+
+
+def lease_fold_bench(events=10_000, legacy_folds=50):
+    """Per-event lease-fold cost as a claim journal grows.
+
+    After every appended claim event the coordinator re-folds the lease
+    journals (it does this at least once per point).  The applied
+    watermark makes that fold incremental — only the journal's new tail
+    is parsed and applied — so per-event cost stays flat no matter how
+    long the campaign has been running.  The legacy comparison replays
+    the *whole* journal through :meth:`LeaseTable.replay` each time,
+    which is the pre-watermark behaviour: O(journal length) per fold.
+    """
+    summary = {"events": events, "legacy_folds": legacy_folds}
+
+    with tempfile.TemporaryDirectory(prefix="bench-fold-") as workdir:
+        queue = WorkQueue(workdir)
+        queue.ensure()
+        path = queue.lease_path("bench")
+        watermark_times = []
+        with open(path, "a", encoding="utf-8") as journal:
+            for i in range(events):
+                journal.write(json.dumps({
+                    "event": "claim", "task": "task-%d" % i,
+                    "worker": "bench", "ttl": 3600.0,
+                    "t": float(i), "seq": i,
+                }) + "\n")
+                journal.flush()
+                tick = time.perf_counter()
+                queue.lease_table()
+                watermark_times.append(time.perf_counter() - tick)
+        assert queue.fold_stats["full_refolds"] == 0, (
+            "synthetic in-order tail triggered %d full refolds"
+            % queue.fold_stats["full_refolds"]
+        )
+        assert queue.fold_stats["events_folded"] == events
+        assert len(queue.lease_table().leases) == events
+
+        # A fresh coordinator folding the whole history once (resume).
+        cold = WorkQueue(workdir)
+        tick = time.perf_counter()
+        cold_table = cold.lease_table()
+        summary["cold_fold_s"] = time.perf_counter() - tick
+        assert len(cold_table.leases) == events
+
+        legacy_times = []
+        for _ in range(legacy_folds):
+            tick = time.perf_counter()
+            LeaseTable.replay(read_lease_events(path))
+            legacy_times.append(time.perf_counter() - tick)
+
+    first, last = _decile_medians(watermark_times)
+    summary.update({
+        "watermark_total_s": sum(watermark_times),
+        "watermark_us_per_event_first_decile": first * 1e6,
+        "watermark_us_per_event_last_decile": last * 1e6,
+        "watermark_flatness": last / first,
+        "full_refolds": 0,
+    })
+    # The legacy loop replays a fully grown journal, so instead of a
+    # growth curve we report its (flat, large) per-fold cost against
+    # the watermark's per-event cost at the same journal size.
+    legacy_per_fold = statistics.median(legacy_times)
+    summary.update({
+        "legacy_s_per_fold": legacy_per_fold,
+        "watermark_speedup_at_tail": legacy_per_fold / max(last, 1e-9),
+    })
+    return summary
+
+
+def _check_and_save_lease_fold(name, summary):
+    # Flat incremental folds (generous bound: CI noise must not flake
+    # it) and a whole-history replay that is orders of magnitude more
+    # expensive per fold at the same journal length.
+    assert summary["watermark_flatness"] < 10.0, (
+        "watermark fold cost grew %.1fx across the campaign"
+        % summary["watermark_flatness"]
+    )
+    assert summary["full_refolds"] == 0
+    assert summary["watermark_speedup_at_tail"] > 10.0, (
+        "whole-history replay only %.1fx the incremental fold"
+        % summary["watermark_speedup_at_tail"]
+    )
+    save_artifact(name, json.dumps(summary, indent=2))
+    return summary
+
+
+def test_lease_fold_flatness():
+    """Fast tier-1 path: flat incremental folds at reduced scale."""
+    summary = lease_fold_bench(events=2_000, legacy_folds=50)
+    _check_and_save_lease_fold("dse_lease_fold_bench.json", summary)
+
+
+@_slow
+def test_lease_fold_flatness_full():
+    """The 10^4-event scale of the acceptance criteria."""
+    summary = lease_fold_bench(events=10_000, legacy_folds=50)
+    _check_and_save_lease_fold("dse_lease_fold_bench.json", summary)
+    assert summary["events"] >= 10_000
+
+
 # -- executor comparison -------------------------------------------------
 
 
 def executor_bench(points=24, sleep_s=0.05, workers=2):
-    """Serial vs pool vs N-worker worker-pull wall-clock, same jobs.
+    """Serial vs pool vs worker-pull vs network wall-clock, same jobs.
 
     Synthetic sleeping points isolate the executors' dispatch overhead
     from Monte-Carlo noise: with evaluation cost pinned at ``sleep_s``,
     serial wall-clock is ~``points * sleep_s`` and any parallel backend
-    divides it by its effective worker count (worker-pull additionally
-    pays per-process startup once and filesystem polling per point).
+    divides it by its effective worker count (worker-pull and network
+    additionally pay per-process startup once, plus filesystem polling
+    or a TCP round-trip per point).
     """
     jobs = [
         Job(SELFTEST_TARGET, {"x": i, "sleep_s": sleep_s}) for i in range(points)
@@ -261,8 +375,20 @@ def executor_bench(points=24, sleep_s=0.05, workers=2):
             )
         finally:
             executor.close()
+    with tempfile.TemporaryDirectory(prefix="bench-net-") as campaign_dir:
+        executor = NetworkExecutor(
+            campaign_dir, spawn_workers=workers, lease_ttl=10.0, poll=0.01,
+            timeout=300,
+        )
+        try:
+            network = timed(
+                "network", CampaignRunner(workers=workers, executor=executor)
+            )
+        finally:
+            executor.close()
     summary["pool_speedup"] = serial / max(pool, 1e-9)
     summary["worker_pull_speedup"] = serial / max(pull, 1e-9)
+    summary["network_speedup"] = serial / max(network, 1e-9)
     return summary
 
 
@@ -285,8 +411,9 @@ def _check_and_save_executors(name, summary):
 
 
 def test_executor_comparison():
-    """Fast tier-1 path: the three executors agree and are measured."""
+    """Fast tier-1 path: all four executors agree and are measured."""
     summary = executor_bench(points=12, sleep_s=0.02)
+    assert "network_wall_s" in summary
     _check_and_save_executors("dse_executor_bench.json", summary)
 
 
@@ -332,17 +459,47 @@ def main(argv=None) -> int:
     mode.add_argument(
         "--executors", action="store_true",
         help="executor comparison only (serial vs pool vs 2-worker "
-             "worker-pull wall-clock on synthetic points)",
+             "worker-pull vs network wall-clock on synthetic points)",
+    )
+    mode.add_argument(
+        "--snapshot", metavar="PATH", nargs="?", const="BENCH_dse.json",
+        help="write the combined perf snapshot (journal throughput, "
+             "lease-fold cost, executor comparison) to PATH "
+             "(default: BENCH_dse.json)",
     )
     args = parser.parse_args(argv)
 
     if args.executors:
-        print("executors: 24 sleeping points, serial vs pool vs worker-pull")
+        print("executors: 24 sleeping points, "
+              "serial vs pool vs worker-pull vs network")
         summary = _check_and_save_executors(
             "dse_executor_bench.json",
             executor_bench(points=24, sleep_s=0.05, workers=2),
         )
         print(json.dumps(summary, indent=2))
+        return 0
+
+    if args.snapshot:
+        print("snapshot: journal @ 10^4 points, lease fold @ 10^4 events, "
+              "executors on 24 sleeping points")
+        snapshot = {
+            "journal": _check_and_save_journal(
+                "dse_journal_bench.json",
+                journal_bench(points=10_000, legacy_points=1_000),
+            ),
+            "lease_fold": _check_and_save_lease_fold(
+                "dse_lease_fold_bench.json",
+                lease_fold_bench(events=10_000, legacy_folds=50),
+            ),
+            "executors": _check_and_save_executors(
+                "dse_executor_bench.json",
+                executor_bench(points=24, sleep_s=0.05, workers=2),
+            ),
+        }
+        with open(args.snapshot, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("snapshot written to %s" % args.snapshot)
         return 0
 
     if args.full:

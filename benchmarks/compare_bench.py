@@ -1,0 +1,85 @@
+"""Compare a fresh perf snapshot against the committed baseline.
+
+CI runs ``bench_dse.py --snapshot <current>`` and then::
+
+    python benchmarks/compare_bench.py BENCH_dse.json <current>
+
+to print a metric-by-metric comparison of the committed baseline
+(``BENCH_dse.json`` at the repo root) against the run that just
+happened.  The comparison is **non-gating** — shared CI runners are
+too noisy for hard perf gates; the correctness/flatness assertions
+live inside ``bench_dse.py`` itself.  Exit status is 0 whenever both
+files parse; 2 on unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+#: metric -> (section, direction) where direction "down" means lower
+#: is better.  Only metrics stable enough to be worth eyeballing.
+METRICS = [
+    ("journal", "jsonl_us_per_point_last_decile", "down"),
+    ("journal", "jsonl_flatness", "down"),
+    ("journal", "resume_load_s", "down"),
+    ("journal", "jsonl_speedup_at_tail", "up"),
+    ("lease_fold", "watermark_us_per_event_last_decile", "down"),
+    ("lease_fold", "watermark_flatness", "down"),
+    ("lease_fold", "watermark_speedup_at_tail", "up"),
+    ("lease_fold", "cold_fold_s", "down"),
+    ("executors", "serial_wall_s", "down"),
+    ("executors", "pool_speedup", "up"),
+    ("executors", "worker_pull_speedup", "up"),
+    ("executors", "network_speedup", "up"),
+]
+
+
+def _load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("cannot read snapshot %s: %s" % (path, exc))
+
+
+def compare(baseline, current, out=sys.stdout):
+    width = max(len("%s.%s" % (s, m)) for s, m, _ in METRICS)
+    out.write(
+        "%-*s %14s %14s %9s\n"
+        % (width, "metric", "baseline", "current", "delta")
+    )
+    for section, metric, direction in METRICS:
+        base = baseline.get(section, {}).get(metric)
+        cur = current.get(section, {}).get(metric)
+        label = "%s.%s" % (section, metric)
+        if base is None or cur is None:
+            out.write("%-*s %14s %14s %9s\n" % (
+                width, label,
+                "-" if base is None else "%.4g" % base,
+                "-" if cur is None else "%.4g" % cur,
+                "n/a",
+            ))
+            continue
+        delta = (cur - base) / base * 100.0 if base else float("inf")
+        better = delta <= 0 if direction == "down" else delta >= 0
+        out.write("%-*s %14.4g %14.4g %+8.1f%% %s\n" % (
+            width, label, base, cur, delta, "" if better else "(worse)"
+        ))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Print a non-gating baseline-vs-current perf "
+                    "snapshot comparison."
+    )
+    parser.add_argument("baseline", help="committed snapshot (BENCH_dse.json)")
+    parser.add_argument("current", help="snapshot from this run")
+    args = parser.parse_args(argv)
+    compare(_load(args.baseline), _load(args.current))
+    print("\n(non-gating: shared-runner noise; correctness assertions "
+          "run inside bench_dse.py)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

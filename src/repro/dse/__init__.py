@@ -18,6 +18,12 @@ subsystem every layer plugs into:
   independent ``python -m repro.dse worker`` processes (any host that
   mounts the campaign directory) leasing points through journal-backed
   claim events with heartbeat + expiry reclaim;
+* :mod:`repro.dse.net` — campaign-as-a-service: a TCP
+  :class:`~repro.dse.net.CampaignServer` leasing points to
+  ``worker --connect host:port`` clients on hosts with *no* shared
+  mount (:class:`~repro.dse.net.NetworkExecutor`), plus a
+  :class:`~repro.dse.net.Supervisor` that respawns and autoscales a
+  local worker fleet against queue depth;
 * :mod:`repro.dse.shard` — :class:`ShardedResultCache` fan-out and
   crash-safe, idempotent :func:`merge_caches` over multi-writer cache
   directories;
@@ -81,6 +87,13 @@ from repro.dse.runner import (
     get_target,
     register_target,
 )
+from repro.dse.net import (
+    CampaignServer,
+    NetworkExecutor,
+    Supervisor,
+    parse_connect,
+    run_network_worker,
+)
 from repro.dse.space import Axis, ParameterSpace
 from repro.dse.campaign import (
     MemoryCampaignResult,
@@ -116,6 +129,11 @@ __all__ = [
     "LeaseTable",
     "make_executor",
     "run_worker",
+    "CampaignServer",
+    "NetworkExecutor",
+    "Supervisor",
+    "parse_connect",
+    "run_network_worker",
     "SELFTEST_TARGET",
     "Progress",
     "default_workers",

@@ -13,14 +13,23 @@ Subcommands:
   campaign rooted at DIR (start any number, on any host that mounts
   the directory; each claims points through lease events and exits on
   the coordinator's stop sentinel or ``--idle-timeout``);
+* ``worker --connect HOST:PORT`` — evaluate points for a *served*
+  campaign over TCP (no shared mount; retries with backoff on
+  disconnect);
+* ``serve SPEC --dir DIR --port N`` — run a campaign whose points are
+  leased to network workers by an embedded campaign server;
+* ``supervise --connect HOST:PORT --min A --max B`` — keep a local
+  fleet of network workers alive, respawning dead ones and autoscaling
+  between A and B against the server's queue depth;
 * ``merge --dir DIR --workers-dirs D [D...]`` — fold cache/shard
   directories written elsewhere into a campaign's cache (crash-safe,
   idempotent).
 
 ``run``/``resume`` select the execution backend with ``--executor
-serial|pool|worker-pull``; ``--executor worker-pull --spawn-workers N``
-also launches N local workers for the run's duration (multi-host
-campaigns instead start ``worker`` processes by hand).
+serial|pool|worker-pull|network``; ``--executor worker-pull
+--spawn-workers N`` also launches N local workers for the run's
+duration (multi-host campaigns instead start ``worker`` processes by
+hand, and ``serve`` is sugar for ``run --executor network``).
 
 A campaign spec is a JSON file::
 
@@ -78,6 +87,48 @@ from repro.dse.retry import RetryPolicy
 from repro.dse.runner import Progress, default_workers
 from repro.dse.shard import merge_caches
 from repro.dse.space import ParameterSpace
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1, rejected with a one-line error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1, got %d" % value)
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0, got %d" % value)
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not a number" % text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0, got %s" % text)
+    return value
+
+
+def _connect_endpoint(text: str) -> str:
+    """Argparse type: validate ``host:port`` at parse time."""
+    from repro.dse.net.protocol import ProtocolError, parse_connect
+
+    try:
+        parse_connect(text)
+    except ProtocolError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
 
 
 def load_spec(path: str) -> Dict:
@@ -219,6 +270,7 @@ def cmd_describe(args) -> int:
 
 def _executor_options(args) -> Optional[Dict]:
     """Keyword options for a named executor, from the CLI flags."""
+    executor = getattr(args, "executor", None)
     options = {}
     if getattr(args, "spawn_workers", None):
         options["spawn_workers"] = args.spawn_workers
@@ -226,11 +278,23 @@ def _executor_options(args) -> Optional[Dict]:
         options["lease_ttl"] = args.lease_ttl
     if getattr(args, "stall_timeout", None) is not None:
         options["timeout"] = args.stall_timeout
-    if options and getattr(args, "executor", None) != "worker-pull":
+    if options and executor not in ("worker-pull", "network"):
         raise SystemExit(
             "--spawn-workers/--lease-ttl/--stall-timeout apply only to "
-            "--executor worker-pull"
+            "--executor worker-pull or network"
         )
+    if getattr(args, "bind", None) is not None or getattr(args, "port", None) is not None:
+        if executor != "network":
+            raise SystemExit("--bind/--port apply only to --executor network")
+    if executor == "network":
+        if getattr(args, "port", None) is None:
+            raise SystemExit(
+                "--executor network needs --port (workers must be told "
+                "where to connect)"
+            )
+        options["port"] = args.port
+        if getattr(args, "bind", None) is not None:
+            options["host"] = args.bind
     return options or None
 
 
@@ -308,10 +372,17 @@ def cmd_run(args, resume: bool = False) -> int:
         result = _run_campaign(spec, args, resume=resume or args.resume)
     except WorkerStalled as exc:
         print("campaign stalled: %s" % exc, file=sys.stderr)
-        print(
-            "start workers with: python -m repro.dse worker %s" % args.dir,
-            file=sys.stderr,
-        )
+        if getattr(args, "executor", None) == "network":
+            print(
+                "connect workers with: python -m repro.dse worker "
+                "--connect <host>:%s" % getattr(args, "port", "PORT"),
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "start workers with: python -m repro.dse worker %s" % args.dir,
+                file=sys.stderr,
+            )
         return 3
     _summarise(result, args.dir, time.perf_counter() - start)
     return 0
@@ -319,6 +390,19 @@ def cmd_run(args, resume: bool = False) -> int:
 
 def cmd_resume(args) -> int:
     return cmd_run(args, resume=True)
+
+
+def _leased_count(campaign_dir: str) -> int:
+    """Unexpired leases on still-pending tasks of the work queue."""
+    from repro.dse.executors import WorkQueue
+
+    queue = WorkQueue(campaign_dir)
+    pending = queue.pending_tasks()
+    if not pending:
+        return 0
+    table = queue.lease_table()
+    now = time.time()
+    return sum(1 for tid in pending if table.owner(tid, now))
 
 
 def cmd_status(args) -> int:
@@ -332,6 +416,16 @@ def cmd_status(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     status = state.status()
+    if args.json:
+        # Machine-readable contract (supervisors, CI): exactly one JSON
+        # object on stdout, nothing else.
+        payload = dict(status)
+        payload["cache_entries"] = len(
+            ResultCache(os.path.join(args.dir, CACHE_DIR_NAME))
+        )
+        payload["leased"] = _leased_count(args.dir)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     percent = (
         100.0 * status["done"] / status["total"] if status["total"] else 0.0
     )
@@ -359,8 +453,6 @@ def cmd_status(args) -> int:
         print("kind:      %s" % meta["kind"])
     if meta.get("sampler"):
         print("sampler:   %s" % meta["sampler"])
-    if args.json:
-        print(json.dumps(status, indent=2))
     return 0
 
 
@@ -399,18 +491,39 @@ def cmd_retry(args) -> int:
 
 
 def cmd_worker(args) -> int:
-    """Evaluate points for a worker-pull campaign until stopped."""
-    try:
-        evaluated = run_worker(
-            args.dir,
-            worker_id=args.id,
-            lease_ttl=args.ttl,
-            poll=args.poll,
-            idle_timeout=args.idle_timeout,
-            once=args.once,
-            max_tasks=args.max_tasks,
+    """Evaluate points for a worker-pull or served campaign."""
+    if (args.dir is None) == (args.connect is None):
+        print(
+            "worker needs exactly one of DIR (shared filesystem) or "
+            "--connect host:port (campaign server)",
+            file=sys.stderr,
         )
-    except ValueError as exc:
+        return 2
+    try:
+        if args.connect is not None:
+            from repro.dse.net import run_network_worker
+
+            evaluated = run_network_worker(
+                args.connect,
+                worker_id=args.id,
+                poll=args.poll,
+                idle_timeout=args.idle_timeout,
+                once=args.once,
+                max_tasks=args.max_tasks,
+                backoff=args.reconnect_backoff,
+                reconnect_timeout=args.reconnect_timeout,
+            )
+        else:
+            evaluated = run_worker(
+                args.dir,
+                worker_id=args.id,
+                lease_ttl=args.ttl,
+                poll=args.poll,
+                idle_timeout=args.idle_timeout,
+                once=args.once,
+                max_tasks=args.max_tasks,
+            )
+    except (ValueError, ConnectionError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     except KeyboardInterrupt:
@@ -418,6 +531,60 @@ def cmd_worker(args) -> int:
         return 130
     print("worker done: evaluated %d task(s)" % evaluated)
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run a campaign served to network workers over TCP."""
+    if args.executor not in (None, "network"):
+        raise SystemExit("serve implies --executor network, not %r" % args.executor)
+    args.executor = "network"
+    if args.port is None:
+        raise SystemExit(
+            "serve needs --port (workers must be told where to connect)"
+        )
+    host = args.bind or "127.0.0.1"
+    print(
+        "serving campaign on %s:%d — connect workers with: "
+        "python -m repro.dse worker --connect %s:%d"
+        % (host, args.port, host, args.port),
+        file=sys.stderr,
+    )
+    return cmd_run(args, resume=args.resume)
+
+
+def cmd_supervise(args) -> int:
+    """Supervise a local fleet of network workers."""
+    from repro.dse.net import Supervisor
+
+    try:
+        supervisor = Supervisor(
+            args.connect,
+            min_workers=args.min,
+            max_workers=args.max,
+            interval=args.interval,
+            worker_poll=args.worker_poll,
+            grace=args.grace,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        code = supervisor.run(
+            log=None if args.quiet
+            else lambda line: print(line, file=sys.stderr)
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        supervisor.shutdown()
+        print("supervisor interrupted", file=sys.stderr)
+        return 130
+    print(
+        "supervisor done: %d worker(s) started, %d respawned"
+        % (supervisor.spawned, supervisor.respawned)
+    )
+    return code
 
 
 def cmd_merge(args) -> int:
@@ -463,7 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "(releases quarantined points first)",
         )
         command.add_argument(
-            "--retries", type=int, default=None, metavar="N",
+            "--retries", type=_positive_int, default=None, metavar="N",
             help="retry budget per point (total attempts; enables "
                  "reseeded retries + flaky-point quarantine)",
         )
@@ -480,20 +647,32 @@ def build_parser() -> argparse.ArgumentParser:
                  "worker-pull leases points to `worker` processes)",
         )
         command.add_argument(
-            "--spawn-workers", type=int, default=0, metavar="N",
-            help="with --executor worker-pull: launch N local worker "
-                 "processes for the run's duration",
+            "--spawn-workers", type=_nonnegative_int, default=0, metavar="N",
+            help="with --executor worker-pull/network: launch N local "
+                 "worker processes for the run's duration",
         )
         command.add_argument(
-            "--lease-ttl", type=float, default=None, metavar="SECONDS",
-            help="with --executor worker-pull: lease time-to-live "
-                 "(a dead worker's points reclaim after this long)",
+            "--lease-ttl", type=_positive_float, default=None,
+            metavar="SECONDS",
+            help="with --executor worker-pull/network: lease "
+                 "time-to-live (a dead worker's points reclaim after "
+                 "this long)",
         )
         command.add_argument(
-            "--stall-timeout", type=float, default=None, metavar="SECONDS",
-            help="with --executor worker-pull: abort when no result "
-                 "arrives for this long (default: wait forever for "
-                 "workers to show up)",
+            "--stall-timeout", type=_positive_float, default=None,
+            metavar="SECONDS",
+            help="with --executor worker-pull/network: abort when no "
+                 "result arrives for this long (default: wait forever "
+                 "for workers to show up)",
+        )
+        command.add_argument(
+            "--bind", default=None, metavar="HOST",
+            help="with --executor network: server bind address "
+                 "(default: 127.0.0.1)",
+        )
+        command.add_argument(
+            "--port", type=_positive_int, default=None, metavar="PORT",
+            help="with --executor network: server TCP port",
         )
         command.add_argument(
             "--workers-dirs", nargs="+", default=None, metavar="DIR",
@@ -513,10 +692,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_arguments(resume)
     resume.set_defaults(func=cmd_resume, resume=True)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a campaign served to network workers over TCP",
+    )
+    add_run_arguments(serve)
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing journal instead of starting fresh",
+    )
+    serve.set_defaults(func=cmd_serve)
+
     status = sub.add_parser("status", help="report a campaign directory")
     status.add_argument("--dir", required=True, help="campaign directory")
     status.add_argument(
-        "--json", action="store_true", help="also dump the raw journal status"
+        "--json", action="store_true",
+        help="print exactly one machine-readable JSON object "
+             "(journal counts + leased + cache_entries) instead of text",
     )
     status.set_defaults(func=cmd_status)
 
@@ -531,35 +723,95 @@ def build_parser() -> argparse.ArgumentParser:
     retry.set_defaults(func=cmd_retry)
 
     worker = sub.add_parser(
-        "worker", help="evaluate points for a worker-pull campaign"
+        "worker",
+        help="evaluate points for a worker-pull or served campaign",
     )
-    worker.add_argument("dir", help="campaign directory (the coordinator's --dir)")
+    worker.add_argument(
+        "dir", nargs="?", default=None,
+        help="campaign directory (the coordinator's --dir); omit when "
+             "connecting to a campaign server with --connect",
+    )
+    worker.add_argument(
+        "--connect", type=_connect_endpoint, default=None,
+        metavar="HOST:PORT",
+        help="lease points from a campaign server over TCP instead of "
+             "a shared filesystem",
+    )
     worker.add_argument(
         "--id", default=None,
         help="worker identity for lease journals (default: <host>-<pid>)",
     )
     worker.add_argument(
-        "--ttl", type=float, default=30.0, metavar="SECONDS",
-        help="lease time-to-live without a heartbeat (default: 30)",
+        "--ttl", type=_positive_float, default=30.0, metavar="SECONDS",
+        help="lease time-to-live without a heartbeat (default: 30; "
+             "--connect workers use the server's TTL instead)",
     )
     worker.add_argument(
-        "--poll", type=float, default=0.2, metavar="SECONDS",
+        "--poll", type=_positive_float, default=0.2, metavar="SECONDS",
         help="queue scan interval when idle (default: 0.2)",
     )
     worker.add_argument(
-        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        "--idle-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
         help="exit after this long with nothing claimable "
-             "(default: wait for the stop sentinel)",
+             "(default: wait for the coordinator's stop)",
     )
     worker.add_argument(
         "--once", action="store_true",
         help="exit as soon as a scan finds nothing claimable",
     )
     worker.add_argument(
-        "--max-tasks", type=int, default=None, metavar="N",
+        "--max-tasks", type=_positive_int, default=None, metavar="N",
         help="exit after evaluating N tasks",
     )
+    worker.add_argument(
+        "--reconnect-backoff", type=_positive_float, default=0.5,
+        metavar="SECONDS",
+        help="with --connect: initial reconnect delay, doubling per "
+             "failed attempt (default: 0.5)",
+    )
+    worker.add_argument(
+        "--reconnect-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="with --connect: give up after this long continuously "
+             "disconnected (default: retry forever)",
+    )
     worker.set_defaults(func=cmd_worker)
+
+    supervise = sub.add_parser(
+        "supervise",
+        help="keep a fleet of network workers alive and autoscaled",
+    )
+    supervise.add_argument(
+        "--connect", type=_connect_endpoint, required=True,
+        metavar="HOST:PORT", help="the campaign server to size against",
+    )
+    supervise.add_argument(
+        "--min", type=_nonnegative_int, default=1, metavar="N",
+        help="fleet floor while the server is up (default: 1)",
+    )
+    supervise.add_argument(
+        "--max", type=_positive_int, default=4, metavar="N",
+        help="fleet ceiling (default: 4)",
+    )
+    supervise.add_argument(
+        "--interval", type=_positive_float, default=1.0, metavar="SECONDS",
+        help="seconds between supervision ticks (default: 1)",
+    )
+    supervise.add_argument(
+        "--worker-poll", type=_positive_float, default=0.5,
+        metavar="SECONDS",
+        help="--poll handed to spawned workers (default: 0.5)",
+    )
+    supervise.add_argument(
+        "--grace", type=_positive_int, default=5, metavar="TICKS",
+        help="unreachable-server ticks tolerated before winding down "
+             "(default: 5)",
+    )
+    supervise.add_argument(
+        "--quiet", action="store_true", help="suppress fleet-change logs"
+    )
+    supervise.set_defaults(func=cmd_supervise)
 
     merge = sub.add_parser(
         "merge", help="fold worker cache/shard directories into a campaign"

@@ -563,7 +563,10 @@ def run_memory_campaign(
         executor: Execution backend: ``"serial"``, ``"pool"``,
             ``"worker-pull"`` (points are leased to independent
             ``python -m repro.dse worker`` processes sharing this
-            directory — see :mod:`repro.dse.executors`), or an
+            directory — see :mod:`repro.dse.executors`), ``"network"``
+            (an embedded campaign server leases points over TCP to
+            ``worker --connect`` processes with no shared mount — see
+            :mod:`repro.dse.net`), or an
             :class:`~repro.dse.executors.Executor` instance.  The
             executor changes *where* points evaluate, never the journal
             format, the campaign signature, or the results.

@@ -64,6 +64,7 @@ from repro.dse.runner import (
     _execute,
     _execute_indexed,
     default_workers,
+    execute_task,
     register_target,
 )
 
@@ -71,7 +72,7 @@ from repro.dse.runner import (
 Outcome = Tuple[bool, Optional[Dict], Optional[str], float]
 
 #: Executor names understood by :func:`make_executor` and the CLI.
-EXECUTOR_NAMES = ("serial", "pool", "worker-pull")
+EXECUTOR_NAMES = ("serial", "pool", "worker-pull", "network")
 
 #: Conventional cache directory inside a campaign directory.
 CACHE_DIR_NAME = "cache"
@@ -365,6 +366,49 @@ def read_lease_events(path: str) -> List[Dict]:
     return events
 
 
+def read_lease_tail(path: str, offset: int = 0) -> Tuple[List[Dict], int]:
+    """Parse the complete events after ``offset``; return the new offset.
+
+    The incremental half of the applied-watermark fold: only fully
+    newline-terminated lines are consumed, so the returned offset is
+    always a line boundary.  A torn final line (its writer died
+    mid-append, or the append is racing this read) stays unconsumed —
+    the next tail read picks it up once the newline lands, or never
+    does for a dead worker (at worst a lost heartbeat).  Unparseable
+    *terminated* lines are skipped but consumed, exactly as
+    :func:`read_lease_events` skips them.
+    """
+    events: List[Dict] = []
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            raw = handle.read()
+    except (OSError, ValueError):
+        return events, offset
+    end = raw.rfind(b"\n")
+    if end < 0:
+        return events, offset
+    for line in raw[:end].split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line.decode("utf-8", errors="replace"))
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events, offset + end + 1
+
+
+def _event_sort_key(event: Dict) -> Tuple[float, str, int]:
+    """The canonical fold order: ``(t, worker, seq)`` (see replay())."""
+    return (
+        float(event.get("t", 0.0)),
+        str(event.get("worker", "")),
+        int(event.get("seq", 0)),
+    )
+
+
 class _Heartbeat:
     """Background thread extending a lease while an evaluation runs."""
 
@@ -423,12 +467,21 @@ class WorkQueue:
         self.leases_dir = os.path.join(self.root, "leases")
         self.stop_path = os.path.join(self.root, "stop")
         self.cache_dir = os.path.join(self.campaign_dir, CACHE_DIR_NAME)
-        #: path -> (file size, parsed events).  Lease journals are
-        #: append-only, so size is a sound freshness key: each fold
-        #: only re-parses journals that actually grew.
-        self._lease_cache: Dict[str, Tuple[int, List[Dict]]] = {}
-        #: (sizes snapshot, folded table) — idle polls fold for free.
-        self._table_cache = None
+        #: Applied watermarks: path -> [byte offset, events folded].
+        #: Lease journals are append-only, so a journal that grew only
+        #: needs its tail (bytes past the offset) parsed and folded —
+        #: per-event fold cost stays flat as the history grows.
+        self._watermarks: Dict[str, List[int]] = {}
+        #: The incrementally folded table the watermarks describe.
+        self._table: Optional[LeaseTable] = None
+        #: Sort key of the last event folded into ``_table``.  A fresh
+        #: tail event sorting *before* it (cross-journal clock skew
+        #: surfacing between scans) voids the incremental fold — see
+        #: :meth:`lease_table`.
+        self._applied_key: Tuple[float, str, int] = (-1.0, "", -1)
+        #: Fold telemetry: benches and tests assert ``full_refolds``
+        #: stays 0 on the in-order fast path.
+        self.fold_stats = {"folds": 0, "events_folded": 0, "full_refolds": 0}
 
     def ensure(self) -> None:
         for directory in (self.tasks_dir, self.results_dir, self.leases_dir):
@@ -584,44 +637,107 @@ class WorkQueue:
 
     # -- leases ---------------------------------------------------------
 
-    def lease_events(self) -> List[Dict]:
-        """Every claim event across every worker journal."""
-        events: List[Dict] = []
+    def _journal_paths(self) -> List[str]:
         try:
             names = sorted(os.listdir(self.leases_dir))
         except OSError:
-            return events
-        for name in names:
-            if not name.endswith(".jsonl"):
-                continue
-            path = os.path.join(self.leases_dir, name)
-            try:
-                size = os.path.getsize(path)
-            except OSError:
-                continue
-            cached = self._lease_cache.get(path)
-            if cached is None or cached[0] != size:
-                cached = (size, read_lease_events(path))
-                self._lease_cache[path] = cached
-            events.extend(cached[1])
+            return []
+        return [
+            os.path.join(self.leases_dir, name)
+            for name in names
+            if name.endswith(".jsonl")
+        ]
+
+    def lease_events(self) -> List[Dict]:
+        """Every claim event across every worker journal (full re-read).
+
+        Diagnostic/verification surface: folds should go through
+        :meth:`lease_table`, which only parses journal *tails* past its
+        applied watermarks.
+        """
+        events: List[Dict] = []
+        for path in self._journal_paths():
+            events.extend(read_lease_events(path))
         return events
+
+    def watermarks(self) -> Dict[str, Tuple[int, int]]:
+        """Applied watermark per journal: path -> (byte offset, events)."""
+        return {
+            path: (mark[0], mark[1]) for path, mark in self._watermarks.items()
+        }
 
     def lease_table(self) -> LeaseTable:
         """Fold every journal into the current lease state.
 
-        Memoised on the per-journal size snapshot: a scan while no
-        journal grew (the common idle-poll case) returns the previous
-        fold without re-sorting the event history.  Callers must treat
-        the returned table as read-only.
+        Incremental via applied watermarks: each scan stats every
+        journal and parses only the bytes past that journal's
+        watermark, applying the new events in canonical
+        ``(t, worker, seq)`` order on top of the previous fold.  A scan
+        while nothing grew (the common idle poll) is pure stats; a scan
+        after appends costs only the appended tail — flat per event no
+        matter how long the history gets.
+
+        The incremental result is kept provably identical to the
+        canonical full fold (:meth:`LeaseTable.replay` over the whole
+        sorted event set): if any fresh event sorts *before* the last
+        applied one — out-of-order arrival across journals, e.g. a
+        claim causally stamped into the future by one worker landing
+        before a slower worker's past-stamped events are scanned — the
+        incremental fold is void and the table is rebuilt from offset
+        zero (counted in ``fold_stats["full_refolds"]``).  A journal
+        that shrank (manual truncation) triggers the same rebuild.
+
+        Callers must treat the returned table as read-only; it is the
+        same mutable object across calls, updated in place.
         """
-        events = self.lease_events()
-        snapshot = tuple(
-            sorted((path, cached[0]) for path, cached in self._lease_cache.items())
+        self.fold_stats["folds"] += 1
+        if self._table is None:
+            self._table = LeaseTable()
+        fresh: List[Dict] = []
+        for path in self._journal_paths():
+            mark = self._watermarks.get(path)
+            if mark is None:
+                mark = self._watermarks[path] = [0, 0]
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size < mark[0]:
+                return self._full_refold()
+            if size == mark[0]:
+                continue
+            events, offset = read_lease_tail(path, mark[0])
+            mark[0] = offset
+            mark[1] += len(events)
+            fresh.extend(events)
+        if not fresh:
+            return self._table
+        fresh.sort(key=_event_sort_key)
+        if _event_sort_key(fresh[0]) < self._applied_key:
+            return self._full_refold()
+        for event in fresh:
+            self._table.apply(event)
+        self._applied_key = _event_sort_key(fresh[-1])
+        self.fold_stats["events_folded"] += len(fresh)
+        return self._table
+
+    def _full_refold(self) -> LeaseTable:
+        """Rebuild the fold from offset zero (the canonical sorted replay)."""
+        self.fold_stats["full_refolds"] += 1
+        self._watermarks = {}
+        events: List[Dict] = []
+        for path in self._journal_paths():
+            parsed, offset = read_lease_tail(path, 0)
+            self._watermarks[path] = [offset, len(parsed)]
+            events.extend(parsed)
+        events.sort(key=_event_sort_key)
+        self._table = table = LeaseTable()
+        for event in events:
+            table.apply(event)
+        self._applied_key = (
+            _event_sort_key(events[-1]) if events else (-1.0, "", -1)
         )
-        if self._table_cache is not None and self._table_cache[0] == snapshot:
-            return self._table_cache[1]
-        table = LeaseTable.replay(events)
-        self._table_cache = (snapshot, table)
+        self.fold_stats["events_folded"] += len(events)
         return table
 
 
@@ -720,9 +836,7 @@ def run_worker(
         else:
             heartbeat = _Heartbeat(journal, tid, lease_ttl)
             try:
-                outcome = _execute(
-                    (task["target"], task["spec"], int(task["seed"]))
-                )
+                outcome = execute_task(task)
             finally:
                 heartbeat.stop()
             ok, result, error, elapsed = outcome
@@ -1025,6 +1139,10 @@ _EXECUTOR_OPTIONS = {
     "worker-pull": (
         "spawn_workers", "lease_ttl", "poll", "timeout", "spawn_idle_timeout",
     ),
+    "network": (
+        "spawn_workers", "lease_ttl", "poll", "timeout", "spawn_idle_timeout",
+        "host", "port",
+    ),
 }
 
 
@@ -1038,9 +1156,10 @@ def make_executor(
     """Build an executor from its CLI/spec name (instances pass through).
 
     Args:
-        name: ``"serial"``, ``"pool"``, ``"worker-pull"``, or an
-            :class:`Executor` instance (returned unchanged).
-        campaign_dir: Required for ``"worker-pull"`` (the shared queue).
+        name: ``"serial"``, ``"pool"``, ``"worker-pull"``, ``"network"``,
+            or an :class:`Executor` instance (returned unchanged).
+        campaign_dir: Required for ``"worker-pull"`` and ``"network"``
+            (the queue lives under it).
         workers / chunksize: Pool sizing for ``"pool"``.
         **options: Extra keyword arguments for the executor class
             (``spawn_workers``, ``lease_ttl``, ``timeout``, ...).
@@ -1074,7 +1193,13 @@ def make_executor(
     if name == "pool":
         return ProcessPoolExecutor(workers=workers, chunksize=chunksize)
     if campaign_dir is None:
-        raise ValueError('executor "worker-pull" needs a campaign directory')
+        raise ValueError(
+            "executor %r needs a campaign directory" % (name,)
+        )
+    if name == "network":
+        from repro.dse.net import NetworkExecutor
+
+        return NetworkExecutor(campaign_dir, **options)
     return WorkerPullExecutor(campaign_dir, **options)
 
 

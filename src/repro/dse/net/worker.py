@@ -1,0 +1,180 @@
+"""The network worker client: lease over TCP, evaluate, stream back.
+
+The network twin of :func:`repro.dse.executors.run_worker`: same
+evaluation entry (:func:`repro.dse.runner.execute_task`), same
+wind-down conditions (server ``stop`` reply, ``idle_timeout``,
+``once``, ``max_tasks``) — but every queue interaction is a
+request/reply to the campaign server instead of a filesystem
+operation, so the worker host needs no shared mount.
+
+Disconnect handling: the connection is retried with exponential
+backoff (a SIGKILLed server restarted on the same port is picked up
+transparently), and an evaluated-but-unreported outcome survives the
+reconnect and is delivered first — an evaluation is minutes of Monte
+Carlo; a dropped socket must not discard it.
+"""
+
+import threading
+import time
+from typing import Optional, Tuple, Union
+
+from repro.dse.executors import default_worker_id
+from repro.dse.net.protocol import (
+    PROTOCOL_VERSION,
+    Connection,
+    ProtocolError,
+    parse_connect,
+)
+from repro.dse.runner import execute_task
+
+
+class _NetHeartbeat:
+    """Beat a leased task over the shared connection while evaluating.
+
+    Requests are lock-paired on the connection, so beats interleave
+    safely with nothing (the main thread is busy evaluating).  A beat
+    that fails is swallowed: the main loop notices the dead connection
+    when it reports the result, and at worst the lease expires — which
+    only risks a benign duplicate evaluation, never a lost one.
+    """
+
+    def __init__(self, conn: Connection, worker: str, task: str, ttl: float):
+        self._conn = conn
+        self._message = {"op": "heartbeat", "worker": worker, "task": task}
+        self._ttl = float(ttl)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._ttl / 3.0):
+            try:
+                self._conn.request(self._message)
+            except (OSError, ProtocolError):
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_network_worker(
+    connect: Union[str, Tuple[str, int]],
+    worker_id: Optional[str] = None,
+    poll: float = 0.5,
+    idle_timeout: Optional[float] = None,
+    once: bool = False,
+    max_tasks: Optional[int] = None,
+    backoff: float = 0.5,
+    max_backoff: float = 30.0,
+    reconnect_timeout: Optional[float] = None,
+) -> int:
+    """One network worker: lease, evaluate, report, repeat.
+
+    Args:
+        connect: ``"host:port"`` or an ``(host, port)`` pair.
+        worker_id: Stable identity for the server-side lease journal;
+            default ``<hostname>-<pid>``.
+        poll: Seconds between lease requests while the server is idle.
+        idle_timeout: Exit after this long without work (None = wait
+            for the server's ``stop``).
+        once: Exit at the first ``idle`` reply.
+        max_tasks: Exit after evaluating this many tasks.
+        backoff: Initial reconnect delay; doubles per failed attempt up
+            to ``max_backoff``.
+        reconnect_timeout: Give up after this many seconds of
+            *continuous* disconnection (None = retry forever).
+
+    Returns:
+        Number of tasks this worker evaluated.
+    """
+    host, port = (
+        parse_connect(connect) if isinstance(connect, str) else connect
+    )
+    worker = worker_id if worker_id is not None else default_worker_id()
+    conn = Connection(host, port)
+    evaluated = 0
+    idle_since = time.monotonic()
+    unreported = None  # (tid, outcome) held across reconnects
+    disconnected_since: Optional[float] = None
+    wait = backoff
+    try:
+        while True:
+            if not conn.connected:
+                try:
+                    conn.connect()
+                    hello = conn.request({
+                        "op": "hello",
+                        "worker": worker,
+                        "version": PROTOCOL_VERSION,
+                    })
+                    if not hello.get("ok"):
+                        # A version/identity rejection is permanent;
+                        # retrying would loop forever.
+                        raise ProtocolError(str(hello.get("error")))
+                except (OSError, ConnectionError) as exc:
+                    conn.close()
+                    now = time.monotonic()
+                    if disconnected_since is None:
+                        disconnected_since = now
+                    if (
+                        reconnect_timeout is not None
+                        and now - disconnected_since >= reconnect_timeout
+                    ):
+                        raise ConnectionError(
+                            "no server at %s:%d for %.0f s: %s"
+                            % (host, port, reconnect_timeout, exc)
+                        )
+                    time.sleep(min(wait, max_backoff))
+                    wait = min(wait * 2.0, max_backoff)
+                    continue
+                disconnected_since = None
+                wait = backoff
+            try:
+                if unreported is not None:
+                    tid, outcome = unreported
+                    conn.request({
+                        "op": "result",
+                        "worker": worker,
+                        "task": tid,
+                        "outcome": list(outcome),
+                    })
+                    unreported = None
+                    continue
+                if max_tasks is not None and evaluated >= max_tasks:
+                    break
+                reply = conn.request({"op": "lease", "worker": worker})
+            except (OSError, ConnectionError):
+                conn.close()
+                continue
+            if not reply.get("ok"):
+                raise ProtocolError(str(reply.get("error")))
+            op = reply.get("op")
+            if op == "stop":
+                break
+            if op == "idle":
+                if once:
+                    break
+                if (
+                    idle_timeout is not None
+                    and time.monotonic() - idle_since > idle_timeout
+                ):
+                    break
+                time.sleep(poll)
+                continue
+            if op != "task":
+                raise ProtocolError("unexpected lease reply op %r" % (op,))
+            task = reply["task"]
+            idle_since = time.monotonic()
+            heartbeat = _NetHeartbeat(
+                conn, worker, task["task"], float(task.get("ttl", 30.0))
+            )
+            try:
+                outcome = execute_task(task)
+            finally:
+                heartbeat.stop()
+            evaluated += 1
+            unreported = (task["task"], outcome)
+    finally:
+        conn.close()
+    return evaluated

@@ -130,6 +130,20 @@ def _execute_indexed(
     return payload[0], _execute(payload[1:])
 
 
+def execute_task(
+    task: Dict,
+) -> Tuple[bool, Optional[Dict], Optional[str], float]:
+    """Evaluate one published task record (never raises).
+
+    The shared evaluation entry for pull-style workers: both the
+    filesystem worker (``run_worker``) and the network worker client
+    receive the same task payload (``target``/``spec``/``seed``, as
+    written by :meth:`WorkQueue.publish`) and must produce the same
+    :data:`Outcome` tuple for it.
+    """
+    return _execute((task["target"], task["spec"], int(task["seed"])))
+
+
 def default_workers() -> int:
     """Default pool size: ``REPRO_DSE_WORKERS`` if set, else CPU count.
 

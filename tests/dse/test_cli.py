@@ -203,10 +203,20 @@ class TestRunResumeStatus:
         assert "campaign finished" in out
         assert "feasible: 1" in out
 
-        assert main(["status", "--dir", campaign_dir, "--json"]) == 0
+        assert main(["status", "--dir", campaign_dir]) == 0
         out = capsys.readouterr().out
         assert "1/1 done (100.0%)" in out
-        assert '"done": 1' in out
+
+        # --json is machine-readable: exactly one JSON object, nothing
+        # else on stdout (supervisors and CI parse this verbatim).
+        assert main(["status", "--dir", campaign_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] == 1
+        assert payload["failed"] == 0
+        assert payload["retried"] == 0
+        assert payload["quarantined"] == 0
+        assert payload["leased"] == 0
+        assert payload["cache_entries"] == 1
 
         assert main(["resume", spec, "--dir", campaign_dir, "--quiet"]) == 0
         out = capsys.readouterr().out
@@ -272,8 +282,82 @@ class TestWorkerSubcommand:
         assert "evaluated 3 task(s)" in capsys.readouterr().out
 
     def test_worker_rejects_bad_ttl(self, tmp_path, capsys):
-        assert main(["worker", str(tmp_path), "--ttl", "0", "--once"]) == 2
-        assert "lease_ttl" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["worker", str(tmp_path), "--ttl", "0", "--once"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_worker_needs_exactly_one_of_dir_and_connect(
+        self, tmp_path, capsys
+    ):
+        assert main(["worker"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main([
+            "worker", str(tmp_path), "--connect", "localhost:4000",
+        ]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """Satellite: non-positive / malformed flags die with one-line errors."""
+
+    def _rejects(self, argv, fragment, capsys):
+        with pytest.raises(SystemExit):
+            main(argv)
+        err = capsys.readouterr().err
+        assert fragment in err, err
+
+    def test_nonpositive_lease_ttl(self, tmp_path, capsys):
+        self._rejects(
+            ["run", "spec.json", "--dir", str(tmp_path), "--lease-ttl", "0"],
+            "must be > 0", capsys,
+        )
+        self._rejects(
+            ["run", "spec.json", "--dir", str(tmp_path), "--lease-ttl", "-5"],
+            "must be > 0", capsys,
+        )
+
+    def test_negative_spawn_workers(self, tmp_path, capsys):
+        self._rejects(
+            ["run", "spec.json", "--dir", str(tmp_path),
+             "--spawn-workers", "-1"],
+            "must be >= 0", capsys,
+        )
+
+    def test_nonpositive_retries(self, tmp_path, capsys):
+        self._rejects(
+            ["run", "spec.json", "--dir", str(tmp_path), "--retries", "0"],
+            "must be >= 1", capsys,
+        )
+        self._rejects(
+            ["run", "spec.json", "--dir", str(tmp_path), "--retries", "x"],
+            "not an integer", capsys,
+        )
+
+    def test_malformed_connect(self, capsys):
+        for bad in ("nohost", "host:", ":4000", "host:notaport", "host:0",
+                    "host:70000"):
+            self._rejects(
+                ["worker", "--connect", bad], "invalid --connect", capsys
+            )
+
+    def test_supervise_min_above_max(self, capsys):
+        assert main([
+            "supervise", "--connect", "localhost:4000",
+            "--min", "3", "--max", "1",
+        ]) == 2
+        assert "max_workers" in capsys.readouterr().err
+
+    def test_serve_requires_port(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="--port"):
+            main(["serve", "spec.json", "--dir", str(tmp_path), "--quiet"])
+
+    def test_network_flags_require_network_executor(self, tmp_path):
+        spec = _write_spec(tmp_path, MEMORY_SPEC)
+        with pytest.raises(SystemExit, match="--executor network"):
+            main([
+                "run", spec, "--dir", str(tmp_path / "c"), "--quiet",
+                "--port", "4000",
+            ])
 
 
 class TestMergeSubcommand:

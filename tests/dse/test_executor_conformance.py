@@ -23,6 +23,7 @@ from repro.dse import (
     CampaignRunner,
     CampaignState,
     Job,
+    NetworkExecutor,
     ProcessPoolExecutor,
     ResultCache,
     RetryPolicy,
@@ -31,13 +32,14 @@ from repro.dse import (
     campaign_key,
     pareto_front,
     run_checkpointed,
+    run_network_worker,
     run_worker,
 )
 from test_utils import CampaignKilled, CrashingRunner
 
 KEY = campaign_key({"kind": "executor-conformance"})
 
-EXECUTORS = ("serial", "pool", "worker-pull")
+EXECUTORS = ("serial", "pool", "worker-pull", "network")
 
 #: Status fields that must match across executors (timestamps and meta
 #: are run-specific by design).
@@ -96,6 +98,21 @@ class ExecutorHarness:
                 target=run_worker,
                 args=(self.campaign_dir,),
                 kwargs=dict(worker_id="conformance", lease_ttl=10.0, poll=0.005),
+                daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+        elif name == "network":
+            self.executor = NetworkExecutor(
+                self.campaign_dir, lease_ttl=10.0, poll=0.005, timeout=60
+            )
+            thread = threading.Thread(
+                target=run_network_worker,
+                args=(self.executor.address,),
+                kwargs=dict(
+                    worker_id="conformance", poll=0.005, backoff=0.05,
+                    reconnect_timeout=20.0,
+                ),
                 daemon=True,
             )
             thread.start()

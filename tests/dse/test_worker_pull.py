@@ -27,6 +27,7 @@ from repro.dse import (
 from repro.dse.executors import (
     TORN_RESULT,
     LeaseJournal,
+    LeaseTable,
     WorkerStalled,
     WorkQueue,
     _Heartbeat,
@@ -299,17 +300,64 @@ class TestWorkerPullExecutor:
         assert table.claim(tid, "anyone", future + 1.0, 30.0)
         executor.close()
 
-    def test_lease_table_memoised_until_a_journal_grows(self, tmp_path):
+    def test_lease_table_folds_only_the_grown_tail(self, tmp_path):
+        """The applied-watermark fold: idle polls are pure stats, a
+        grown journal contributes only its appended events, and the
+        watermark records (byte offset, event count) per journal."""
         queue = WorkQueue(str(tmp_path))
         queue.ensure()
         journal = LeaseJournal(queue.lease_path("w"), "w")
         journal.claim("t-0", 30.0)
         first = queue.lease_table()
+        assert first.owner("t-0", time.time()) == "w"
+        assert queue.fold_stats["events_folded"] == 1
         assert queue.lease_table() is first  # nothing changed: free fold
+        assert queue.fold_stats["events_folded"] == 1  # no re-parse
         journal.done("t-0")
         second = queue.lease_table()
-        assert second is not first
         assert "t-0" in second.completed
+        assert queue.fold_stats["events_folded"] == 2  # the tail only
+        assert queue.fold_stats["full_refolds"] == 0
+        (mark,) = queue.watermarks().values()
+        assert mark == (os.path.getsize(queue.lease_path("w")), 2)
+
+    def test_lease_table_refolds_on_out_of_order_tail(self, tmp_path):
+        """An event sorting before the applied watermark (cross-journal
+        clock skew surfacing between scans) voids the incremental fold;
+        the rebuild must agree with the canonical sorted replay."""
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        fast = LeaseJournal(queue.lease_path("fast"), "fast")
+        fast.append({"event": "claim", "task": "t-0", "ttl": 30.0,
+                     "t": time.time() + 60.0})
+        first = queue.lease_table()
+        assert first.owner("t-0", time.time()) == "fast"
+        slow = LeaseJournal(queue.lease_path("slow"), "slow")
+        slow.claim("t-1", 30.0)  # wall-clock: sorts before fast's claim
+        table = queue.lease_table()
+        assert queue.fold_stats["full_refolds"] == 1
+        reference = LeaseTable.replay(queue.lease_events())
+        assert table.leases == reference.leases
+        assert table.completed == reference.completed
+
+    def test_lease_table_leaves_a_torn_tail_unconsumed(self, tmp_path):
+        """A journal whose last line has no newline yet (writer died or
+        is mid-append) folds everything before it; the torn fragment is
+        folded later iff its newline ever lands."""
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        journal = LeaseJournal(queue.lease_path("torn"), "torn")
+        journal.claim("t-0", 30.0)
+        path = queue.lease_path("torn")
+        whole = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"event":"done","task":"t-0","worker":"torn"')
+        table = queue.lease_table()
+        assert table.owner("t-0", time.time()) == "torn"
+        assert queue.watermarks()[path] == (whole, 1)
+        with open(path, "ab") as handle:
+            handle.write(b',"t":%f,"seq":2}\n' % (time.time(),))
+        assert "t-0" in queue.lease_table().completed
 
     def test_torn_result_reopened_and_reevaluated(self, tmp_path):
         """A torn outcome file must re-run the point, not wedge the run."""
