@@ -19,10 +19,12 @@ Runs two ways:
       PYTHONPATH=src python benchmarks/bench_dse.py --snapshot BENCH_dse.json
 
 The ``--snapshot`` mode combines journal throughput, per-event
-lease-fold cost (watermark vs whole-history replay) and the four-way
-executor comparison into one JSON document — ``BENCH_dse.json`` at the
-repo root is such a snapshot, and ``benchmarks/compare_bench.py``
-prints a (non-gating) baseline-vs-current comparison in CI.
+lease-fold cost (watermark vs whole-history replay), the four-way
+executor comparison and the scalar-vs-vector evaluator timing into one
+JSON document — ``BENCH_dse.json`` at the repo root is such a
+snapshot, and ``benchmarks/compare_bench.py`` **gates CI** on it: a
+>30% wrong-direction drift in any tracked metric fails the build
+(``REPRO_BENCH_NO_GATE=1`` downgrades the gate to a report).
 
 ``REPRO_DSE_WORKERS`` bounds the worker pool in both modes (CI runners
 set it to the vCPU count for deterministic pool sizes).
@@ -97,6 +99,9 @@ FULL_SETTINGS = dict(num_words=400, error_population=30_000)
 
 if pytest is not None:
     _slow = pytest.mark.slow
+    # Every test in this module is a benchmark: ``pytest -m bench``
+    # selects exactly these, ``-m "not bench"`` keeps the tiers lean.
+    pytestmark = pytest.mark.bench
 else:
     def _slow(fn):
         return fn
@@ -417,6 +422,83 @@ def test_executor_comparison():
     _check_and_save_executors("dse_executor_bench.json", summary)
 
 
+# -- evaluator fast path -------------------------------------------------
+
+
+def evaluator_bench(points=4, scalar_points=2,
+                    num_words=200, error_population=10_000):
+    """Per-point wall-clock of the real memory evaluator, both paths.
+
+    Times :func:`repro.dse.campaign.evaluate_memory_point` on the
+    production VAET-STT evaluator with the vectorised kernels (the
+    default) and again with ``REPRO_VAET_SCALAR=1`` selecting the
+    cell-at-a-time reference implementations.  The scalar side runs
+    fewer points — it is the slow path by construction — and medians
+    keep single-point noise out of the ratio.
+    """
+    from repro.dse.campaign import evaluate_memory_point
+    from repro.nvsim import MemoryConfig
+    from repro.vaet.explorer import DesignConstraints
+    from repro.vaet.variation_model import SCALAR_REFERENCE_ENV
+
+    def spec(seed):
+        return {
+            "node_nm": 45,
+            "config": MemoryConfig().to_dict(),
+            "constraints": DesignConstraints().to_dict(),
+            "num_words": num_words,
+            "error_population": error_population,
+            "seed": seed,
+        }
+
+    def timed(count):
+        times = []
+        for k in range(count):
+            tick = time.perf_counter()
+            outcome = evaluate_memory_point(spec(2018 + k), 0)
+            times.append(time.perf_counter() - tick)
+            assert "feasible" in outcome
+        return statistics.median(times)
+
+    saved = os.environ.pop(SCALAR_REFERENCE_ENV, None)
+    try:
+        vector = timed(points)
+        os.environ[SCALAR_REFERENCE_ENV] = "1"
+        scalar = timed(scalar_points)
+    finally:
+        if saved is None:
+            os.environ.pop(SCALAR_REFERENCE_ENV, None)
+        else:
+            os.environ[SCALAR_REFERENCE_ENV] = saved
+    return {
+        "points": points,
+        "scalar_points": scalar_points,
+        "num_words": num_words,
+        "error_population": error_population,
+        "vector_s_per_point": vector,
+        "scalar_s_per_point": scalar,
+        "vector_speedup": scalar / max(vector, 1e-9),
+    }
+
+
+def _check_and_save_evaluator(name, summary):
+    # The tentpole acceptance bar: the vectorised kernels must beat the
+    # scalar reference by an order of magnitude on the real evaluator.
+    # Measured ~50x on a dev box; 10x leaves headroom for CI noise.
+    assert summary["vector_speedup"] >= 10.0, (
+        "vector fast path only %.1fx the scalar reference"
+        % summary["vector_speedup"]
+    )
+    save_artifact(name, json.dumps(summary, indent=2))
+    return summary
+
+
+def test_evaluator_fast_path():
+    """Fast tier-1 path: vector evaluator >= 10x the scalar reference."""
+    summary = evaluator_bench(points=3, scalar_points=2)
+    _check_and_save_evaluator("dse_evaluator_bench.json", summary)
+
+
 def test_dse_campaign_smoke(benchmark, tmp_path):
     """Fast tier-1 path: 24 points, reduced Monte Carlo effort."""
     space = smoke_space()
@@ -462,12 +544,28 @@ def main(argv=None) -> int:
              "worker-pull vs network wall-clock on synthetic points)",
     )
     mode.add_argument(
+        "--evaluator", action="store_true",
+        help="evaluator fast-path comparison only (vectorised vs "
+             "REPRO_VAET_SCALAR=1 per-point wall-clock on the real "
+             "memory evaluator)",
+    )
+    mode.add_argument(
         "--snapshot", metavar="PATH", nargs="?", const="BENCH_dse.json",
         help="write the combined perf snapshot (journal throughput, "
-             "lease-fold cost, executor comparison) to PATH "
-             "(default: BENCH_dse.json)",
+             "lease-fold cost, executor comparison, evaluator fast "
+             "path) to PATH (default: BENCH_dse.json)",
     )
     args = parser.parse_args(argv)
+
+    if args.evaluator:
+        print("evaluator: vectorised vs scalar-reference per-point "
+              "wall-clock on the real memory evaluator")
+        summary = _check_and_save_evaluator(
+            "dse_evaluator_bench.json",
+            evaluator_bench(points=4, scalar_points=2),
+        )
+        print(json.dumps(summary, indent=2))
+        return 0
 
     if args.executors:
         print("executors: 24 sleeping points, "
@@ -481,7 +579,7 @@ def main(argv=None) -> int:
 
     if args.snapshot:
         print("snapshot: journal @ 10^4 points, lease fold @ 10^4 events, "
-              "executors on 24 sleeping points")
+              "executors on 24 sleeping points, evaluator fast path")
         snapshot = {
             "journal": _check_and_save_journal(
                 "dse_journal_bench.json",
@@ -494,6 +592,10 @@ def main(argv=None) -> int:
             "executors": _check_and_save_executors(
                 "dse_executor_bench.json",
                 executor_bench(points=24, sleep_s=0.05, workers=2),
+            ),
+            "evaluator": _check_and_save_evaluator(
+                "dse_evaluator_bench.json",
+                evaluator_bench(points=4, scalar_points=2),
             ),
         }
         with open(args.snapshot, "w", encoding="utf-8") as handle:

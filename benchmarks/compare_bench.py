@@ -1,36 +1,54 @@
-"""Compare a fresh perf snapshot against the committed baseline.
+"""Gate CI on a fresh perf snapshot against the committed baseline.
 
 CI runs ``bench_dse.py --snapshot <current>`` and then::
 
     python benchmarks/compare_bench.py BENCH_dse.json <current>
 
-to print a metric-by-metric comparison of the committed baseline
-(``BENCH_dse.json`` at the repo root) against the run that just
-happened.  The comparison is **non-gating** — shared CI runners are
-too noisy for hard perf gates; the correctness/flatness assertions
-live inside ``bench_dse.py`` itself.  Exit status is 0 whenever both
-files parse; 2 on unreadable input.
+to compare the committed baseline (``BENCH_dse.json`` at the repo
+root) against the run that just happened.  The comparison **gates**:
+any gated metric drifting more than 30% in the wrong direction fails
+the build with a one-line diff per regression.  Metrics dominated by
+shared-runner noise (process-spawn wall-clocks, legacy-replay ratios)
+are report-only.
+
+``REPRO_BENCH_NO_GATE=1`` downgrades the gate to a report (exit 0) —
+the escape hatch for known-noisy runners and for intentional
+re-baselining PRs, which should also refresh the snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_dse.py --snapshot
+
+A metric missing from either file compares as ``n/a`` and never fails
+(baselines predating a section stay usable).  Exit status: 0 clean or
+gate disabled, 1 on a gated regression, 2 on unreadable input.
 """
 
 import argparse
 import json
+import os
 import sys
 
-#: metric -> (section, direction) where direction "down" means lower
-#: is better.  Only metrics stable enough to be worth eyeballing.
+#: Wrong-direction drift beyond this fraction fails a gated metric.
+TOLERANCE = 0.30
+
+#: (section, metric, direction, gated) — direction "down" means lower
+#: is better.  Gated metrics enforce the TOLERANCE; the rest are
+#: printed for eyeballing only (executor wall-clocks pay interpreter
+#: startup and TCP round-trips, far noisier than 30% across runners).
 METRICS = [
-    ("journal", "jsonl_us_per_point_last_decile", "down"),
-    ("journal", "jsonl_flatness", "down"),
-    ("journal", "resume_load_s", "down"),
-    ("journal", "jsonl_speedup_at_tail", "up"),
-    ("lease_fold", "watermark_us_per_event_last_decile", "down"),
-    ("lease_fold", "watermark_flatness", "down"),
-    ("lease_fold", "watermark_speedup_at_tail", "up"),
-    ("lease_fold", "cold_fold_s", "down"),
-    ("executors", "serial_wall_s", "down"),
-    ("executors", "pool_speedup", "up"),
-    ("executors", "worker_pull_speedup", "up"),
-    ("executors", "network_speedup", "up"),
+    ("journal", "jsonl_us_per_point_last_decile", "down", True),
+    ("journal", "jsonl_flatness", "down", True),
+    ("journal", "resume_load_s", "down", True),
+    ("journal", "jsonl_speedup_at_tail", "up", False),
+    ("lease_fold", "watermark_us_per_event_last_decile", "down", True),
+    ("lease_fold", "watermark_flatness", "down", True),
+    ("lease_fold", "watermark_speedup_at_tail", "up", False),
+    ("lease_fold", "cold_fold_s", "down", False),
+    ("executors", "serial_wall_s", "down", False),
+    ("executors", "pool_speedup", "up", False),
+    ("executors", "worker_pull_speedup", "up", False),
+    ("executors", "network_speedup", "up", False),
+    ("evaluator", "vector_s_per_point", "down", True),
+    ("evaluator", "vector_speedup", "up", True),
 ]
 
 
@@ -39,16 +57,19 @@ def _load(path):
         with open(path, "r", encoding="utf-8") as handle:
             return json.load(handle)
     except (OSError, ValueError) as exc:
-        raise SystemExit("cannot read snapshot %s: %s" % (path, exc))
+        sys.stderr.write("cannot read snapshot %s: %s\n" % (path, exc))
+        raise SystemExit(2)
 
 
 def compare(baseline, current, out=sys.stdout):
-    width = max(len("%s.%s" % (s, m)) for s, m, _ in METRICS)
+    """Print the metric table; return one-line reports of gated regressions."""
+    regressions = []
+    width = max(len("%s.%s" % (s, m)) for s, m, _, _ in METRICS)
     out.write(
         "%-*s %14s %14s %9s\n"
         % (width, "metric", "baseline", "current", "delta")
     )
-    for section, metric, direction in METRICS:
+    for section, metric, direction, gated in METRICS:
         base = baseline.get(section, {}).get(metric)
         cur = current.get(section, {}).get(metric)
         label = "%s.%s" % (section, metric)
@@ -60,25 +81,46 @@ def compare(baseline, current, out=sys.stdout):
                 "n/a",
             ))
             continue
-        delta = (cur - base) / base * 100.0 if base else float("inf")
-        better = delta <= 0 if direction == "down" else delta >= 0
+        delta = (cur - base) / base if base else float("inf")
+        worse = delta > 0 if direction == "down" else delta < 0
+        regressed = gated and worse and abs(delta) > TOLERANCE
+        flag = "REGRESSION" if regressed else ("(worse)" if worse else "")
         out.write("%-*s %14.4g %14.4g %+8.1f%% %s\n" % (
-            width, label, base, cur, delta, "" if better else "(worse)"
+            width, label, base, cur, delta * 100.0, flag
         ))
+        if regressed:
+            regressions.append(
+                "REGRESSION %s: %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)"
+                % (label, base, cur, delta * 100.0, TOLERANCE * 100.0)
+            )
+    return regressions
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Print a non-gating baseline-vs-current perf "
-                    "snapshot comparison."
+        description="Gate a perf snapshot against the committed "
+                    "baseline (>30%% wrong-direction drift fails; "
+                    "REPRO_BENCH_NO_GATE=1 reports only)."
     )
     parser.add_argument("baseline", help="committed snapshot (BENCH_dse.json)")
     parser.add_argument("current", help="snapshot from this run")
     args = parser.parse_args(argv)
-    compare(_load(args.baseline), _load(args.current))
-    print("\n(non-gating: shared-runner noise; correctness assertions "
-          "run inside bench_dse.py)")
-    return 0
+    regressions = compare(_load(args.baseline), _load(args.current))
+    if not regressions:
+        print("\nperf gate: all gated metrics within %.0f%% of baseline"
+              % (TOLERANCE * 100.0))
+        return 0
+    print()
+    for line in regressions:
+        print(line)
+    if os.environ.get("REPRO_BENCH_NO_GATE", "") not in ("", "0"):
+        print("perf gate: DISABLED (REPRO_BENCH_NO_GATE set) — "
+              "reporting only")
+        return 0
+    print("perf gate: FAILED — rerun on a quiet machine, or refresh the "
+          "baseline via 'bench_dse.py --snapshot' if the change is "
+          "intentional (REPRO_BENCH_NO_GATE=1 skips the gate)")
+    return 1
 
 
 if __name__ == "__main__":

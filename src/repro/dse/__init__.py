@@ -84,7 +84,9 @@ from repro.dse.runner import (
     CampaignRunner,
     Progress,
     default_workers,
+    get_batch_target,
     get_target,
+    register_batch_target,
     register_target,
 )
 from repro.dse.net import (
@@ -98,6 +100,7 @@ from repro.dse.space import Axis, ParameterSpace
 from repro.dse.campaign import (
     MemoryCampaignResult,
     SystemCampaignResult,
+    evaluate_memory_batch,
     evaluate_memory_point,
     evaluate_system_point,
     explore_memory,
@@ -142,6 +145,8 @@ __all__ = [
     "SYSTEM_TARGET",
     "register_target",
     "get_target",
+    "register_batch_target",
+    "get_batch_target",
     "CampaignState",
     "campaign_key",
     "journal_path",
@@ -167,6 +172,7 @@ __all__ = [
     "run_memory_campaign",
     "run_system_campaign",
     "evaluate_memory_point",
+    "evaluate_memory_batch",
     "evaluate_system_point",
     "memory_point_spec",
     "system_point_spec",

@@ -52,7 +52,11 @@ A campaign spec is a JSON file::
 
 A spec may also carry a ``"retry"`` object (``{"max_attempts": 3,
 "backoff": 0.5}``) enabling budgeted retries with flaky-point
-quarantine; ``--retries`` / ``--backoff`` override it per run.
+quarantine; ``--retries`` / ``--backoff`` override it per run.  A
+top-level ``"batch": N`` evaluates up to N points per worker
+invocation through the batched evaluator (``--batch-size`` overrides
+it per run); batching is a scheduling hint — results and the campaign
+signature are identical to unbatched runs.
 
 ``settings`` keys are passed through to :func:`run_memory_campaign` /
 :func:`run_system_campaign` verbatim, so everything those accept
@@ -164,6 +168,13 @@ def load_spec(path: str) -> Dict:
             RetryPolicy.from_dict(spec["retry"])
         except (TypeError, ValueError) as exc:
             raise SystemExit('spec %s: bad "retry" object: %s' % (path, exc))
+    if "batch" in spec:
+        batch = spec["batch"]
+        if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+            raise SystemExit(
+                'spec %s: "batch" must be a positive integer, got %r'
+                % (path, batch)
+            )
     return spec
 
 
@@ -302,6 +313,13 @@ def _run_campaign(spec: Dict, args, resume: bool):
     settings = dict(spec.get("settings", {}))
     if args.workers is not None:
         settings["workers"] = args.workers
+    # Batch size: spec-level "batch" is the campaign's default chunk,
+    # --batch-size overrides it per run (it is a scheduling hint, not
+    # part of the campaign signature, so changing it on resume is fine).
+    if spec.get("batch") is not None:
+        settings.setdefault("batch_size", spec["batch"])
+    if getattr(args, "batch_size", None) is not None:
+        settings["batch_size"] = args.batch_size
     workers_dirs = getattr(args, "workers_dirs", None)
     if workers_dirs:
         # A typo or an unmounted share must not silently merge nothing
@@ -678,6 +696,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers-dirs", nargs="+", default=None, metavar="DIR",
             help="cache/shard directories written elsewhere to merge "
                  "into the campaign cache before running",
+        )
+        command.add_argument(
+            "--batch-size", type=_positive_int, default=None, metavar="N",
+            help="evaluate up to N points per worker invocation "
+                 "(overrides the spec's \"batch\"; results are "
+                 "identical to unbatched runs)",
         )
 
     run = sub.add_parser("run", help="run a campaign (resumably)")

@@ -53,6 +53,7 @@ from repro.dse.runner import (
     SYSTEM_TARGET,
     CampaignRunner,
     ProgressCallback,
+    register_batch_target,
     register_target,
 )
 from repro.dse.space import ParameterSpace
@@ -81,25 +82,16 @@ def _json_value(value):
 # -- evaluators (run inside workers) ------------------------------------
 
 
-def evaluate_memory_point(spec: Mapping, seed: int) -> Dict:
-    """Evaluate one memory-level design point from its spec.
-
-    Args:
-        spec: See :func:`memory_point_spec`.
-        seed: Runner-derived content seed, used when the spec's own
-            ``seed`` is None (campaign mode); an explicit spec seed wins
-            (legacy sweeps pin 2018 for bit-identical tables).
-
-    Returns:
-        ``{"feasible": bool, "point": DesignPoint dict | None}``.
-    """
+def _evaluate_memory(spec: Mapping, seed: int, pdk=None) -> Dict:
+    """The memory-point evaluation body, with an optional shared PDK."""
     from repro.nvsim.config import MemoryConfig
     from repro.pdk.kit import ProcessDesignKit
     from repro.vaet.explorer import DesignConstraints, DesignSpaceExplorer
 
     config = MemoryConfig.from_dict(spec["config"])
     constraints = DesignConstraints.from_dict(spec["constraints"])
-    pdk = ProcessDesignKit.for_node(int(spec["node_nm"]))
+    if pdk is None:
+        pdk = ProcessDesignKit.for_node(int(spec["node_nm"]))
     explorer = DesignSpaceExplorer(
         pdk,
         config,
@@ -114,6 +106,51 @@ def evaluate_memory_point(spec: Mapping, seed: int) -> Dict:
     if point is None:
         return {"feasible": False, "point": None}
     return {"feasible": True, "point": point.to_dict()}
+
+
+def evaluate_memory_point(spec: Mapping, seed: int) -> Dict:
+    """Evaluate one memory-level design point from its spec.
+
+    Args:
+        spec: See :func:`memory_point_spec`.
+        seed: Runner-derived content seed, used when the spec's own
+            ``seed`` is None (campaign mode); an explicit spec seed wins
+            (legacy sweeps pin 2018 for bit-identical tables).
+
+    Returns:
+        ``{"feasible": bool, "point": DesignPoint dict | None}``.
+    """
+    return _evaluate_memory(spec, seed)
+
+
+def evaluate_memory_batch(
+    specs: Sequence[Mapping], seeds: Sequence[int]
+) -> List[Tuple]:
+    """Batched twin of :func:`evaluate_memory_point`.
+
+    Evaluates a chunk of points in one worker invocation, sharing the
+    :class:`~repro.pdk.kit.ProcessDesignKit` per node across the chunk
+    (PDK construction re-derives the whole hybrid model and dominates
+    small-point overhead).  Each point keeps its own failure isolation:
+    the returned list holds one ``(ok, result, error, elapsed)``
+    outcome per point, identical to what the scalar path would produce
+    for the same ``(spec, seed)``.
+    """
+    from repro.dse.runner import isolated_call
+    from repro.pdk.kit import ProcessDesignKit
+
+    pdks: Dict[int, object] = {}
+
+    def evaluate(spec: Mapping, seed: int) -> Dict:
+        node = int(spec["node_nm"])
+        if node not in pdks:
+            pdks[node] = ProcessDesignKit.for_node(node)
+        return _evaluate_memory(spec, seed, pdks[node])
+
+    return [
+        isolated_call(evaluate, spec, seed)
+        for spec, seed in zip(specs, seeds)
+    ]
 
 
 def evaluate_system_point(spec: Mapping, seed: int) -> Dict:
@@ -144,6 +181,7 @@ def evaluate_system_point(spec: Mapping, seed: int) -> Dict:
 
 register_target(MEMORY_TARGET, evaluate_memory_point)
 register_target(SYSTEM_TARGET, evaluate_system_point)
+register_batch_target(MEMORY_TARGET, evaluate_memory_batch)
 
 
 # -- spec builders ------------------------------------------------------
@@ -443,6 +481,7 @@ def explore_memory(
     objectives: Sequence[ObjectiveSpec] = ("edp_proxy",),
     retry: Optional[RetryPolicy] = None,
     progress: Optional[ProgressCallback] = None,
+    batch_size: Optional[int] = None,
 ) -> MemoryCampaignResult:
     """Run a memory-level (VAET-STT) campaign over a parameter space.
 
@@ -479,13 +518,20 @@ def explore_memory(
         progress: Per-point streaming callback (one
             :class:`~repro.dse.runner.Progress` snapshot per completed
             point; adaptive campaigns restart the count each round).
+        batch_size: Evaluate up to this many points per worker
+            invocation through the batched memory evaluator (the PDK
+            is shared across each chunk).  Scheduling hint only —
+            results, cache keys and seeds are identical to unbatched
+            runs.  Ignored when a pre-built ``runner`` is passed.
     """
     if sampler not in SAMPLERS:
         raise ValueError("unknown sampler %r; known: %s" % (sampler, SAMPLERS))
     base_config, constraints = _memory_settings(base_config, constraints)
     if runner is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
-        runner = CampaignRunner(workers=workers, cache=cache)
+        runner = CampaignRunner(
+            workers=workers, cache=cache, batch_size=batch_size
+        )
 
     def build_jobs(points):
         return _memory_jobs(
@@ -537,6 +583,7 @@ def run_memory_campaign(
     executor=None,
     executor_options: Optional[Dict] = None,
     workers_dirs: Optional[Sequence[str]] = None,
+    batch_size: Optional[int] = None,
 ) -> MemoryCampaignResult:
     """Resumable :func:`explore_memory`: cache + journal in a directory.
 
@@ -575,6 +622,12 @@ def run_memory_campaign(
         workers_dirs: Cache/shard directories written elsewhere (e.g.
             by workers without access to this directory) to merge into
             the campaign cache before running.
+        batch_size: Evaluate up to this many points per worker
+            invocation (every executor honours it: pool workers chunk,
+            pull/network workers lease chunks).  Like the executor, it
+            changes *how* points evaluate, never the journal format,
+            the campaign signature, or the results — a resumed
+            campaign may freely change it.
         (Remaining arguments are as in :func:`explore_memory`.)
     """
     if sampler not in SAMPLERS:
@@ -599,7 +652,9 @@ def run_memory_campaign(
     engine, owns_executor = _campaign_executor(
         executor, campaign_dir, workers, executor_options
     )
-    runner = CampaignRunner(workers=workers, cache=cache, executor=engine)
+    runner = CampaignRunner(
+        workers=workers, cache=cache, executor=engine, batch_size=batch_size
+    )
     journal = journal_path(campaign_dir, prefer_existing=resume)
 
     def build_jobs(points):
@@ -854,6 +909,7 @@ def run_system_campaign(
     executor=None,
     executor_options: Optional[Dict] = None,
     workers_dirs: Optional[Sequence[str]] = None,
+    batch_size: Optional[int] = None,
 ) -> SystemCampaignResult:
     """Resumable :func:`explore_system`: cache + journal in a directory.
 
@@ -883,7 +939,9 @@ def run_system_campaign(
     engine, owns_executor = _campaign_executor(
         executor, campaign_dir, workers, executor_options
     )
-    runner = CampaignRunner(workers=workers, cache=cache, executor=engine)
+    runner = CampaignRunner(
+        workers=workers, cache=cache, executor=engine, batch_size=batch_size
+    )
     jobs = _system_jobs(flow, cells)
     journal = journal_path(campaign_dir, prefer_existing=resume)
     state = CampaignState.open(

@@ -43,11 +43,18 @@ class Job:
             excluded from the content key — a retried point keeps its
             cache address and journal identity — but folded into the
             derived RNG seed so each retry samples a fresh stream.
+        batch_size: Scheduling hint: executors may evaluate up to this
+            many same-target jobs per worker invocation (amortising
+            per-point setup and dispatch).  Like ``reseed``, excluded
+            from the content key — batching changes *how* a point is
+            evaluated, never what it is — and it does not feed the
+            seed, so batched and unbatched runs draw identical streams.
     """
 
     target: str
     spec: Mapping
     reseed: int = 0
+    batch_size: int = 0
 
     def __post_init__(self) -> None:
         # Freeze the key eagerly: it validates the spec is hashable

@@ -15,6 +15,7 @@ op          request fields                             reply fields
 hello       worker, version                            ok, server, version
 lease       worker                                     ok, task {task,key,
                                                        target,spec,seed,ttl}
+                                                       | tasks [task, ...]
                                                        | idle | stop
 heartbeat   worker, task                               ok
 result      worker, task, outcome [ok,result,          ok [, stale]
@@ -23,6 +24,12 @@ status      —                                          ok, pending, leased,
                                                        results, workers,
                                                        stopping
 ==========  =========================================  ======================
+
+A ``tasks`` lease reply is a batched lease: the server claimed a whole
+chunk (tasks published with a ``"batch"`` hint) in one round trip; the
+worker evaluates the chunk together and uploads one ``result`` per
+task.  Version 2 added it — v1 workers would reject the unknown reply
+op, so the hello version check keeps mixed deployments out.
 """
 
 import json
@@ -31,7 +38,7 @@ import socket
 import threading
 from typing import Dict, Optional, Tuple
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Default server port (--port on ``serve``/``worker``/``supervise``).
 DEFAULT_PORT = 7741

@@ -1,7 +1,7 @@
 """The network worker client: lease over TCP, evaluate, stream back.
 
 The network twin of :func:`repro.dse.executors.run_worker`: same
-evaluation entry (:func:`repro.dse.runner.execute_task`), same
+evaluation entry (:func:`repro.dse.runner.execute_batch_tasks`), same
 wind-down conditions (server ``stop`` reply, ``idle_timeout``,
 ``once``, ``max_tasks``) — but every queue interaction is a
 request/reply to the campaign server instead of a filesystem
@@ -25,22 +25,28 @@ from repro.dse.net.protocol import (
     ProtocolError,
     parse_connect,
 )
-from repro.dse.runner import execute_task
+from repro.dse.runner import execute_batch_tasks
 
 
 class _NetHeartbeat:
-    """Beat a leased task over the shared connection while evaluating.
+    """Beat leased task(s) over the shared connection while evaluating.
 
     Requests are lock-paired on the connection, so beats interleave
     safely with nothing (the main thread is busy evaluating).  A beat
     that fails is swallowed: the main loop notices the dead connection
     when it reports the result, and at worst the lease expires — which
-    only risks a benign duplicate evaluation, never a lost one.
+    only risks a benign duplicate evaluation, never a lost one.  A
+    batch-leasing worker passes its whole chunk; one thread keeps every
+    lease in it alive.
     """
 
-    def __init__(self, conn: Connection, worker: str, task: str, ttl: float):
+    def __init__(self, conn: Connection, worker: str, task, ttl: float):
         self._conn = conn
-        self._message = {"op": "heartbeat", "worker": worker, "task": task}
+        tasks = [task] if isinstance(task, str) else list(task)
+        self._messages = [
+            {"op": "heartbeat", "worker": worker, "task": tid}
+            for tid in tasks
+        ]
         self._ttl = float(ttl)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
@@ -48,10 +54,11 @@ class _NetHeartbeat:
 
     def _run(self) -> None:
         while not self._stop.wait(self._ttl / 3.0):
-            try:
-                self._conn.request(self._message)
-            except (OSError, ProtocolError):
-                pass
+            for message in self._messages:
+                try:
+                    self._conn.request(message)
+                except (OSError, ProtocolError):
+                    pass
 
     def stop(self) -> None:
         self._stop.set()
@@ -95,7 +102,7 @@ def run_network_worker(
     conn = Connection(host, port)
     evaluated = 0
     idle_since = time.monotonic()
-    unreported = None  # (tid, outcome) held across reconnects
+    unreported = []  # [(tid, outcome), ...] held across reconnects
     disconnected_since: Optional[float] = None
     wait = backoff
     try:
@@ -131,15 +138,18 @@ def run_network_worker(
                 disconnected_since = None
                 wait = backoff
             try:
-                if unreported is not None:
-                    tid, outcome = unreported
-                    conn.request({
-                        "op": "result",
-                        "worker": worker,
-                        "task": tid,
-                        "outcome": list(outcome),
-                    })
-                    unreported = None
+                if unreported:
+                    # Deliver oldest-first; a drop mid-drain keeps the
+                    # undelivered tail for the next (re)connection.
+                    while unreported:
+                        tid, outcome = unreported[0]
+                        conn.request({
+                            "op": "result",
+                            "worker": worker,
+                            "task": tid,
+                            "outcome": list(outcome),
+                        })
+                        unreported.pop(0)
                     continue
                 if max_tasks is not None and evaluated >= max_tasks:
                     break
@@ -162,19 +172,32 @@ def run_network_worker(
                     break
                 time.sleep(poll)
                 continue
-            if op != "task":
+            if op == "task":
+                tasks = [reply["task"]]
+            elif op == "tasks":
+                # A batched lease: a whole same-chunk of tasks in one
+                # round trip (see CampaignServer._op_lease).
+                tasks = list(reply["tasks"])
+                if not tasks:
+                    raise ProtocolError("empty batched lease reply")
+            else:
                 raise ProtocolError("unexpected lease reply op %r" % (op,))
-            task = reply["task"]
             idle_since = time.monotonic()
             heartbeat = _NetHeartbeat(
-                conn, worker, task["task"], float(task.get("ttl", 30.0))
+                conn,
+                worker,
+                [task["task"] for task in tasks],
+                float(tasks[0].get("ttl", 30.0)),
             )
             try:
-                outcome = execute_task(task)
+                outcomes = execute_batch_tasks(tasks)
             finally:
                 heartbeat.stop()
-            evaluated += 1
-            unreported = (task["task"], outcome)
+            evaluated += len(tasks)
+            unreported.extend(
+                (task["task"], outcome)
+                for task, outcome in zip(tasks, outcomes)
+            )
     finally:
         conn.close()
     return evaluated

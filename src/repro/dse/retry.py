@@ -23,7 +23,7 @@ on a reseeded attempt or land in quarantine instead of silently
 poisoning the campaign.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.dse.jobs import Job
@@ -92,6 +92,7 @@ class RetryPolicy:
         """The job to submit for the invocation after ``attempts`` tries.
 
         Same target/spec (and therefore the same content key and cache
-        address) but a distinct, deterministic RNG stream.
+        address) but a distinct, deterministic RNG stream.  Scheduling
+        hints (``batch_size``) ride along unchanged.
         """
-        return Job(job.target, job.spec, reseed=attempts)
+        return replace(job, reseed=attempts)

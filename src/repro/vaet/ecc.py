@@ -101,16 +101,7 @@ class ECCAnalysis:
 
     def _pulse_for_per_bit_wer(self, per_bit: float) -> float:
         """Invert the population-mean per-cell WER for a pulse width."""
-        cells = self.analysis.cells
-        rates = self.analysis._rates
-
-        def mean_wer(pulse: float) -> float:
-            import numpy as np
-
-            envelope = (math.pi ** 2) * cells.delta / 4.0
-            per_cell = envelope * np.exp(-2.0 * rates * pulse)
-            per_cell = np.where(rates > 0.0, np.minimum(per_cell, 1.0), 1.0)
-            return float(np.mean(per_cell))
+        mean_wer = self.analysis.mean_cell_wer
 
         floor = mean_wer(1.0)  # 1 s pulse: only stuck cells remain.
         if per_bit <= floor:

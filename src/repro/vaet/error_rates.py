@@ -22,10 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy import optimize
+from scipy.special import ndtr
 
 from repro.nvsim.subarray import SENSE_MARGIN
 from repro.vaet.montecarlo import MonteCarloEngine
-from repro.vaet.variation_model import CellSamples
+from repro.vaet.variation_model import CellSamples, scalar_reference_enabled
 
 
 @dataclass(frozen=True)
@@ -68,24 +69,76 @@ class ErrorRateAnalysis:
         self.cells: CellSamples = engine.variation.sample_cells(rng, population)
         self._rates = engine.variation.switching_rates(self.cells)
         self._signals = engine.variation.read_signal_currents(self.cells)
+        # Pulse-independent factors, hoisted so the margin solvers (tens
+        # of word_wer/word_rer evaluations per brentq call) only pay for
+        # one exp/ndtr pass over the population per iteration.
+        self._switching = self._rates > 0.0
+        self._stuck_fraction = float(np.mean(self._rates <= 0.0))
+        self._envelope = (math.pi ** 2) * self.cells.delta / 4.0
+        self._nominal_signal = float(np.median(self._signals))
+        cdv = engine.leaf.sense.develop_time * self._nominal_signal
+        # C such that t_nom develops dV across the nominal cell.
+        self._capacitance_equiv = cdv / SENSE_MARGIN
+        self._developed_per_second = self._signals / self._capacitance_equiv
 
     # -- writes -------------------------------------------------------
 
-    def word_wer(self, pulse_width: float) -> float:
-        """Expected per-word WER at a per-phase pulse width.
+    def mean_cell_wer(self, pulse_width: float) -> float:
+        """Population-mean per-cell WER (no word union bound).
 
-        Population-averaged per-cell WER, union-bounded over the word.
-        Cells with zero precessional rate (delivered current below
-        I_c0) contribute WER 1 — they dominate once the sampled
-        population is large enough to contain them.
+        The shared write-error kernel: cells with zero precessional
+        rate (delivered current below I_c0) contribute WER 1 — they
+        dominate once the sampled population is large enough to contain
+        them.  Also the per-bit WER the ECC layer budgets against.
         """
         if pulse_width <= 0.0:
             return 1.0
-        envelope = (math.pi ** 2) * self.cells.delta / 4.0
-        per_cell = envelope * np.exp(-2.0 * self._rates * pulse_width)
-        per_cell = np.where(self._rates > 0.0, np.minimum(per_cell, 1.0), 1.0)
-        mean_wer = float(np.mean(per_cell))
+        if scalar_reference_enabled():
+            return self._mean_cell_wer_scalar(pulse_width)
+        per_cell = self._envelope * np.exp(-2.0 * self._rates * pulse_width)
+        per_cell = np.where(self._switching, np.minimum(per_cell, 1.0), 1.0)
+        return float(np.mean(per_cell))
+
+    def _mean_cell_wer_scalar(self, pulse_width: float) -> float:
+        """Reference kernel: one cell at a time (``REPRO_VAET_SCALAR``)."""
+        terms = []
+        for envelope, rate, switching in zip(
+            self._envelope, self._rates, self._switching
+        ):
+            if switching:
+                terms.append(min(envelope * math.exp(-2.0 * rate * pulse_width), 1.0))
+            else:
+                terms.append(1.0)
+        return math.fsum(terms) / len(terms)
+
+    def word_wer(self, pulse_width) -> float:
+        """Expected per-word WER at a per-phase pulse width.
+
+        Population-averaged per-cell WER, union-bounded over the word.
+        Accepts a scalar pulse width (returns a float) or an array of
+        pulse widths (returns an array, one WER per pulse — the batch
+        fast path evaluates the whole sweep in one broadcast).
+        """
+        if np.ndim(pulse_width) > 0:
+            return self._word_wer_batch(np.asarray(pulse_width, dtype=float))
+        mean_wer = self.mean_cell_wer(float(pulse_width))
         return min(1.0, max(mean_wer * self.engine.word_bits, 1e-300))
+
+    def _word_wer_batch(self, pulse_widths: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`word_wer` over an array of pulse widths."""
+        pulses = pulse_widths[:, None]
+        per_cell = self._envelope[None, :] * np.exp(
+            -2.0 * self._rates[None, :] * pulses
+        )
+        per_cell = np.where(
+            self._switching[None, :], np.minimum(per_cell, 1.0), 1.0
+        )
+        mean_wer = np.where(
+            pulse_widths > 0.0, np.mean(per_cell, axis=1), 1.0
+        )
+        return np.minimum(
+            1.0, np.maximum(mean_wer * self.engine.word_bits, 1e-300)
+        )
 
     def write_margin(self, wer_target: float) -> WriteMarginResult:
         """Solve the pulse width for a per-word WER target.
@@ -97,7 +150,7 @@ class ErrorRateAnalysis:
         """
         if not 0.0 < wer_target < 1.0:
             raise ValueError("WER target must be in (0, 1)")
-        floor = float(np.mean(self._rates <= 0.0)) * self.engine.word_bits
+        floor = self._stuck_fraction * self.engine.word_bits
         if wer_target <= floor:
             raise ValueError(
                 "WER target %.1e below the stuck-cell floor %.1e; "
@@ -115,24 +168,44 @@ class ErrorRateAnalysis:
 
     # -- reads ----------------------------------------------------------
 
-    def word_rer(self, sense_time: float, offset_sigma: float = None) -> float:
+    def word_rer(self, sense_time, offset_sigma: float = None) -> float:
         """Expected per-word RER for a given development time.
 
         The developed differential of bit i is I_i * t / C; it must beat
         a Gaussian latch offset.  RER_bit = Q((I_i t / C - 0) / sigma_os)
         ... evaluated per sampled cell and union-bounded over the word.
+        Accepts a scalar sense time (returns a float) or an array of
+        sense times (returns an array, one RER per time).
         """
+        sigma = offset_sigma if offset_sigma is not None else SENSE_MARGIN / 3.0
+        if np.ndim(sense_time) > 0:
+            return self._word_rer_batch(np.asarray(sense_time, dtype=float), sigma)
         if sense_time <= 0.0:
             return 1.0
-        nominal_signal = float(np.median(self._signals))
-        cdv = self.engine.leaf.sense.develop_time * nominal_signal
-        capacitance_equiv = cdv / SENSE_MARGIN  # C such that t_nom develops dV.
-        developed = self._signals * sense_time / capacitance_equiv
-        sigma = offset_sigma if offset_sigma is not None else SENSE_MARGIN / 3.0
-        from scipy.stats import norm
-
-        per_cell = norm.sf(developed / sigma)
+        if scalar_reference_enabled():
+            return self._word_rer_scalar(float(sense_time), sigma)
+        # ndtr(-x) is scipy's own norm.sf(x) without the distribution
+        # dispatch overhead (stats._norm_sf(x) = _norm_cdf(-x)).
+        per_cell = ndtr(-(self._developed_per_second * sense_time / sigma))
         return min(1.0, float(np.mean(per_cell)) * self.engine.word_bits)
+
+    def _word_rer_scalar(self, sense_time: float, sigma: float) -> float:
+        """Reference kernel: one cell at a time (``REPRO_VAET_SCALAR``)."""
+        terms = [
+            float(ndtr(-(developed * sense_time / sigma)))
+            for developed in self._developed_per_second
+        ]
+        mean_rer = math.fsum(terms) / len(terms)
+        return min(1.0, mean_rer * self.engine.word_bits)
+
+    def _word_rer_batch(self, sense_times: np.ndarray, sigma: float) -> np.ndarray:
+        """Vectorised :meth:`word_rer` over an array of sense times."""
+        developed = self._developed_per_second[None, :] * sense_times[:, None]
+        per_cell = ndtr(-(developed / sigma))
+        mean_rer = np.where(
+            sense_times > 0.0, np.mean(per_cell, axis=1), 1.0
+        )
+        return np.minimum(1.0, mean_rer * self.engine.word_bits)
 
     def read_margin(self, rer_target: float) -> ReadMarginResult:
         """Solve the sense time for a per-word RER target."""

@@ -163,19 +163,21 @@ class DesignSpaceExplorer:
         estimate = tool.estimate(num_words=self.num_words)
         ecc = tool.ecc()
         constraints = self.constraints
+        # The read margin and the disturb budget do not depend on the
+        # ECC strength — solve them once, outside the t sweep.
+        try:
+            read = tool.error_rates().read_margin(constraints.rer_target)
+        except ValueError:
+            return None
+        disturb = tool.read_disturb()
+        period_cap = disturb.max_read_period(constraints.disturb_budget)
+        disturb_ok = read.sense_time <= period_cap
         best: Optional[DesignPoint] = None
         for t in range(constraints.max_ecc_bits + 1):
             try:
                 point = ecc.point(t, constraints.wer_target)
             except ValueError:
                 continue
-            try:
-                read = tool.error_rates().read_margin(constraints.rer_target)
-            except ValueError:
-                continue
-            disturb = tool.read_disturb()
-            period_cap = disturb.max_read_period(constraints.disturb_budget)
-            disturb_ok = read.sense_time <= period_cap
             area = estimate.nominal.area * (1.0 + point.storage_overhead)
             candidate = DesignPoint(
                 config=config,

@@ -1,0 +1,477 @@
+"""Campaign batching: chunked scheduling, fallback semantics, leasing.
+
+``batch_size`` is a *scheduling hint*: it may change how many points a
+worker evaluates per invocation (and how many tasks a pull/network
+worker leases per round trip), but never the content keys, the seeds,
+the cache addresses, or the results.  These tests pin that contract on
+every layer — chunking, the batch-target registry and its fallbacks,
+the resumable campaign on all four executors, and the CLI wiring.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.dse import (
+    SELFTEST_TARGET,
+    CampaignRunner,
+    CampaignState,
+    Job,
+    NetworkExecutor,
+    ProcessPoolExecutor,
+    ResultCache,
+    RetryPolicy,
+    SerialExecutor,
+    WorkerPullExecutor,
+    WorkQueue,
+    campaign_key,
+    evaluate_memory_batch,
+    evaluate_memory_point,
+    get_batch_target,
+    pareto_front,
+    register_batch_target,
+    register_target,
+    run_checkpointed,
+    run_network_worker,
+    run_worker,
+)
+from repro.dse.executors import _chunk_jobs
+from repro.dse.runner import _execute_batch, isolated_call
+
+KEY = campaign_key({"kind": "batch-equivalence"})
+
+EXECUTORS = ("serial", "pool", "worker-pull", "network")
+
+STATUS_FIELDS = ("total", "done", "failed", "remaining")
+
+
+def _jobs(points=7, batch_size=0, **extra):
+    return [
+        Job(
+            SELFTEST_TARGET,
+            dict({"x": i}, **extra),
+            batch_size=batch_size,
+        )
+        for i in range(points)
+    ]
+
+
+def _summary(outcomes):
+    return [
+        (o.ok, o.result, (o.error or "").splitlines()[:1]) for o in outcomes
+    ]
+
+
+def _records(outcomes):
+    return [
+        {"value": o.result["value"], "cost": o.result["cost"]}
+        for o in outcomes
+        if o.ok
+    ]
+
+
+class TestChunking:
+    def test_hinted_jobs_chunk_to_capacity(self):
+        chunks = _chunk_jobs(_jobs(7, batch_size=3))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 1]
+
+    def test_unhinted_jobs_stay_singletons(self):
+        chunks = _chunk_jobs(_jobs(4))
+        assert [len(chunk) for chunk in chunks] == [1, 1, 1, 1]
+
+    def test_batch_of_one_is_a_singleton(self):
+        chunks = _chunk_jobs(_jobs(3, batch_size=1))
+        assert [len(chunk) for chunk in chunks] == [1, 1, 1]
+
+    def test_mixed_targets_break_chunks(self):
+        jobs = _jobs(2, batch_size=4) + [
+            Job("other-target", {"x": 9}, batch_size=4)
+        ] + _jobs(2, batch_size=4)
+        chunks = _chunk_jobs(jobs)
+        assert [len(chunk) for chunk in chunks] == [2, 1, 2]
+        assert all(
+            len({job.target for job in chunk}) == 1 for chunk in chunks
+        )
+
+    def test_first_job_of_chunk_sets_capacity(self):
+        jobs = [Job(SELFTEST_TARGET, {"x": i}, batch_size=2) for i in range(2)]
+        jobs += [Job(SELFTEST_TARGET, {"x": 9}, batch_size=5)]
+        chunks = _chunk_jobs(jobs)
+        assert [len(chunk) for chunk in chunks] == [2, 1]
+
+
+class TestJobIdentity:
+    def test_batch_size_excluded_from_key_and_seed(self):
+        plain = Job(SELFTEST_TARGET, {"x": 1})
+        hinted = Job(SELFTEST_TARGET, {"x": 1}, batch_size=8)
+        assert plain.key == hinted.key
+        assert plain.seed == hinted.seed
+
+    def test_retry_reseed_preserves_batch_size(self):
+        policy = RetryPolicy(max_attempts=3)
+        job = Job(SELFTEST_TARGET, {"x": 1}, batch_size=4)
+        retried = policy.reseed(job, attempts=1)
+        assert retried.reseed == 1
+        assert retried.batch_size == 4
+        assert retried.key == job.key
+
+    def test_task_file_records_batch_hint(self, tmp_path):
+        queue = WorkQueue(str(tmp_path))
+        queue.ensure()
+        hinted_job = Job(SELFTEST_TARGET, {"x": 0}, batch_size=3)
+        hinted = queue.read_task(queue.publish(hinted_job))
+        assert hinted["batch"] == 3
+        plain = queue.read_task(queue.publish(Job(SELFTEST_TARGET, {"x": 1})))
+        assert "batch" not in plain
+
+
+class TestBatchRegistry:
+    def test_selftest_has_no_batch_twin(self):
+        assert get_batch_target(SELFTEST_TARGET) is None
+
+    def test_memory_twin_registered(self):
+        from repro.dse import MEMORY_TARGET
+
+        assert get_batch_target(MEMORY_TARGET) is evaluate_memory_batch
+
+    def test_unknown_target_returns_none(self):
+        assert get_batch_target("no-such-target") is None
+
+    def test_isolated_call_matches_execute_error_format(self):
+        ok, result, error, elapsed = isolated_call(
+            lambda spec, seed: spec["x"] * 2, {"x": 4}, 0
+        )
+        assert (ok, result, error) == (True, 8, None)
+        assert elapsed >= 0.0
+
+        def boom(spec, seed):
+            raise ValueError("bad point")
+
+        ok, result, error, elapsed = isolated_call(boom, {"x": 4}, 0)
+        assert not ok and result is None
+        assert error.startswith("ValueError: bad point")
+        assert "Traceback" in error
+
+
+class _BatchProbe:
+    """A target + batch twin pair that records how it was invoked."""
+
+    def __init__(self, name, mode="ok"):
+        self.name = name
+        self.mode = mode
+        self.batch_calls = []
+        register_target(name, self.scalar)
+        register_batch_target(name, self.batch)
+
+    def scalar(self, spec, seed):
+        if spec.get("fail"):
+            raise RuntimeError("scalar failure x=%d" % spec["x"])
+        return {"value": spec["x"] * 2, "seed": seed}
+
+    def batch(self, specs, seeds):
+        self.batch_calls.append(len(specs))
+        if self.mode == "raise":
+            raise RuntimeError("batch twin exploded")
+        if self.mode == "short":
+            return [(True, {"value": 0}, None, 0.0)]  # wrong length
+        return [
+            isolated_call(self.scalar, spec, seed)
+            for spec, seed in zip(specs, seeds)
+        ]
+
+
+class TestBatchExecution:
+    def _run(self, probe, points=7, batch_size=3, **extra):
+        jobs = [
+            Job(probe.name, dict({"x": i}, **extra)) for i in range(points)
+        ]
+        batched = CampaignRunner(workers=1, batch_size=batch_size).run(jobs)
+        reference = CampaignRunner(workers=1).run(jobs)
+        return batched, reference
+
+    def test_batched_results_identical_to_scalar(self):
+        probe = _BatchProbe("batch-probe-ok")
+        batched, reference = self._run(probe)
+        assert _summary(batched) == _summary(reference)
+        # Two full chunks went through the twin; the trailing singleton
+        # takes the scalar path by design.
+        assert probe.batch_calls == [3, 3]
+
+    def test_twin_exception_falls_back_to_scalar(self):
+        probe = _BatchProbe("batch-probe-raise", mode="raise")
+        batched, reference = self._run(probe)
+        assert _summary(batched) == _summary(reference)
+        assert all(o.ok for o in batched)
+
+    def test_wrong_length_falls_back_to_scalar(self):
+        probe = _BatchProbe("batch-probe-short", mode="short")
+        batched, reference = self._run(probe)
+        assert _summary(batched) == _summary(reference)
+
+    def test_per_point_isolation_inside_batch(self):
+        probe = _BatchProbe("batch-probe-isolated")
+        jobs = [
+            Job(probe.name, {"x": i, "fail": 1 if i == 1 else 0})
+            for i in range(3)
+        ]
+        outcomes = CampaignRunner(workers=1, batch_size=3).run(jobs)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "scalar failure x=1" in outcomes[1].error
+
+    def test_execute_batch_empty_payload(self):
+        assert _execute_batch([]) == []
+
+    def test_runner_rejects_negative_batch_size(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(batch_size=-1)
+
+    def test_pool_executor_batches_identically(self):
+        probe = _BatchProbe("batch-probe-pool")
+        jobs = [Job(probe.name, {"x": i}) for i in range(6)]
+        reference = CampaignRunner(workers=1).run(jobs)
+        pool = CampaignRunner(
+            workers=2,
+            executor=ProcessPoolExecutor(workers=2),
+            batch_size=2,
+        )
+        assert _summary(pool.run(jobs)) == _summary(reference)
+
+    def test_cache_addresses_unchanged_by_batching(self, tmp_path):
+        probe = _BatchProbe("batch-probe-cache")
+        jobs = [Job(probe.name, {"x": i}) for i in range(4)]
+        cache = ResultCache(str(tmp_path / "cache"))
+        cold = CampaignRunner(workers=1, cache=cache, batch_size=2).run(jobs)
+        assert not any(o.from_cache for o in cold)
+        # An *unbatched* runner over the same cache must replay every
+        # point: batching did not move the cache keys.
+        warm = CampaignRunner(workers=1, cache=cache).run(jobs)
+        assert all(o.from_cache for o in warm)
+        assert [o.result for o in warm] == [o.result for o in cold]
+
+
+class ExecutorHarness:
+    """One campaign directory wired to one executor implementation."""
+
+    def __init__(self, name, campaign_dir):
+        self.name = name
+        self.campaign_dir = str(campaign_dir)
+        self.threads = []
+        if name == "serial":
+            self.executor = SerialExecutor()
+        elif name == "pool":
+            self.executor = ProcessPoolExecutor(workers=2)
+        elif name == "worker-pull":
+            self.executor = WorkerPullExecutor(
+                self.campaign_dir, lease_ttl=10.0, poll=0.005, timeout=60
+            )
+            thread = threading.Thread(
+                target=run_worker,
+                args=(self.campaign_dir,),
+                kwargs=dict(worker_id="batcher", lease_ttl=10.0, poll=0.005),
+                daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+        elif name == "network":
+            self.executor = NetworkExecutor(
+                self.campaign_dir, lease_ttl=10.0, poll=0.005, timeout=60
+            )
+            thread = threading.Thread(
+                target=run_network_worker,
+                args=(self.executor.address,),
+                kwargs=dict(
+                    worker_id="batcher", poll=0.005, backoff=0.05,
+                    reconnect_timeout=20.0,
+                ),
+                daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+        else:  # pragma: no cover - parametrisation bug
+            raise ValueError(name)
+
+    def runner(self, batch_size):
+        cache = ResultCache(os.path.join(self.campaign_dir, "cache"))
+        return CampaignRunner(
+            workers=2, cache=cache, executor=self.executor,
+            batch_size=batch_size,
+        )
+
+    def state(self, total):
+        path = os.path.join(self.campaign_dir, "journal.jsonl")
+        return CampaignState.open(path, KEY, total=total)
+
+    def close(self):
+        self.executor.close()
+        for thread in self.threads:
+            thread.join(timeout=30)
+        assert all(not t.is_alive() for t in self.threads)
+
+
+@pytest.fixture(params=EXECUTORS)
+def harness(request, tmp_path):
+    instance = ExecutorHarness(request.param, tmp_path / "camp")
+    yield instance
+    instance.close()
+
+
+class TestExecutorEquivalence:
+    """Batched campaigns match the unbatched serial reference everywhere.
+
+    The acceptance bar of the batching tentpole: same records, same
+    status, same Pareto front for identical seeds on all four
+    executors, with chunk leasing live on worker-pull and network.
+    """
+
+    def test_batched_campaign_matches_unbatched_reference(
+        self, harness, tmp_path
+    ):
+        jobs = _jobs(7)
+        ref_dir = tmp_path / "reference"
+        ref_runner = CampaignRunner(
+            workers=1, cache=ResultCache(str(ref_dir / "cache"))
+        )
+        ref_state = CampaignState.open(
+            str(ref_dir / "journal.jsonl"), KEY, total=len(jobs)
+        )
+        reference = run_checkpointed(jobs, ref_runner, ref_state)
+
+        outcomes = run_checkpointed(
+            jobs, harness.runner(batch_size=3), harness.state(len(jobs))
+        )
+        assert _summary(outcomes) == _summary(reference)
+        assert _records(outcomes) == _records(reference)
+        assert pareto_front(
+            _records(outcomes), ("value", "cost")
+        ) == pareto_front(_records(reference), ("value", "cost"))
+
+        reloaded = CampaignState.load(
+            os.path.join(harness.campaign_dir, "journal.jsonl")
+        )
+        ref_status = ref_state.status()
+        status = reloaded.status()
+        assert {f: status[f] for f in STATUS_FIELDS} == {
+            f: ref_status[f] for f in STATUS_FIELDS
+        }
+
+    def test_each_point_evaluated_exactly_once(
+        self, harness, tmp_path, monkeypatch
+    ):
+        scratch = tmp_path / "invocations"
+        monkeypatch.setenv("REPRO_DSE_SELFTEST_DIR", str(scratch))
+        jobs = _jobs(6, count=True)
+        outcomes = run_checkpointed(
+            jobs, harness.runner(batch_size=2), harness.state(len(jobs))
+        )
+        assert all(o.ok for o in outcomes)
+        counts = {
+            marker.name: marker.stat().st_size for marker in scratch.iterdir()
+        }
+        assert counts == {"count-%d" % i: 1 for i in range(6)}
+
+
+class TestMemoryBatchTwin:
+    def _spec(self, **overrides):
+        from repro.nvsim.config import MemoryConfig
+        from repro.vaet.explorer import DesignConstraints
+
+        spec = {
+            "node_nm": 45,
+            "config": MemoryConfig(word_bits=16).to_dict(),
+            "constraints": DesignConstraints().to_dict(),
+            "num_words": 60,
+            "error_population": 2000,
+            "seed": 2018,
+        }
+        spec.update(overrides)
+        return spec
+
+    def test_batch_matches_pointwise_evaluation(self):
+        specs = [self._spec(), self._spec(node_nm=65)]
+        seeds = [0, 1]
+        outcomes = evaluate_memory_batch(specs, seeds)
+        assert len(outcomes) == 2
+        for (ok, result, error, elapsed), spec, seed in zip(
+            outcomes, specs, seeds
+        ):
+            assert ok and error is None and elapsed >= 0.0
+            assert result == evaluate_memory_point(spec, seed)
+
+    def test_batch_isolates_per_point_failures(self):
+        bad = self._spec()
+        del bad["config"]
+        outcomes = evaluate_memory_batch(
+            [self._spec(), bad, self._spec(node_nm=65)], [0, 0, 0]
+        )
+        assert [ok for ok, _, _, _ in outcomes] == [True, False, True]
+        assert "KeyError" in outcomes[1][2]
+
+
+class TestExploreMemoryBatched:
+    def test_records_identical_to_unbatched(self, tmp_path):
+        from repro.dse import ParameterSpace, explore_memory
+
+        space = ParameterSpace()
+        space.add("subarray_rows", [128, 256])
+        space.add("node_nm", [45, 65])
+        settings = dict(num_words=60, error_population=2000)
+        plain = explore_memory(
+            space, cache_dir=str(tmp_path / "plain"), **settings
+        )
+        batched = explore_memory(
+            space, cache_dir=str(tmp_path / "batched"), batch_size=4,
+            **settings,
+        )
+        assert batched.records() == plain.records()
+        assert batched.pareto() == plain.pareto()
+        assert [o.ok for o in batched.outcomes] == [
+            o.ok for o in plain.outcomes
+        ]
+
+
+class TestCLI:
+    SPEC = {
+        "kind": "memory",
+        "axes": {"subarray_rows": [256], "node_nm": [45, 65]},
+        "settings": {"num_words": 60, "error_population": 2000},
+        "batch": 2,
+    }
+
+    def _write_spec(self, tmp_path, spec):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, "2", 1.5])
+    def test_load_spec_rejects_bad_batch(self, tmp_path, bad):
+        from repro.dse.__main__ import load_spec
+
+        with pytest.raises(SystemExit, match="batch"):
+            load_spec(self._write_spec(tmp_path, dict(self.SPEC, batch=bad)))
+
+    def test_load_spec_accepts_batch(self, tmp_path):
+        from repro.dse.__main__ import load_spec
+
+        spec = load_spec(self._write_spec(tmp_path, self.SPEC))
+        assert spec["batch"] == 2
+
+    def test_batch_size_flag_must_be_positive(self, tmp_path, capsys):
+        from repro.dse.__main__ import main
+
+        spec = self._write_spec(tmp_path, self.SPEC)
+        with pytest.raises(SystemExit):
+            main(["run", spec, "--dir", str(tmp_path / "camp"),
+                  "--batch-size", "0"])
+
+    def test_run_with_spec_batch_and_override(self, tmp_path, capsys):
+        from repro.dse.__main__ import main
+
+        spec = self._write_spec(tmp_path, self.SPEC)
+        camp = str(tmp_path / "camp")
+        assert main(["run", spec, "--dir", camp, "--batch-size", "2",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign finished" in out
