@@ -499,6 +499,125 @@ def test_evaluator_fast_path():
     _check_and_save_evaluator("dse_evaluator_bench.json", summary)
 
 
+# -- sampler budget efficiency -------------------------------------------
+
+#: Toy objective for the sampler comparison: a discrete bowl on a
+#: side x side grid with its optimum off-centre.  Points are encoded as
+#: a single selftest ``x`` so every sampler's evaluations flow through
+#: the real job/runner machinery.
+SAMPLER_SIDE = 16
+SAMPLER_OPTIMUM = (11, 3)
+SAMPLER_TARGET = 1.0  # within one grid step of the optimum
+
+
+def _sampler_score(px, py):
+    dx, dy = px - SAMPLER_OPTIMUM[0], py - SAMPLER_OPTIMUM[1]
+    return float(dx * dx + dy * dy)
+
+
+def sampler_bench(batch=8, rounds=8, candidates=256, seed=0,
+                  proposal_side=32, proposal_rounds=12):
+    """Evaluations-to-target of every sampler, plus proposal throughput.
+
+    All four samplers get the identical budget (``batch * rounds``
+    points of the same bowl), scored through ``CampaignRunner`` on the
+    selftest evaluator — so the comparison includes the job hashing and
+    dispatch each sampler's points really pay.  Grid and LHS are the
+    static baselines (scan order / one stratified draw); adaptive and
+    surrogate are the model-driven samplers.  Every quantity is seeded
+    and deterministic except the proposal throughput, which times the
+    surrogate's model/rank loop on a free evaluator over a
+    ``proposal_side``-squared space.
+    """
+    from repro.dse import AdaptiveSampler, SurrogateSampler, evaluations_to_target
+
+    space = ParameterSpace()
+    space.add("x", list(range(SAMPLER_SIDE)))
+    space.add("y", list(range(SAMPLER_SIDE)))
+    runner = CampaignRunner(workers=1)
+    budget = batch * rounds
+
+    def score_points(points):
+        jobs = [
+            Job(SELFTEST_TARGET, {"x": p["x"] * SAMPLER_SIDE + p["y"]})
+            for p in points
+        ]
+        scores = []
+        for outcome in runner.run(jobs):
+            assert outcome.ok
+            encoded = outcome.result["value"] // 2  # selftest returns 2*x
+            px, py = divmod(encoded, SAMPLER_SIDE)
+            scores.append(_sampler_score(px, py))
+        return scores
+
+    def static_evals(points):
+        for spent, score in enumerate(score_points(points), start=1):
+            if score <= SAMPLER_TARGET:
+                return spent
+        return None
+
+    missed = budget + 1  # sentinel: target not reached within budget
+    grid_evals = static_evals(list(space.grid())[:budget])
+    lhs_evals = static_evals(space.sample(budget, seed=seed))
+    adaptive_trace = AdaptiveSampler(
+        space, batch=batch, rounds=rounds, seed=seed
+    ).run(score_points)
+    surrogate_trace = SurrogateSampler(
+        space, batch=batch, rounds=rounds, candidates=candidates, seed=seed
+    ).run(score_points)
+
+    # Proposal throughput: a free evaluator isolates the model fit and
+    # candidate ranking from evaluation cost.
+    big = ParameterSpace()
+    big.add("x", list(range(proposal_side)))
+    big.add("y", list(range(proposal_side)))
+
+    def free_evaluate(points):
+        return [_sampler_score(p["x"], p["y"]) for p in points]
+
+    proposer = SurrogateSampler(
+        big, batch=16, rounds=proposal_rounds, candidates=1024, seed=seed
+    )
+    tick = time.perf_counter()
+    proposal_trace = proposer.run(free_evaluate)
+    proposal_wall = time.perf_counter() - tick
+
+    return {
+        "side": SAMPLER_SIDE,
+        "budget": budget,
+        "target": SAMPLER_TARGET,
+        "grid_evals_to_target": grid_evals or missed,
+        "lhs_evals_to_target": lhs_evals or missed,
+        "adaptive_evals_to_target":
+            evaluations_to_target(adaptive_trace, SAMPLER_TARGET) or missed,
+        "surrogate_evals_to_target":
+            evaluations_to_target(surrogate_trace, SAMPLER_TARGET) or missed,
+        "surrogate_best_score": surrogate_trace.best_score,
+        "proposal_points": proposal_trace.evaluations,
+        "proposal_wall_s": proposal_wall,
+        "proposals_per_s": proposal_trace.evaluations / max(proposal_wall, 1e-9),
+    }
+
+
+def _check_and_save_sampler(name, summary):
+    # The tentpole acceptance bar: the surrogate reaches the target
+    # band within budget, in fewer evaluations than blind LHS.
+    assert summary["surrogate_evals_to_target"] <= summary["budget"]
+    assert (
+        summary["surrogate_evals_to_target"] < summary["lhs_evals_to_target"]
+    ), "surrogate needed %d evaluations, LHS %d" % (
+        summary["surrogate_evals_to_target"], summary["lhs_evals_to_target"]
+    )
+    save_artifact(name, json.dumps(summary, indent=2))
+    return summary
+
+
+def test_sampler_efficiency():
+    """Fast tier-1 path: surrogate beats LHS to the target band."""
+    summary = sampler_bench()
+    _check_and_save_sampler("dse_sampler_bench.json", summary)
+
+
 def test_dse_campaign_smoke(benchmark, tmp_path):
     """Fast tier-1 path: 24 points, reduced Monte Carlo effort."""
     space = smoke_space()
@@ -550,12 +669,28 @@ def main(argv=None) -> int:
              "memory evaluator)",
     )
     mode.add_argument(
+        "--samplers", action="store_true",
+        help="sampler comparison only (grid/LHS/adaptive/surrogate "
+             "evaluations-to-target on the selftest bowl, plus "
+             "surrogate proposal throughput)",
+    )
+    mode.add_argument(
         "--snapshot", metavar="PATH", nargs="?", const="BENCH_dse.json",
         help="write the combined perf snapshot (journal throughput, "
              "lease-fold cost, executor comparison, evaluator fast "
-             "path) to PATH (default: BENCH_dse.json)",
+             "path, sampler efficiency) to PATH (default: "
+             "BENCH_dse.json)",
     )
     args = parser.parse_args(argv)
+
+    if args.samplers:
+        print("samplers: grid vs LHS vs adaptive vs surrogate on the "
+              "%dx%d selftest bowl" % (SAMPLER_SIDE, SAMPLER_SIDE))
+        summary = _check_and_save_sampler(
+            "dse_sampler_bench.json", sampler_bench()
+        )
+        print(json.dumps(summary, indent=2))
+        return 0
 
     if args.evaluator:
         print("evaluator: vectorised vs scalar-reference per-point "
@@ -579,8 +714,12 @@ def main(argv=None) -> int:
 
     if args.snapshot:
         print("snapshot: journal @ 10^4 points, lease fold @ 10^4 events, "
-              "executors on 24 sleeping points, evaluator fast path")
+              "executors on 24 sleeping points, evaluator fast path, "
+              "sampler efficiency")
         snapshot = {
+            "sampler": _check_and_save_sampler(
+                "dse_sampler_bench.json", sampler_bench()
+            ),
             "journal": _check_and_save_journal(
                 "dse_journal_bench.json",
                 journal_bench(points=10_000, legacy_points=1_000),

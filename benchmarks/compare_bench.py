@@ -49,6 +49,13 @@ METRICS = [
     ("executors", "network_speedup", "up", False),
     ("evaluator", "vector_s_per_point", "down", True),
     ("evaluator", "vector_speedup", "up", True),
+    # Evaluations-to-target are seeded and fully deterministic — any
+    # drift is a sampler behaviour change, so the surrogate's is gated.
+    ("sampler", "surrogate_evals_to_target", "down", True),
+    ("sampler", "lhs_evals_to_target", "down", False),
+    ("sampler", "adaptive_evals_to_target", "down", False),
+    ("sampler", "grid_evals_to_target", "down", False),
+    ("sampler", "proposals_per_s", "up", False),
 ]
 
 

@@ -36,6 +36,13 @@ subsystem every layer plugs into:
   entry points (legacy atomic-JSON journals upgrade transparently);
 * :mod:`repro.dse.adaptive` — successive-halving/zoom
   :class:`AdaptiveSampler` (``sampler="adaptive"`` campaigns);
+* :mod:`repro.dse.surrogate` — model-based :class:`SurrogateSampler`
+  (``sampler="surrogate"``): a TPE-style good/bad density-ratio model
+  over the full space, pure numpy, deterministic in its seed;
+* :mod:`repro.dse.fidelity` — multi-fidelity ladder
+  (``fidelity="ladder"`` memory campaigns): the analytic NVSim
+  estimate screens every point, only the frontier band pays the full
+  Monte-Carlo evaluation;
 * :mod:`repro.dse.pareto` — multi-objective frontier extraction;
 * :mod:`repro.dse.campaign` — :func:`explore_memory` (VAET-STT) and
   :func:`explore_system` (MAGPIE) entry points.
@@ -52,6 +59,16 @@ from repro.dse.adaptive import (
     score_records,
 )
 from repro.dse.cache import ResultCache
+from repro.dse.fidelity import (
+    FIDELITY_MODES,
+    LOWFI_MEMORY_TARGET,
+    FidelityTrace,
+    evaluate_memory_lowfi,
+    lowfi_twin,
+    promotion_indices,
+    run_ladder,
+)
+from repro.dse.surrogate import SurrogateSampler, evaluations_to_target
 from repro.dse.checkpoint import (
     JOURNAL_NAME,
     LEGACY_JOURNAL_NAME,
@@ -161,6 +178,15 @@ __all__ = [
     "AdaptiveSampler",
     "AdaptiveTrace",
     "score_records",
+    "SurrogateSampler",
+    "evaluations_to_target",
+    "FIDELITY_MODES",
+    "LOWFI_MEMORY_TARGET",
+    "FidelityTrace",
+    "evaluate_memory_lowfi",
+    "lowfi_twin",
+    "promotion_indices",
+    "run_ladder",
     "Objective",
     "dominates",
     "dominance_ranks",

@@ -37,10 +37,12 @@ A campaign spec is a JSON file::
       "kind": "memory",
       "axes": {"subarray_rows": [128, 256], "wer_target": [1e-9, 1e-12]},
       "settings": {"num_words": 400, "error_population": 30000},
-      "sampler": "grid",                   // or "lhs" / "adaptive"
+      "sampler": "grid",            // or "lhs" / "adaptive" / "surrogate"
       "samples": 16,                       // lhs point budget
-      "sampler_options": {"batch": 8, "rounds": 4},   // adaptive knobs
-      "objectives": ["edp_proxy"]
+      "sampler_options": {"batch": 8, "rounds": 4},   // sampler knobs
+      "objectives": ["edp_proxy"],
+      "fidelity": "ladder",                // or "high" (default) / "low"
+      "promote_ranks": 1                   // ladder promotion depth
     }
 
     {
@@ -76,10 +78,12 @@ from typing import Dict, List, Optional
 
 from repro.dse.cache import ResultCache
 from repro.dse.campaign import (
+    MODEL_SAMPLERS,
     SAMPLERS,
     run_memory_campaign,
     run_system_campaign,
 )
+from repro.dse.fidelity import FIDELITY_MODES
 from repro.dse.checkpoint import CampaignState, journal_path
 from repro.dse.executors import (
     CACHE_DIR_NAME,
@@ -163,6 +167,29 @@ def load_spec(path: str) -> Dict:
             'spec %s: resumable system campaigns are grid-only; use the '
             "explore_system API for adaptive cell selection" % path
         )
+    fidelity = spec.get("fidelity", "high")
+    if fidelity not in FIDELITY_MODES:
+        raise SystemExit(
+            "spec %s: unknown fidelity %r; known: %s"
+            % (path, fidelity, FIDELITY_MODES)
+        )
+    if fidelity != "high":
+        if kind != "memory":
+            raise SystemExit(
+                'spec %s: "fidelity" applies to memory campaigns only' % path
+            )
+        if sampler in MODEL_SAMPLERS:
+            raise SystemExit(
+                'spec %s: fidelity %r requires a static sampler '
+                '("grid"/"lhs")' % (path, fidelity)
+            )
+    if "promote_ranks" in spec:
+        ranks = spec["promote_ranks"]
+        if not isinstance(ranks, int) or isinstance(ranks, bool) or ranks < 0:
+            raise SystemExit(
+                'spec %s: "promote_ranks" must be a non-negative integer, '
+                "got %r" % (path, ranks)
+            )
     if "retry" in spec:
         try:
             RetryPolicy.from_dict(spec["retry"])
@@ -262,6 +289,25 @@ def cmd_describe(args) -> int:
                     spec.get("objectives", ["edp_proxy"]),
                 )
             )
+        elif sampler == "surrogate":
+            options = spec.get("sampler_options", {})
+            batch = options.get("batch", 8)
+            rounds = options.get("rounds", 6)
+            print(
+                "surrogate: <= %d jobs (%d rounds x %d batch), objectives %s"
+                % (
+                    batch * rounds,
+                    rounds,
+                    batch,
+                    spec.get("objectives", ["edp_proxy"]),
+                )
+            )
+        fidelity = spec.get("fidelity", "high")
+        if fidelity != "high":
+            print(
+                "fidelity:  %s (promote_ranks %d)"
+                % (fidelity, spec.get("promote_ranks", 1))
+            )
     else:
         workloads = spec.get("workloads")
         scenarios = spec.get("scenarios")
@@ -348,6 +394,8 @@ def _run_campaign(spec: Dict, args, resume: bool):
             samples=spec.get("samples"),
             sampler_options=spec.get("sampler_options"),
             objectives=tuple(spec.get("objectives", ("edp_proxy",))),
+            fidelity=spec.get("fidelity", "high"),
+            promote_ranks=spec.get("promote_ranks", 1),
             **common,
         )
     return run_system_campaign(
@@ -377,6 +425,9 @@ def _summarise(result, campaign_dir: str, elapsed: float) -> None:
                   result.adaptive.evaluations,
                   result.adaptive.best_score,
               ))
+    if getattr(result, "fidelity", None) is not None:
+        print("  fidelity: %d screened -> %d promoted to Monte-Carlo"
+              % (result.fidelity.screened, result.fidelity.promoted))
     if getattr(result, "quarantined", None):
         print("  flaky:    %d quarantined (python -m repro.dse retry --dir %s)"
               % (len(result.quarantined), campaign_dir))

@@ -22,12 +22,13 @@ campaign replays each round from cache and walks the identical zoom
 path.
 """
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.dse.jobs import canonical_json
-from repro.dse.pareto import ObjectiveSpec, dominance_ranks
-from repro.dse.space import ParameterSpace
+from repro.dse.pareto import Objective, ObjectiveSpec, dominance_ranks
+from repro.dse.space import ParameterSpace, plain_value
 
 #: Evaluate one batch of points, returning one score per point (lower
 #: is better; None marks the point unscorable: infeasible or failed).
@@ -40,9 +41,13 @@ def score_records(
 ) -> List[Optional[float]]:
     """Scalar scores (lower = better) for a batch of result records.
 
-    ``None`` records (infeasible / failed points) score ``None``.  A
-    single objective scores by its (sign-normalised) value; multiple
-    objectives score by Pareto dominance rank, so rank-0 points — the
+    ``None`` records (infeasible / failed points) score ``None``, and
+    so does any record whose objective value is non-finite — a NaN or
+    inf that reached ``min``/``sorted`` would poison the ordering (NaN
+    compares false everywhere), silently crowning a broken point or
+    scrambling the zoom's survivor set.  A single objective scores by
+    its (sign-normalised) value; multiple objectives score by Pareto
+    dominance rank over the finite records, so rank-0 points — the
     batch frontier — are the ones the zoom keeps.
 
     Raises:
@@ -51,14 +56,19 @@ def score_records(
     """
     if not objectives:
         raise ValueError("at least one objective is required")
-    live = [(i, record) for i, record in enumerate(records) if record is not None]
+    parsed = [Objective.parse(o) for o in objectives]
     scores: List[Optional[float]] = [None] * len(records)
+    live = []
+    for i, record in enumerate(records):
+        if record is None:
+            continue
+        values = [float(record[objective.key]) for objective in parsed]
+        if all(math.isfinite(value) for value in values):
+            live.append((i, record))
     if not live:
         return scores
-    if len(objectives) == 1:
-        from repro.dse.pareto import Objective
-
-        objective = Objective.parse(objectives[0])
+    if len(parsed) == 1:
+        objective = parsed[0]
         for i, record in live:
             value = float(record[objective.key])
             scores[i] = -value if objective.maximize else value
@@ -164,10 +174,13 @@ class AdaptiveSampler:
                 points=points,
                 scores=scores,
             )
+            # Non-finite scores are unscorable exactly like None: a NaN
+            # surviving into min()/refine() would win every comparison
+            # it should lose (NaN compares false) and hijack the zoom.
             scored = [
                 (point, score)
                 for point, score in zip(points, scores)
-                if score is not None
+                if score is not None and math.isfinite(score)
             ]
             if scored:
                 best_point, best_score = min(scored, key=lambda pair: pair[1])
@@ -197,9 +210,7 @@ class AdaptiveSampler:
             candidates = space.sample(self.batch, seed=self.seed + round_index)
         fresh = []
         for point in candidates:
-            key = canonical_json(
-                {name: _plain(value) for name, value in point.items()}
-            )
+            key = point_key(point)
             if key in seen:
                 continue
             seen.add(key)
@@ -207,10 +218,12 @@ class AdaptiveSampler:
         return fresh
 
 
-def _plain(value):
-    """JSON-able form of an axis value for dedup keys (enums by value)."""
-    import enum
+def point_key(point: Mapping) -> str:
+    """Canonical dedup key of a point (enum values by serialised form)."""
+    return canonical_json(
+        {name: plain_value(value) for name, value in point.items()}
+    )
 
-    if isinstance(value, enum.Enum):
-        return value.value
-    return value
+
+#: Backwards-compatible alias (normalisation now lives in dse.space).
+_plain = plain_value

@@ -19,7 +19,12 @@ job lists from a :class:`~repro.dse.space.ParameterSpace` / grid, run
 them through a (cached, parallel) :class:`CampaignRunner`, and wrap the
 outcomes with Pareto helpers.  Both accept ``sampler="adaptive"`` to
 spend the evaluation budget successively zooming onto the
-objective-promising region instead of covering the whole grid.
+objective-promising region instead of covering the whole grid, or
+``sampler="surrogate"`` to drive it with a TPE-style density model.
+Memory campaigns additionally accept ``fidelity="ladder"`` to screen
+the space with the cheap analytic NVSim estimate and re-evaluate only
+the frontier band at full Monte-Carlo fidelity (see
+:mod:`repro.dse.fidelity`).
 
 :func:`run_memory_campaign` and :func:`run_system_campaign` are the
 *resumable* entry points: they pin a campaign to a directory holding the
@@ -44,6 +49,12 @@ from repro.dse.checkpoint import (
     run_checkpointed,
 )
 from repro.dse.executors import CACHE_DIR_NAME, make_executor
+from repro.dse.fidelity import (
+    FIDELITY_MODES,
+    FidelityTrace,
+    lowfi_twin,
+    run_ladder,
+)
 from repro.dse.jobs import Job, JobResult
 from repro.dse.shard import merge_caches
 from repro.dse.pareto import ObjectiveSpec, pareto_front
@@ -59,7 +70,11 @@ from repro.dse.runner import (
 from repro.dse.space import ParameterSpace
 
 #: Samplers the campaign entry points understand.
-SAMPLERS = ("grid", "lhs", "adaptive")
+SAMPLERS = ("grid", "lhs", "adaptive", "surrogate")
+
+#: The model-driven samplers (propose/evaluate loops over rounds, as
+#: opposed to the static grid/LHS point lists).
+MODEL_SAMPLERS = ("adaptive", "surrogate")
 
 #: MemoryConfig field names an axis may override.
 _CONFIG_FIELDS = (
@@ -309,15 +324,30 @@ def _space_signature(space: ParameterSpace) -> List:
     ]
 
 
-def _run_adaptive(space, build_jobs, execute, record, sampler_options, objectives):
-    """Shared adaptive loop: evaluate batches, score, zoom.
+def _make_sampler(name: str, space, sampler_options):
+    """Build the model-driven sampler behind ``sampler="adaptive"/"surrogate"``."""
+    options = dict(sampler_options or {})
+    if name == "surrogate":
+        from repro.dse.surrogate import SurrogateSampler
+
+        return SurrogateSampler(space, **options)
+    return AdaptiveSampler(space, **options)
+
+
+def _run_adaptive(
+    space, build_jobs, execute, record, sampler_options, objectives,
+    sampler: str = "adaptive",
+):
+    """Shared model-driven loop: evaluate batches, score, re-propose.
 
     Args:
         build_jobs: points -> jobs.
         execute: jobs -> outcomes (runner or checkpointed runner).
         record: (job, outcome) -> scoreable record dict or None.
-        sampler_options: AdaptiveSampler keyword overrides.
+        sampler_options: AdaptiveSampler / SurrogateSampler overrides.
         objectives: Scoring objectives (Pareto ranks when several).
+        sampler: ``"adaptive"`` (successive-halving zoom) or
+            ``"surrogate"`` (TPE-style density-ratio model).
 
     Returns:
         (jobs, outcomes, trace) with jobs/outcomes deduplicated across
@@ -338,8 +368,8 @@ def _run_adaptive(space, build_jobs, execute, record, sampler_options, objective
         rows = [record(job, outcome) for job, outcome in zip(jobs, outcomes)]
         return score_records(rows, objectives)
 
-    sampler = AdaptiveSampler(space, **dict(sampler_options or {}))
-    trace = sampler.run(evaluate)
+    driver = _make_sampler(sampler, space, sampler_options)
+    trace = driver.run(evaluate)
     return all_jobs, all_outcomes, trace
 
 
@@ -352,10 +382,15 @@ class MemoryCampaignResult:
         outcomes: Per-job results (aligned with ``jobs``).
         elapsed: Campaign wall-clock [s].
         cache_stats: Cache session counters (None when uncached).
-        adaptive: Zoom trace when the campaign ran ``sampler="adaptive"``.
+        adaptive: Sampler trace when the campaign ran a model-driven
+            sampler (``"adaptive"`` zoom or ``"surrogate"`` TPE).
         quarantined: Job keys whose retry budget is exhausted (flaky
             points) — excluded from :meth:`records` and therefore from
             Pareto ranking.
+        fidelity: Screening trace when the campaign ran
+            ``fidelity="ladder"`` (see :mod:`repro.dse.fidelity`);
+            ``jobs``/``outcomes`` then hold only the promoted
+            high-fidelity evaluations.
     """
 
     jobs: List[Job]
@@ -364,6 +399,7 @@ class MemoryCampaignResult:
     cache_stats: Optional[Dict] = None
     adaptive: Optional[AdaptiveTrace] = None
     quarantined: List[str] = field(default_factory=list)
+    fidelity: Optional[FidelityTrace] = None
 
     def records(self) -> List[Dict]:
         """Feasible points as flat dicts: spec axes + metrics + EDP.
@@ -381,6 +417,17 @@ class MemoryCampaignResult:
             if row is not None:
                 rows.append(row)
         return rows
+
+    def screening_records(self) -> List[Dict]:
+        """Low-fidelity screening rows of a ``fidelity="ladder"`` run.
+
+        Empty for single-fidelity campaigns.  The calibration harness
+        joins these against :meth:`records` to measure the analytic
+        model's error distribution.
+        """
+        if self.fidelity is None:
+            return []
+        return self.fidelity.records(_memory_record)
 
     def errors(self) -> List[JobResult]:
         """Failed outcomes (failure isolation keeps them out of records)."""
@@ -463,6 +510,19 @@ def _static_points(
     return list(space.grid())
 
 
+def _validate_fidelity(fidelity: str, sampler: str) -> None:
+    """Reject unknown fidelity modes and model-sampler combinations."""
+    if fidelity not in FIDELITY_MODES:
+        raise ValueError(
+            "unknown fidelity %r; known: %s" % (fidelity, FIDELITY_MODES)
+        )
+    if fidelity != "high" and sampler in MODEL_SAMPLERS:
+        raise ValueError(
+            'fidelity=%r requires a static sampler ("grid"/"lhs"); '
+            "model-driven samplers budget their own evaluations" % (fidelity,)
+        )
+
+
 def explore_memory(
     space: ParameterSpace,
     base_config=None,
@@ -482,6 +542,8 @@ def explore_memory(
     retry: Optional[RetryPolicy] = None,
     progress: Optional[ProgressCallback] = None,
     batch_size: Optional[int] = None,
+    fidelity: str = "high",
+    promote_ranks: int = 1,
 ) -> MemoryCampaignResult:
     """Run a memory-level (VAET-STT) campaign over a parameter space.
 
@@ -504,11 +566,15 @@ def explore_memory(
         cache_dir: Enable the on-disk result cache at this path.
         workers: Pool size (None = ``REPRO_DSE_WORKERS`` or CPU count).
         runner: Pre-built runner (overrides cache_dir/workers).
-        sampler: ``"grid"`` (default), ``"lhs"`` (requires ``samples``)
-            or ``"adaptive"`` — successive-halving zoom onto the region
-            best under ``objectives`` (see :mod:`repro.dse.adaptive`).
+        sampler: ``"grid"`` (default), ``"lhs"`` (requires ``samples``),
+            ``"adaptive"`` — successive-halving zoom onto the region
+            best under ``objectives`` (see :mod:`repro.dse.adaptive`) —
+            or ``"surrogate"`` — TPE-style density-ratio model over the
+            full space (see :mod:`repro.dse.surrogate`).
         sampler_options: ``AdaptiveSampler`` overrides (batch, rounds,
-            keep, margin, seed).
+            keep, margin, seed) or ``SurrogateSampler`` overrides
+            (batch, rounds, gamma, candidates, smoothing, init_rounds,
+            seed).
         objectives: Adaptive scoring objectives over the feasible
             records (Pareto dominance ranks when more than one).
         retry: Optional :class:`~repro.dse.retry.RetryPolicy` — failed
@@ -523,9 +589,20 @@ def explore_memory(
             is shared across each chunk).  Scheduling hint only —
             results, cache keys and seeds are identical to unbatched
             runs.  Ignored when a pre-built ``runner`` is passed.
+        fidelity: ``"high"`` (default) — every point pays the full
+            Monte-Carlo evaluation; ``"low"`` — every point uses the
+            analytic NVSim-class estimate only (quick sweeps,
+            calibration); ``"ladder"`` — screen every point at low
+            fidelity, then re-evaluate only the frontier band at high
+            fidelity (see :mod:`repro.dse.fidelity`).  Static samplers
+            only.
+        promote_ranks: Ladder promotion depth — low-fidelity Pareto
+            ranks up to this value (under ``objectives``) advance to
+            the Monte-Carlo stage.
     """
     if sampler not in SAMPLERS:
         raise ValueError("unknown sampler %r; known: %s" % (sampler, SAMPLERS))
+    _validate_fidelity(fidelity, sampler)
     base_config, constraints = _memory_settings(base_config, constraints)
     if runner is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -541,7 +618,8 @@ def explore_memory(
 
     start = time.perf_counter()
     trace = None
-    if sampler == "adaptive":
+    ftrace = None
+    if sampler in MODEL_SAMPLERS:
         jobs, outcomes, trace = _run_adaptive(
             space,
             build_jobs,
@@ -549,15 +627,27 @@ def explore_memory(
             _memory_record,
             sampler_options,
             objectives,
+            sampler=sampler,
         )
     else:
         jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
-        outcomes = runner.run(jobs, progress=progress, retry=retry)
+        if fidelity == "low":
+            jobs = [lowfi_twin(job) for job in jobs]
+        if fidelity == "ladder":
+            jobs, outcomes, ftrace = run_ladder(
+                jobs,
+                lambda batch: runner.run(batch, progress=progress, retry=retry),
+                _memory_record,
+                objectives,
+                promote_ranks=promote_ranks,
+            )
+        else:
+            outcomes = runner.run(jobs, progress=progress, retry=retry)
     elapsed = time.perf_counter() - start
     stats = runner.cache.stats() if runner.cache is not None else None
     return MemoryCampaignResult(
         jobs=jobs, outcomes=outcomes, elapsed=elapsed,
-        cache_stats=stats, adaptive=trace,
+        cache_stats=stats, adaptive=trace, fidelity=ftrace,
     )
 
 
@@ -584,6 +674,8 @@ def run_memory_campaign(
     executor_options: Optional[Dict] = None,
     workers_dirs: Optional[Sequence[str]] = None,
     batch_size: Optional[int] = None,
+    fidelity: str = "high",
+    promote_ranks: int = 1,
 ) -> MemoryCampaignResult:
     """Resumable :func:`explore_memory`: cache + journal in a directory.
 
@@ -628,10 +720,17 @@ def run_memory_campaign(
             changes *how* points evaluate, never the journal format,
             the campaign signature, or the results — a resumed
             campaign may freely change it.
+        fidelity / promote_ranks: Multi-fidelity mode, as in
+            :func:`explore_memory`.  Fidelity is part of every job's
+            content key *and* (for non-default modes) the campaign
+            signature, so screens and confirms journal and resume
+            independently and a ladder campaign never mixes with a
+            plain one in the same directory.
         (Remaining arguments are as in :func:`explore_memory`.)
     """
     if sampler not in SAMPLERS:
         raise ValueError("unknown sampler %r; known: %s" % (sampler, SAMPLERS))
+    _validate_fidelity(fidelity, sampler)
     base_config, constraints = _memory_settings(base_config, constraints)
     signature = {
         "kind": "memory",
@@ -648,6 +747,11 @@ def run_memory_campaign(
         "sampler_options": dict(sampler_options or {}),
         "objectives": [list(o) if isinstance(o, tuple) else o for o in objectives],
     }
+    if fidelity != "high":
+        # Only non-default modes stamp the signature, so campaign keys
+        # (and therefore resumability) of existing journals are stable.
+        signature["fidelity"] = fidelity
+        signature["promote_ranks"] = promote_ranks
     cache = _campaign_cache(campaign_dir, workers_dirs)
     engine, owns_executor = _campaign_executor(
         executor, campaign_dir, workers, executor_options
@@ -665,8 +769,9 @@ def run_memory_campaign(
 
     start = time.perf_counter()
     trace = None
+    ftrace = None
     try:
-        if sampler == "adaptive":
+        if sampler in MODEL_SAMPLERS:
             state = CampaignState.open(
                 journal, campaign_key(signature), total=0,
                 resume=resume, meta=signature,
@@ -684,10 +789,35 @@ def run_memory_campaign(
 
             jobs, outcomes, trace = _run_adaptive(
                 space, build_jobs, execute, _memory_record,
-                sampler_options, objectives,
+                sampler_options, objectives, sampler=sampler,
+            )
+        elif fidelity == "ladder":
+            jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
+            # Total starts at the screening count and grows as the
+            # promoted subset becomes known, like the model samplers.
+            state = CampaignState.open(
+                journal, campaign_key(signature), total=len(jobs),
+                resume=resume, meta=signature,
+            )
+            planned = 0
+
+            def execute(batch):
+                nonlocal planned
+                planned += len(batch)
+                state.total = max(state.total, planned)
+                return run_checkpointed(
+                    batch, runner, state, retry_failed=retry_failed,
+                    retry=retry, progress=progress,
+                )
+
+            jobs, outcomes, ftrace = run_ladder(
+                jobs, execute, _memory_record, objectives,
+                promote_ranks=promote_ranks,
             )
         else:
             jobs = build_jobs(_static_points(space, sampler, samples, sample_seed))
+            if fidelity == "low":
+                jobs = [lowfi_twin(job) for job in jobs]
             state = CampaignState.open(
                 journal, campaign_key(signature), total=len(jobs),
                 resume=resume, meta=signature,
@@ -703,7 +833,7 @@ def run_memory_campaign(
     elapsed = time.perf_counter() - start
     return MemoryCampaignResult(
         jobs=jobs, outcomes=outcomes, elapsed=elapsed,
-        cache_stats=cache.stats(), adaptive=trace,
+        cache_stats=cache.stats(), adaptive=trace, fidelity=ftrace,
         quarantined=sorted(state.quarantined),
     )
 
@@ -828,16 +958,18 @@ def explore_system(
             level runs once and its records are shared by every cell.
         cache_dir / workers / runner: Engine settings, as in
             :func:`explore_memory`.
-        sampler: ``"grid"`` (default, the full cross product) or
+        sampler: ``"grid"`` (default, the full cross product),
             ``"adaptive"`` — zoom onto the cells best under
-            ``objectives`` instead of evaluating every cell.
+            ``objectives`` instead of evaluating every cell — or
+            ``"surrogate"`` — model the good cells with the TPE-style
+            density-ratio sampler.
         sampler_options / objectives / progress: As in
             :func:`explore_memory` (default objective: EDP).
     """
-    if sampler not in ("grid", "adaptive"):
+    if sampler not in ("grid",) + MODEL_SAMPLERS:
         raise ValueError(
-            'unknown sampler %r; system campaigns support "grid" and '
-            '"adaptive"' % (sampler,)
+            'unknown sampler %r; system campaigns support "grid", '
+            '"adaptive" and "surrogate"' % (sampler,)
         )
     from repro.magpie.flow import MagpieFlow
 
@@ -848,10 +980,10 @@ def explore_system(
 
     start = time.perf_counter()
     trace = None
-    if sampler == "adaptive":
+    if sampler in MODEL_SAMPLERS:
         results, trace = _adaptive_system(
             flow, workloads, scenarios, runner,
-            sampler_options, objectives, progress,
+            sampler_options, objectives, progress, sampler=sampler,
         )
     else:
         results = flow.run(
@@ -866,9 +998,10 @@ def explore_system(
 
 
 def _adaptive_system(
-    flow, workloads, scenarios, runner, sampler_options, objectives, progress
+    flow, workloads, scenarios, runner, sampler_options, objectives, progress,
+    sampler: str = "adaptive",
 ):
-    """Adaptive cell selection over the workload x scenario grid."""
+    """Model-driven cell selection over the workload x scenario grid."""
     from repro.magpie.scenarios import Scenario
 
     names, chosen = flow.validate_grid(workloads, scenarios)
@@ -889,8 +1022,8 @@ def _adaptive_system(
         ]
         return score_records(rows, objectives)
 
-    sampler = AdaptiveSampler(space, **dict(sampler_options or {}))
-    trace = sampler.run(evaluate)
+    driver = _make_sampler(sampler, space, sampler_options)
+    trace = driver.run(evaluate)
     return results, trace
 
 

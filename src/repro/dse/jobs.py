@@ -67,6 +67,18 @@ class Job:
         return self._key
 
     @property
+    def fidelity(self) -> str:
+        """Evaluation fidelity this job was addressed at.
+
+        Multi-fidelity campaigns (:mod:`repro.dse.fidelity`) stamp
+        ``"fidelity"`` into the spec, so it participates in the content
+        key — a screening estimate and a full Monte-Carlo evaluation of
+        the same design point can never collide in the cache or the
+        journal.  Plain campaigns default to ``"high"``.
+        """
+        return str(self.spec.get("fidelity", "high"))
+
+    @property
     def seed(self) -> int:
         """Deterministic per-job RNG seed derived from the key.
 

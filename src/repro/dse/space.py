@@ -19,12 +19,27 @@ returns a sub-space whose axes are windowed onto the value range the
 best-scoring points occupy (see :mod:`repro.dse.adaptive`).
 """
 
+import enum
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def plain_value(value):
+    """JSON-able form of an axis value (enums by value).
+
+    The single normalisation every consumer shares: grid/LHS points
+    carry raw axis values (possibly enums), while points read back from
+    a journal, a cache record, or ``canonical_json`` carry the
+    serialised plain form.  Comparing through ``plain_value`` makes the
+    two interchangeable.
+    """
+    if isinstance(value, enum.Enum):
+        return value.value
+    return value
 
 
 @dataclass(frozen=True)
@@ -138,7 +153,7 @@ class ParameterSpace:
 
     def refine(
         self,
-        scored: Sequence[Tuple[Mapping, float]],
+        scored: Sequence[Tuple[Mapping, Optional[float]]],
         keep: float = 0.5,
         margin: int = 1,
     ) -> "ParameterSpace":
@@ -153,7 +168,13 @@ class ParameterSpace:
 
         Args:
             scored: ``(point, score)`` pairs; points are axis-name ->
-                value dicts as produced by :meth:`grid` / :meth:`sample`.
+                value dicts as produced by :meth:`grid` / :meth:`sample`
+                (raw or ``canonical_json``-round-tripped: enum axis
+                values match their serialised plain form).  Pairs with
+                a ``None`` or non-finite score (NaN/inf from a failed
+                or degenerate objective) are unrankable and ignored —
+                NaN compares false under every ordering, so letting it
+                into ``sorted`` silently scrambles the survivor set.
             keep: Fraction of points that survive (at least one does).
             margin: Index widening on each side of the survivor window.
 
@@ -162,8 +183,9 @@ class ParameterSpace:
             receiver is not modified.
 
         Raises:
-            ValueError: Empty ``scored``, ``keep`` outside (0, 1], or a
-                survivor holding a value an axis does not contain.
+            ValueError: Empty ``scored``, no finitely-scored pair,
+                ``keep`` outside (0, 1], or a survivor holding a value
+                an axis does not contain.
         """
         if not scored:
             raise ValueError("refine needs at least one scored point")
@@ -171,19 +193,30 @@ class ParameterSpace:
             raise ValueError("keep must be in (0, 1], got %r" % keep)
         if margin < 0:
             raise ValueError("margin must be >= 0")
-        count = max(1, math.ceil(len(scored) * keep))
-        ranked = sorted(scored, key=lambda pair: pair[1])
+        rankable = [
+            (point, score)
+            for point, score in scored
+            if score is not None and math.isfinite(score)
+        ]
+        if not rankable:
+            raise ValueError(
+                "refine needs at least one finitely scored point "
+                "(got only None/NaN/inf scores)"
+            )
+        count = max(1, math.ceil(len(rankable) * keep))
+        ranked = sorted(rankable, key=lambda pair: pair[1])
         survivors = [point for point, _ in ranked[:count]]
 
         axes = []
         for axis in self.axes:
+            plain_values = [plain_value(v) for v in axis.values]
             positions = []
             for point in survivors:
                 if axis.name not in point:
                     continue
                 value = point[axis.name]
                 try:
-                    positions.append(axis.values.index(value))
+                    positions.append(plain_values.index(plain_value(value)))
                 except ValueError:
                     raise ValueError(
                         "scored point value %r is not on axis %r (values: %s)"

@@ -1,5 +1,7 @@
 """Tests for the successive-halving/zoom adaptive sampler."""
 
+import math
+
 import pytest
 
 from repro.dse import (
@@ -77,6 +79,78 @@ class TestScoreRecords:
     def test_requires_objectives(self):
         with pytest.raises(ValueError):
             score_records([{"a": 1}], ())
+
+    def test_non_finite_single_objective_is_unscorable(self):
+        records = [
+            {"edp": float("nan")},
+            {"edp": float("inf")},
+            {"edp": float("-inf")},
+            {"edp": 2.0},
+        ]
+        assert score_records(records, ("edp",)) == [None, None, None, 2.0]
+
+    def test_non_finite_multi_objective_is_unscorable(self):
+        records = [
+            {"lat": float("nan"), "energy": 1.0},
+            {"lat": 1.0, "energy": 9.0},
+            {"lat": 9.0, "energy": 9.0},
+        ]
+        scores = score_records(records, ("lat", "energy"))
+        # The NaN record is out; the remaining two rank as if it never
+        # existed (pre-fix, NaN joined the dominance matrix and sat on
+        # rank 0 forever, shielding nothing but polluting the frontier).
+        assert scores[0] is None
+        assert scores[1] == 0.0
+        assert scores[2] == 1.0
+
+
+class TestNonFiniteScores:
+    """Regression: NaN scores must not poison winner selection.
+
+    Pre-fix, ``min(scored, key=...)`` kept a first-seen NaN forever
+    (every ``candidate < nan`` comparison is false), so a broken point
+    could become ``best_point`` and steer every zoom after it.
+    """
+
+    def test_nan_score_cannot_become_best_point(self):
+        space = ParameterSpace([("x", list(range(8)))])
+
+        def evaluate(points):
+            # The grid-first point x=0 scores NaN; real optimum is x=1.
+            return [
+                float("nan") if p["x"] == 0 else float(p["x"])
+                for p in points
+            ]
+
+        trace = AdaptiveSampler(space, batch=8, rounds=1).run(evaluate)
+        assert trace.best_point == {"x": 1}
+        assert trace.best_score == 1.0
+        assert math.isfinite(trace.best_score)
+
+    def test_all_nan_round_stops_early_like_unscorable(self):
+        space = _toy_space()
+        trace = AdaptiveSampler(space, batch=6, rounds=5).run(
+            lambda pts: [float("nan")] * len(pts)
+        )
+        assert len(trace.rounds) == 1
+        assert trace.best_point is None
+
+    def test_nan_scores_do_not_reorder_refine_survivors(self):
+        space = ParameterSpace([("x", list(range(10)))])
+        scored = [
+            ({"x": 9}, float("nan")),
+            ({"x": 2}, 1.0),
+            ({"x": 3}, 2.0),
+        ]
+        refined = space.refine(scored, keep=0.34, margin=0)
+        # Pre-fix the NaN pair survived sorted() in place and the zoom
+        # windowed onto x=9; the finite best must win instead.
+        assert [a.values for a in refined.axes] == [(2,)]
+
+    def test_refine_rejects_nothing_finite(self):
+        space = ParameterSpace([("x", [0, 1])])
+        with pytest.raises(ValueError, match="finitely scored"):
+            space.refine([({"x": 0}, float("nan")), ({"x": 1}, None)])
 
 
 class TestAdaptiveSampler:
