@@ -499,6 +499,77 @@ def test_evaluator_fast_path():
     _check_and_save_evaluator("dse_evaluator_bench.json", summary)
 
 
+# -- chaos guard overhead ------------------------------------------------
+
+
+def chaos_guard_bench(fires=200_000, evaluator_points=3):
+    """Disabled-fault-plane guard cost against a real evaluation.
+
+    Production campaigns pay the chaos hooks' disabled path on every
+    seam crossing — one module-global read plus a ``None`` check (see
+    :func:`repro.dse.chaos.fire`).  This times that guard directly,
+    then expresses a whole point's worth of crossings (generously
+    counted) as a percentage of one real memory-evaluator call.
+    """
+    from repro.dse import chaos
+    from repro.dse.campaign import evaluate_memory_point
+    from repro.nvsim import MemoryConfig
+    from repro.vaet.explorer import DesignConstraints
+
+    assert chaos.active() is None, "chaos must stay disabled in benchmarks"
+    tick = time.perf_counter()
+    for _ in range(fires):
+        chaos.fire("evaluate", target="bench-guard", seed=0)
+    guard_s = (time.perf_counter() - tick) / fires
+
+    spec = {
+        "node_nm": 45,
+        "config": MemoryConfig().to_dict(),
+        "constraints": DesignConstraints().to_dict(),
+        "num_words": 100,
+        "error_population": 5_000,
+        "seed": 2018,
+    }
+    times = []
+    for k in range(evaluator_points):
+        tick = time.perf_counter()
+        outcome = evaluate_memory_point(spec, k)
+        times.append(time.perf_counter() - tick)
+        assert "feasible" in outcome
+    evaluator_s = statistics.median(times)
+
+    # One point crosses the evaluate seam once and the persistence
+    # seams (journal append/appended/atomic, cache.put, lease/queue)
+    # a handful of times; 8 is a generous over-count.
+    hooks_per_point = 8
+    return {
+        "fires": fires,
+        "guard_ns_per_fire": guard_s * 1e9,
+        "hooks_per_point": hooks_per_point,
+        "evaluator_s_per_point": evaluator_s,
+        "chaos_guard_overhead_pct":
+            100.0 * guard_s * hooks_per_point / max(evaluator_s, 1e-9),
+    }
+
+
+def _check_and_save_chaos_guard(name, summary):
+    # The robustness acceptance bar: a *disabled* fault plane must be
+    # free — under 2% of one real evaluation even with every seam
+    # crossing over-counted.
+    assert summary["chaos_guard_overhead_pct"] < 2.0, (
+        "disabled chaos guard costs %.3f%% of an evaluation"
+        % summary["chaos_guard_overhead_pct"]
+    )
+    save_artifact(name, json.dumps(summary, indent=2))
+    return summary
+
+
+def test_chaos_guard_overhead():
+    """Fast tier-1 path: the disabled fault plane costs <2% per point."""
+    summary = chaos_guard_bench(fires=50_000)
+    _check_and_save_chaos_guard("dse_chaos_guard_bench.json", summary)
+
+
 # -- sampler budget efficiency -------------------------------------------
 
 #: Toy objective for the sampler comparison: a discrete bowl on a
@@ -715,7 +786,7 @@ def main(argv=None) -> int:
     if args.snapshot:
         print("snapshot: journal @ 10^4 points, lease fold @ 10^4 events, "
               "executors on 24 sleeping points, evaluator fast path, "
-              "sampler efficiency")
+              "sampler efficiency, chaos guard overhead")
         snapshot = {
             "sampler": _check_and_save_sampler(
                 "dse_sampler_bench.json", sampler_bench()
@@ -735,6 +806,9 @@ def main(argv=None) -> int:
             "evaluator": _check_and_save_evaluator(
                 "dse_evaluator_bench.json",
                 evaluator_bench(points=4, scalar_points=2),
+            ),
+            "chaos_guard": _check_and_save_chaos_guard(
+                "dse_chaos_guard_bench.json", chaos_guard_bench()
             ),
         }
         with open(args.snapshot, "w", encoding="utf-8") as handle:

@@ -56,6 +56,10 @@ METRICS = [
     ("sampler", "adaptive_evals_to_target", "down", False),
     ("sampler", "grid_evals_to_target", "down", False),
     ("sampler", "proposals_per_s", "up", False),
+    # The disabled fault plane's cost on the evaluator path: the bench
+    # itself asserts < 2% absolutely; the gate catches slow creep.
+    ("chaos_guard", "chaos_guard_overhead_pct", "down", True),
+    ("chaos_guard", "guard_ns_per_fire", "down", False),
 ]
 
 

@@ -44,6 +44,10 @@ subsystem every layer plugs into:
   estimate screens every point, only the frontier band pays the full
   Monte-Carlo evaluation;
 * :mod:`repro.dse.pareto` — multi-objective frontier extraction;
+* :mod:`repro.dse.chaos` — deterministic fault injection
+  (:class:`~repro.dse.chaos.FaultPlane`) at the engine's persistence
+  and network seams, plus the :class:`~repro.dse.chaos.InvariantChecker`
+  that replays a campaign directory and asserts its conservation laws;
 * :mod:`repro.dse.campaign` — :func:`explore_memory` (VAET-STT) and
   :func:`explore_system` (MAGPIE) entry points.
 
@@ -59,6 +63,15 @@ from repro.dse.adaptive import (
     score_records,
 )
 from repro.dse.cache import ResultCache
+from repro.dse.chaos import (
+    ChaosCrash,
+    ChaosDrop,
+    Fault,
+    FaultPlane,
+    InvariantChecker,
+    Schedule,
+    seeded_schedule,
+)
 from repro.dse.fidelity import (
     FIDELITY_MODES,
     LOWFI_MEMORY_TARGET,
@@ -78,6 +91,7 @@ from repro.dse.checkpoint import (
     run_checkpointed,
 )
 from repro.dse.executors import (
+    CHAOS_TARGET,
     EXECUTOR_NAMES,
     SELFTEST_TARGET,
     Executor,
@@ -97,14 +111,18 @@ from repro.dse.pareto import Objective, dominance_ranks, dominates, pareto_front
 from repro.dse.runner import (
     MEMORY_TARGET,
     SYSTEM_TARGET,
+    TIMEOUT_ERROR,
     WORKERS_ENV,
     CampaignRunner,
     Progress,
     default_workers,
     get_batch_target,
     get_target,
+    get_target_deadline,
+    is_timeout_error,
     register_batch_target,
     register_target,
+    timeout_error,
 )
 from repro.dse.net import (
     CampaignServer,
@@ -155,15 +173,27 @@ __all__ = [
     "parse_connect",
     "run_network_worker",
     "SELFTEST_TARGET",
+    "CHAOS_TARGET",
     "Progress",
     "default_workers",
     "WORKERS_ENV",
     "MEMORY_TARGET",
     "SYSTEM_TARGET",
+    "TIMEOUT_ERROR",
+    "timeout_error",
+    "is_timeout_error",
+    "get_target_deadline",
     "register_target",
     "get_target",
     "register_batch_target",
     "get_batch_target",
+    "ChaosCrash",
+    "ChaosDrop",
+    "Fault",
+    "FaultPlane",
+    "InvariantChecker",
+    "Schedule",
+    "seeded_schedule",
     "CampaignState",
     "campaign_key",
     "journal_path",

@@ -58,7 +58,11 @@ quarantine; ``--retries`` / ``--backoff`` override it per run.  A
 top-level ``"batch": N`` evaluates up to N points per worker
 invocation through the batched evaluator (``--batch-size`` overrides
 it per run); batching is a scheduling hint — results and the campaign
-signature are identical to unbatched runs.
+signature are identical to unbatched runs.  A top-level
+``"deadline": SECONDS`` bounds every evaluation's wall clock
+(``--deadline`` overrides it per run): a point still running past it
+is reaped and journaled as a timeout failure, retryable and
+quarantinable like any other failure, and counted by ``status``.
 
 ``settings`` keys are passed through to :func:`run_memory_campaign` /
 :func:`run_system_campaign` verbatim, so everything those accept
@@ -201,6 +205,17 @@ def load_spec(path: str) -> Dict:
             raise SystemExit(
                 'spec %s: "batch" must be a positive integer, got %r'
                 % (path, batch)
+            )
+    if "deadline" in spec:
+        deadline = spec["deadline"]
+        if (
+            not isinstance(deadline, (int, float))
+            or isinstance(deadline, bool)
+            or deadline <= 0
+        ):
+            raise SystemExit(
+                'spec %s: "deadline" must be a positive number of seconds, '
+                "got %r" % (path, deadline)
             )
     return spec
 
@@ -366,6 +381,12 @@ def _run_campaign(spec: Dict, args, resume: bool):
         settings.setdefault("batch_size", spec["batch"])
     if getattr(args, "batch_size", None) is not None:
         settings["batch_size"] = args.batch_size
+    # Deadline: same shape — spec-level "deadline" is the campaign's
+    # default per-evaluation budget, --deadline overrides it per run.
+    if spec.get("deadline") is not None:
+        settings.setdefault("deadline", spec["deadline"])
+    if getattr(args, "deadline", None) is not None:
+        settings["deadline"] = args.deadline
     workers_dirs = getattr(args, "workers_dirs", None)
     if workers_dirs:
         # A typo or an unmounted share must not silently merge nothing
@@ -499,12 +520,14 @@ def cmd_status(args) -> int:
         100.0 * status["done"] / status["total"] if status["total"] else 0.0
     )
     print("campaign:  %s..." % status["campaign_key"][:16])
-    print("progress:  %d/%d done (%.1f%%), %d failed, %d remaining"
+    print("progress:  %d/%d done (%.1f%%), %d failed (%d timed out), "
+          "%d remaining"
           % (
               status["done"],
               status["total"],
               percent,
               status["failed"],
+              status["timeouts"],
               status["remaining"],
           ))
     print("retries:   %d point(s) retried (%d extra runs), %d quarantined"
@@ -753,6 +776,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="evaluate up to N points per worker invocation "
                  "(overrides the spec's \"batch\"; results are "
                  "identical to unbatched runs)",
+        )
+        command.add_argument(
+            "--deadline", type=_positive_float, default=None,
+            metavar="SECONDS",
+            help="per-evaluation wall-clock budget (overrides the "
+                 "spec's \"deadline\"); a point still running past it "
+                 "is reaped and recorded as a timeout failure",
         )
 
     run = sub.add_parser("run", help="run a campaign (resumably)")

@@ -25,6 +25,8 @@ import os
 import tempfile
 from typing import Dict, List, Optional
 
+from repro.dse import chaos
+
 
 class ResultCache:
     """Directory-backed map from job key to result record.
@@ -104,7 +106,13 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: Dict) -> None:
-        """Store one record atomically (write + rename)."""
+        """Store one record atomically (write + rename).
+
+        The ``cache.put`` chaos hook fires before any file is touched,
+        so an injected ENOSPC/crash surfaces cleanly: no temp litter,
+        no half-written record, the slot still a plain miss.
+        """
+        chaos.fire("cache.put", path=self.path_for(key), key=key)
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(

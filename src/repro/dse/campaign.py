@@ -542,6 +542,7 @@ def explore_memory(
     retry: Optional[RetryPolicy] = None,
     progress: Optional[ProgressCallback] = None,
     batch_size: Optional[int] = None,
+    deadline: Optional[float] = None,
     fidelity: str = "high",
     promote_ranks: int = 1,
 ) -> MemoryCampaignResult:
@@ -589,6 +590,11 @@ def explore_memory(
             is shared across each chunk).  Scheduling hint only —
             results, cache keys and seeds are identical to unbatched
             runs.  Ignored when a pre-built ``runner`` is passed.
+        deadline: Per-evaluation wall-clock budget [s] — a point still
+            running past it is reaped and recorded as a timeout
+            failure (see :attr:`~repro.dse.jobs.Job.deadline`).  Like
+            ``batch_size``, a scheduling knob outside the content key;
+            ignored when a pre-built ``runner`` is passed.
         fidelity: ``"high"`` (default) — every point pays the full
             Monte-Carlo evaluation; ``"low"`` — every point uses the
             analytic NVSim-class estimate only (quick sweeps,
@@ -607,7 +613,8 @@ def explore_memory(
     if runner is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
         runner = CampaignRunner(
-            workers=workers, cache=cache, batch_size=batch_size
+            workers=workers, cache=cache, batch_size=batch_size,
+            deadline=deadline,
         )
 
     def build_jobs(points):
@@ -674,6 +681,7 @@ def run_memory_campaign(
     executor_options: Optional[Dict] = None,
     workers_dirs: Optional[Sequence[str]] = None,
     batch_size: Optional[int] = None,
+    deadline: Optional[float] = None,
     fidelity: str = "high",
     promote_ranks: int = 1,
 ) -> MemoryCampaignResult:
@@ -720,6 +728,12 @@ def run_memory_campaign(
             changes *how* points evaluate, never the journal format,
             the campaign signature, or the results — a resumed
             campaign may freely change it.
+        deadline: Per-evaluation wall-clock budget [s]; evaluations
+            still running past it are reaped and journaled as timeout
+            failures (retryable / quarantinable under ``retry``,
+            counted by ``status``).  A scheduling knob like
+            ``batch_size`` — outside the content key and the campaign
+            signature, so a resumed campaign may freely change it.
         fidelity / promote_ranks: Multi-fidelity mode, as in
             :func:`explore_memory`.  Fidelity is part of every job's
             content key *and* (for non-default modes) the campaign
@@ -757,7 +771,8 @@ def run_memory_campaign(
         executor, campaign_dir, workers, executor_options
     )
     runner = CampaignRunner(
-        workers=workers, cache=cache, executor=engine, batch_size=batch_size
+        workers=workers, cache=cache, executor=engine,
+        batch_size=batch_size, deadline=deadline,
     )
     journal = journal_path(campaign_dir, prefer_existing=resume)
 
@@ -948,6 +963,7 @@ def explore_system(
     sampler_options: Optional[Dict] = None,
     objectives: Sequence[ObjectiveSpec] = ("edp",),
     progress: Optional[ProgressCallback] = None,
+    deadline: Optional[float] = None,
 ) -> SystemCampaignResult:
     """Run a system-level (MAGPIE) campaign over a kernel x scenario grid.
 
@@ -976,7 +992,7 @@ def explore_system(
     flow = MagpieFlow(node_nm=node_nm, base=base, wer_target=wer_target)
     if runner is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
-        runner = CampaignRunner(workers=workers, cache=cache)
+        runner = CampaignRunner(workers=workers, cache=cache, deadline=deadline)
 
     start = time.perf_counter()
     trace = None
@@ -1043,6 +1059,7 @@ def run_system_campaign(
     executor_options: Optional[Dict] = None,
     workers_dirs: Optional[Sequence[str]] = None,
     batch_size: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> SystemCampaignResult:
     """Resumable :func:`explore_system`: cache + journal in a directory.
 
@@ -1073,7 +1090,8 @@ def run_system_campaign(
         executor, campaign_dir, workers, executor_options
     )
     runner = CampaignRunner(
-        workers=workers, cache=cache, executor=engine, batch_size=batch_size
+        workers=workers, cache=cache, executor=engine,
+        batch_size=batch_size, deadline=deadline,
     )
     jobs = _system_jobs(flow, cells)
     journal = journal_path(campaign_dir, prefer_existing=resume)

@@ -54,7 +54,7 @@ from repro.dse.journal import (
     read_events,
 )
 from repro.dse.retry import RetryPolicy
-from repro.dse.runner import CampaignRunner, Progress
+from repro.dse.runner import CampaignRunner, Progress, is_timeout_error
 
 #: Journal schema version read/written by this build (see journal.py).
 #: Version 1 (legacy atomic-JSON) is read once and upgraded in flight.
@@ -483,6 +483,10 @@ class CampaignState:
             }
             if not outcome.ok:
                 event["error"] = outcome.error
+                if is_timeout_error(outcome.error):
+                    # Redundant with the error prefix, but greppable:
+                    # reaped points stand out in the raw journal.
+                    event["timeout"] = True
             if outcome.attempts > 1:
                 event["attempts"] = outcome.attempts
         self._append(event)
@@ -554,6 +558,20 @@ class CampaignState:
         return sum(1 for entry in self.completed.values() if not entry["ok"])
 
     @property
+    def timeouts(self) -> int:
+        """Failed points whose final attempt was reaped at its deadline.
+
+        Derived from the journaled error string, so journals written
+        before deadlines existed (and snapshots without the redundant
+        ``timeout`` event flag) count correctly.
+        """
+        return sum(
+            1
+            for entry in self.completed.values()
+            if not entry["ok"] and is_timeout_error(entry.get("error"))
+        )
+
+    @property
     def retried(self) -> int:
         """Points that needed at least one retry."""
         return sum(1 for count in self.attempts.values() if count > 1)
@@ -570,6 +588,7 @@ class CampaignState:
             "total": self.total,
             "done": self.done,
             "failed": self.failed,
+            "timeouts": self.timeouts,
             "remaining": max(0, self.total - self.done),
             "retried": self.retried,
             "retries": self.retries,

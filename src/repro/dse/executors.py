@@ -49,6 +49,7 @@ finished while it was gone.
 
 import hashlib
 import json
+import logging
 import os
 import socket
 import subprocess
@@ -57,6 +58,7 @@ import threading
 import time
 from typing import Collection, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.dse import chaos
 from repro.dse.cache import ResultCache
 from repro.dse.jobs import Job
 from repro.dse.journal import atomic_write_json
@@ -69,6 +71,8 @@ from repro.dse.runner import (
     execute_batch_tasks,
     register_target,
 )
+
+logger = logging.getLogger(__name__)
 
 #: One evaluation outcome: (ok, result, error, elapsed).
 Outcome = Tuple[bool, Optional[Dict], Optional[str], float]
@@ -142,11 +146,14 @@ class SerialExecutor(Executor):
         for chunk in _chunk_jobs(jobs):
             if len(chunk) == 1:
                 job = chunk[0]
-                yield job, _execute((job.target, dict(job.spec), job.seed))
+                yield job, _execute(
+                    (job.target, dict(job.spec), job.seed, job.deadline)
+                )
                 continue
-            outcomes = _execute_batch(
-                [(job.target, dict(job.spec), job.seed) for job in chunk]
-            )
+            outcomes = _execute_batch([
+                (job.target, dict(job.spec), job.seed, job.deadline)
+                for job in chunk
+            ])
             for job, outcome in zip(chunk, outcomes):
                 yield job, outcome
 
@@ -188,7 +195,7 @@ class ProcessPoolExecutor(Executor):
                     (
                         indices,
                         [
-                            (job.target, dict(job.spec), job.seed)
+                            (job.target, dict(job.spec), job.seed, job.deadline)
                             for job in chunk
                         ],
                     )
@@ -201,7 +208,7 @@ class ProcessPoolExecutor(Executor):
                         yield jobs[position], outcome
             return
         payloads = [
-            (position, job.target, dict(job.spec), job.seed)
+            (position, job.target, dict(job.spec), job.seed, job.deadline)
             for position, job in enumerate(jobs)
         ]
         chunksize = self.chunksize or max(1, len(payloads) // (self.workers * 4))
@@ -390,9 +397,11 @@ class LeaseJournal:
             line = json.dumps(event, separators=(",", ":")) + "\n"
             directory = os.path.dirname(self.path) or "."
             os.makedirs(directory, exist_ok=True)
+            chaos.fire("lease.append", path=self.path, worker=self.worker)
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(line)
                 handle.flush()
+            chaos.fire("lease.appended", path=self.path, worker=self.worker)
 
     def claim(self, task: str, ttl: float) -> None:
         self.append({"event": "claim", "task": task, "ttl": float(ttl)})
@@ -478,12 +487,22 @@ class _Heartbeat:
 
     Accepts one task id or a whole claimed chunk — a batch-claiming
     worker keeps every lease in its chunk alive with a single thread.
+
+    A positive ``deadline`` caps how long the beats continue: once the
+    evaluation has overrun its wall-clock budget the thread stops
+    renewing, the lease lawfully expires ``ttl`` later, and surviving
+    workers reclaim the task — the backstop for platforms where the
+    in-process reaper cannot kill the stuck evaluation itself.
     """
 
-    def __init__(self, journal: LeaseJournal, task, ttl: float):
+    def __init__(
+        self, journal: LeaseJournal, task, ttl: float, deadline: float = 0.0
+    ):
         self._journal = journal
         self._tasks = [task] if isinstance(task, str) else list(task)
         self._ttl = float(ttl)
+        self._deadline = float(deadline or 0.0)
+        self._started = time.monotonic()
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
@@ -492,12 +511,25 @@ class _Heartbeat:
         # Beat at a third of the TTL so one missed beat never expires
         # a healthy worker's lease.
         while not self._stop.wait(self._ttl / 3.0):
+            if (
+                self._deadline
+                and time.monotonic() - self._started > self._deadline
+            ):
+                return  # overran the deadline: let the lease expire
             for task in self._tasks:
                 self._journal.heartbeat(task, self._ttl)
 
     def stop(self) -> None:
         self._stop.set()
         self._thread.join(timeout=5.0)
+        if self._thread.is_alive():
+            logger.warning(
+                "heartbeat thread %r (worker %s, task(s) %s) did not stop "
+                "within 5s; leaking it daemonised",
+                self._thread.name,
+                self._journal.worker,
+                ",".join(self._tasks),
+            )
 
 
 # -- the work queue (shared by coordinator and workers) ------------------
@@ -605,7 +637,9 @@ class WorkQueue:
         A job with a ``batch_size`` hint records it as the task's
         ``"batch"`` key — workers claiming such a task may lease up to
         that many more tasks in the same round trip and evaluate the
-        chunk together.
+        chunk together.  A job's ``deadline`` rides along the same way:
+        workers enforce it on the evaluation and stop heartbeating past
+        it, so a stuck point can never pin a lease forever.
         """
         tid = task_id(job)
         path = self.task_path(tid)
@@ -620,6 +654,8 @@ class WorkQueue:
             }
             if job.batch_size > 1:
                 record["batch"] = int(job.batch_size)
+            if job.deadline:
+                record["deadline"] = float(job.deadline)
             atomic_write_json(path, record)
         return tid
 
@@ -652,6 +688,7 @@ class WorkQueue:
 
     def publish_result(self, tid: str, outcome: Outcome, worker: str) -> None:
         ok, result, error, elapsed = outcome
+        chaos.fire("queue.result", task=tid, worker=worker)
         atomic_write_json(
             self.result_path(tid),
             {
@@ -955,8 +992,14 @@ def _evaluate_claimed(
         else:
             to_run.append(task)
     if to_run:
+        # The chunk's heartbeat budget is the sum of its members'
+        # deadlines (they evaluate sequentially); any member without
+        # one leaves the chunk unbounded, as before.
+        deadlines = [float(task.get("deadline") or 0.0) for task in to_run]
+        budget = sum(deadlines) if all(d > 0 for d in deadlines) else 0.0
         heartbeat = _Heartbeat(
-            journal, [task["task"] for task in to_run], lease_ttl
+            journal, [task["task"] for task in to_run], lease_ttl,
+            deadline=budget,
         )
         try:
             evaluated = execute_batch_tasks(to_run)
@@ -1388,3 +1431,52 @@ def evaluate_selftest(spec, seed: int) -> Dict:
 
 
 register_target(SELFTEST_TARGET, evaluate_selftest)
+
+
+#: Registered name of the chaos twin of the self-test evaluator.
+CHAOS_TARGET = "dse-chaos"
+
+
+def evaluate_chaos(spec, seed: int) -> Dict:
+    """Chaos twin of the self-test evaluator: injects evaluation faults.
+
+    Driven by the spec's ``"chaos"`` knob — every other key behaves
+    exactly as in :func:`evaluate_selftest`:
+
+    * ``"hang"`` — sleep far past any plausible deadline (``chaos_s``,
+      default 3600 s); only meaningful under a deadline, which reaps it;
+    * ``"slow"`` — sleep ``chaos_s`` seconds (default 0.5), then
+      evaluate normally;
+    * ``"crash"`` — raise deterministically;
+    * ``"exit"`` — kill the evaluating process with exit code
+      ``chaos_code`` (default 17), simulating a wrong-exit evaluator;
+    * ``"hang_first"`` / ``"crash_first"`` / ``"exit_first"`` — fault
+      only the first ``chaos_n`` invocations (default 1), counted by
+      the same cross-process marker files the self-test uses, so a
+      reaped/retried point eventually succeeds on every executor.
+    """
+    mode = str(spec.get("chaos") or "")
+    if mode:
+        faulty = True
+        if mode.endswith("_first"):
+            first = int(spec.get("chaos_n", 1))
+            invocation = _selftest_invocation("chaos-%s" % (spec.get("x", 0),))
+            faulty = invocation <= first
+            mode = mode[: -len("_first")]
+        if faulty:
+            if mode == "hang":
+                time.sleep(float(spec.get("chaos_s", 3600.0)))
+            elif mode == "slow":
+                time.sleep(float(spec.get("chaos_s", 0.5)))
+            elif mode == "crash":
+                raise RuntimeError(
+                    "chaos: injected crash at point %r" % (spec.get("x", 0),)
+                )
+            elif mode == "exit":
+                os._exit(int(spec.get("chaos_code", 17)))
+            else:
+                raise ValueError("chaos: unknown fault mode %r" % (mode,))
+    return evaluate_selftest(spec, seed)
+
+
+register_target(CHAOS_TARGET, evaluate_chaos)

@@ -51,6 +51,8 @@ import os
 import tempfile
 from typing import Dict, List, Optional, Tuple
 
+from repro.dse import chaos
+
 #: JSONL journal schema version (the legacy atomic-JSON format was 1).
 JOURNAL_VERSION = 2
 
@@ -69,6 +71,7 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
     """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
+    chaos.fire("journal.atomic", path=path)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
@@ -213,11 +216,20 @@ class JsonlJournal:
         return open(self.path, "a", encoding="utf-8")
 
     def append(self, event: Dict) -> None:
-        """Write one event line; flush always, fsync on the batch cadence."""
+        """Write one event line; flush always, fsync on the batch cadence.
+
+        Chaos hook sites: ``journal.append`` fires *before* the line is
+        written (an ENOSPC there leaves the file untouched — a clean,
+        resumable error, never a corrupt journal); ``journal.appended``
+        fires after the flush (a torn fault there tears exactly the
+        flushed tail, the state a power cut mid-append leaves).
+        """
+        chaos.fire("journal.append", path=self.path)
         if self._handle is None:
             self._handle = self._open_for_append()
         self._handle.write(encode_event(event))
         self._handle.flush()
+        chaos.fire("journal.appended", path=self.path)
         self.lines += 1
         self._unsynced += 1
         if self._unsynced >= self.fsync_every:

@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Collection, Dict, List, Optional, Set, Tuple
 
+from repro.dse import chaos
 from repro.dse.cache import ResultCache
 from repro.dse.executors import (
     LeaseJournal,
@@ -266,7 +267,17 @@ class CampaignServer:
                 if not line or not line.endswith(b"\n"):
                     break  # peer closed (mid-line counts as closed)
                 try:
+                    # Chaos seam: a "drop" fault aborts this connection
+                    # before the message is processed (the worker's
+                    # reconnect/redeliver path owns recovery); a
+                    # "delay" fault models a paused/slow server.
+                    chaos.fire("server.message", path=self.queue.root)
                     reply = self.handle_message(decode_message(line))
+                except chaos.ChaosDrop:
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    break
                 except ProtocolError as exc:
                     reply = {"ok": False, "error": str(exc)}
                 try:

@@ -16,6 +16,7 @@ for ``grace`` consecutive ticks after having been reachable — the
 supervisor winds the fleet down and exits.
 """
 
+import logging
 import os
 import subprocess
 import sys
@@ -23,6 +24,8 @@ import time
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.dse.net.protocol import Connection, ProtocolError, parse_connect
+
+logger = logging.getLogger(__name__)
 
 
 def probe_status(
@@ -184,7 +187,14 @@ class Supervisor:
         return 0 if clean else 1
 
     def shutdown(self, timeout: float = 10.0) -> None:
-        """Terminate (then kill) whatever is left of the fleet."""
+        """Terminate (then kill) whatever is left of the fleet.
+
+        A worker that survives both the terminate grace window and the
+        follow-up SIGKILL (unkillable: stuck in uninterruptible I/O, or
+        a ptrace-frozen process) is logged with its pid instead of
+        silently leaked — an operator must know the host still carries
+        it.
+        """
         for proc in self.procs:
             if proc.poll() is None:
                 proc.terminate()
@@ -195,5 +205,12 @@ class Supervisor:
                 proc.wait(timeout=remaining)
             except subprocess.TimeoutExpired:
                 proc.kill()
-                proc.wait()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    logger.warning(
+                        "worker pid %d survived terminate and kill during "
+                        "supervisor shutdown; leaking it",
+                        proc.pid,
+                    )
         del self.procs[:]

@@ -7,13 +7,17 @@ wind-down conditions (server ``stop`` reply, ``idle_timeout``,
 request/reply to the campaign server instead of a filesystem
 operation, so the worker host needs no shared mount.
 
-Disconnect handling: the connection is retried with exponential
-backoff (a SIGKILLed server restarted on the same port is picked up
-transparently), and an evaluated-but-unreported outcome survives the
-reconnect and is delivered first — an evaluation is minutes of Monte
-Carlo; a dropped socket must not discard it.
+Disconnect handling: the connection is retried with decorrelated-jitter
+exponential backoff (a SIGKILLed server restarted on the same port is
+picked up transparently, and a whole fleet that lost it at the same
+instant fans its retries out instead of thundering back in lockstep),
+and an evaluated-but-unreported outcome survives the reconnect and is
+delivered first — an evaluation is minutes of Monte Carlo; a dropped
+socket must not discard it.
 """
 
+import logging
+import random
 import threading
 import time
 from typing import Optional, Tuple, Union
@@ -27,6 +31,22 @@ from repro.dse.net.protocol import (
 )
 from repro.dse.runner import execute_batch_tasks
 
+logger = logging.getLogger(__name__)
+
+
+def reconnect_backoff(
+    wait: float, base: float, max_backoff: float, rng: "random.Random"
+) -> float:
+    """Next reconnect delay under decorrelated jitter.
+
+    ``min(max_backoff, uniform(base, wait * 3))``: grows roughly
+    exponentially in expectation but never in lockstep — a supervised
+    fleet that lost its server at the same instant would otherwise
+    retry in synchronised waves (a thundering herd on the restarted
+    server).  Always returns a value in ``[base, max_backoff]``.
+    """
+    return min(float(max_backoff), rng.uniform(base, max(base, wait * 3.0)))
+
 
 class _NetHeartbeat:
     """Beat leased task(s) over the shared connection while evaluating.
@@ -38,22 +58,41 @@ class _NetHeartbeat:
     only risks a benign duplicate evaluation, never a lost one.  A
     batch-leasing worker passes its whole chunk; one thread keeps every
     lease in it alive.
+
+    As in the filesystem worker's heartbeat, a positive ``deadline``
+    stops the beats once the evaluation has overrun its budget, so the
+    server-side lease lawfully expires and survivors reclaim the task.
     """
 
-    def __init__(self, conn: Connection, worker: str, task, ttl: float):
+    def __init__(
+        self,
+        conn: Connection,
+        worker: str,
+        task,
+        ttl: float,
+        deadline: float = 0.0,
+    ):
         self._conn = conn
-        tasks = [task] if isinstance(task, str) else list(task)
+        self._worker = worker
+        self._tasks = [task] if isinstance(task, str) else list(task)
         self._messages = [
             {"op": "heartbeat", "worker": worker, "task": tid}
-            for tid in tasks
+            for tid in self._tasks
         ]
         self._ttl = float(ttl)
+        self._deadline = float(deadline or 0.0)
+        self._started = time.monotonic()
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
 
     def _run(self) -> None:
         while not self._stop.wait(self._ttl / 3.0):
+            if (
+                self._deadline
+                and time.monotonic() - self._started > self._deadline
+            ):
+                return  # overran the deadline: let the lease expire
             for message in self._messages:
                 try:
                     self._conn.request(message)
@@ -63,6 +102,14 @@ class _NetHeartbeat:
     def stop(self) -> None:
         self._stop.set()
         self._thread.join(timeout=5.0)
+        if self._thread.is_alive():
+            logger.warning(
+                "network heartbeat thread %r (worker %s, task(s) %s) did "
+                "not stop within 5s; leaking it daemonised",
+                self._thread.name,
+                self._worker,
+                ",".join(self._tasks),
+            )
 
 
 def run_network_worker(
@@ -104,6 +151,7 @@ def run_network_worker(
     idle_since = time.monotonic()
     unreported = []  # [(tid, outcome), ...] held across reconnects
     disconnected_since: Optional[float] = None
+    rng = random.Random()  # per-worker stream: jitter must differ per worker
     wait = backoff
     try:
         while True:
@@ -133,7 +181,7 @@ def run_network_worker(
                             % (host, port, reconnect_timeout, exc)
                         )
                     time.sleep(min(wait, max_backoff))
-                    wait = min(wait * 2.0, max_backoff)
+                    wait = reconnect_backoff(wait, backoff, max_backoff, rng)
                     continue
                 disconnected_since = None
                 wait = backoff
@@ -183,11 +231,17 @@ def run_network_worker(
             else:
                 raise ProtocolError("unexpected lease reply op %r" % (op,))
             idle_since = time.monotonic()
+            # The chunk's heartbeat budget is the sum of its members'
+            # deadlines (sequential evaluation); a member without one
+            # leaves the chunk unbounded, as before.
+            deadlines = [float(task.get("deadline") or 0.0) for task in tasks]
+            budget = sum(deadlines) if all(d > 0 for d in deadlines) else 0.0
             heartbeat = _NetHeartbeat(
                 conn,
                 worker,
                 [task["task"] for task in tasks],
                 float(tasks[0].get("ttl", 30.0)),
+                deadline=budget,
             )
             try:
                 outcomes = execute_batch_tasks(tasks)

@@ -21,6 +21,15 @@ Deterministic failures therefore cost ``max_attempts`` invocations once
 and then replay from the journal forever; flaky points either recover
 on a reseeded attempt or land in quarantine instead of silently
 poisoning the campaign.
+
+**Timeouts are a failure class like any other**: an evaluation reaped
+at its deadline (see :attr:`~repro.dse.jobs.Job.deadline`) surfaces as
+a failed outcome whose error carries the
+:data:`~repro.dse.runner.TIMEOUT_ERROR` prefix — it spends the same
+budget, retries with the same reseeded streams (a hang under one RNG
+stream may converge under another), and quarantines the same way when
+the budget runs out.  ``status`` counts these separately as
+``timeouts``.
 """
 
 from dataclasses import dataclass, replace
@@ -93,6 +102,7 @@ class RetryPolicy:
 
         Same target/spec (and therefore the same content key and cache
         address) but a distinct, deterministic RNG stream.  Scheduling
-        hints (``batch_size``) ride along unchanged.
+        hints (``batch_size``, ``deadline``) ride along unchanged — a
+        timed-out point retries under the same deadline.
         """
         return replace(job, reseed=attempts)

@@ -30,7 +30,10 @@ payload shipped to workers is plain picklable data.
 """
 
 import importlib
+import json
 import os
+import select
+import signal
 import time
 import traceback
 from dataclasses import dataclass, replace
@@ -45,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from repro.dse import chaos
 from repro.dse.cache import ResultCache
 from repro.dse.jobs import Job, JobResult
 from repro.dse.retry import RetryPolicy
@@ -66,8 +70,32 @@ _TARGETS: Dict[str, Callable[[Mapping, int], Dict]] = {}
 #: name -> fn(specs, seeds) -> [Outcome, ...] (one per point, in order).
 _BATCH_TARGETS: Dict[str, Callable] = {}
 
+#: name -> default per-evaluation deadline [s] (0 = unbounded); the
+#: lowest-precedence source of a job's effective deadline (job field,
+#: then runner setting, then this registry).
+_TARGET_DEADLINES: Dict[str, float] = {}
 
-def register_target(name: str, fn: Callable[[Mapping, int], Dict]) -> None:
+#: Error-string prefix identifying a reaped (timed-out) evaluation.
+TIMEOUT_ERROR = "EvaluationTimeout"
+
+
+def timeout_error(deadline: float) -> str:
+    """The canonical error string for a reaped evaluation."""
+    return "%s: evaluation exceeded its %.6gs deadline" % (
+        TIMEOUT_ERROR, deadline
+    )
+
+
+def is_timeout_error(error: Optional[str]) -> bool:
+    """True if a failure record's error marks a deadline timeout."""
+    return bool(error) and error.startswith(TIMEOUT_ERROR)
+
+
+def register_target(
+    name: str,
+    fn: Callable[[Mapping, int], Dict],
+    deadline: Optional[float] = None,
+) -> None:
     """Register an evaluator under a target name (idempotent overwrite).
 
     Registrations live in the registering process only.  Under the
@@ -75,8 +103,22 @@ def register_target(name: str, fn: Callable[[Mapping, int], Dict]) -> None:
     (macOS/Windows defaults) use a module-qualified target name of the
     form ``"pkg.module:function"`` instead — workers import it
     themselves, no registration needed.
+
+    Args:
+        deadline: Optional default per-evaluation deadline [s] for this
+            target, used when neither the job nor the runner sets one
+            (see :func:`get_target_deadline`).
     """
     _TARGETS[name] = fn
+    if deadline is not None:
+        if deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        _TARGET_DEADLINES[name] = float(deadline)
+
+
+def get_target_deadline(name: str) -> float:
+    """Default deadline registered for a target (0.0 = unbounded)."""
+    return _TARGET_DEADLINES.get(name, 0.0)
 
 
 def get_target(name: str) -> Callable[[Mapping, int], Dict]:
@@ -153,13 +195,14 @@ def isolated_call(
         return (False, None, error, time.perf_counter() - start)
 
 
-def _execute(
+def _execute_plain(
     payload: Tuple[str, Dict, int]
 ) -> Tuple[bool, Optional[Dict], Optional[str], float]:
-    """Worker entry: run one evaluation, never raise."""
+    """Run one evaluation in-process, never raise."""
     target, spec, seed = payload
     start = time.perf_counter()
     try:
+        chaos.fire("evaluate", target=target, seed=seed)
         result = get_target(target)(spec, seed)
         return (True, result, None, time.perf_counter() - start)
     except Exception as exc:  # isolation: one bad point != dead campaign
@@ -171,8 +214,96 @@ def _execute(
         return (False, None, error, time.perf_counter() - start)
 
 
+def _execute_under_deadline(
+    payload: Tuple[str, Dict, int], deadline: float
+) -> Tuple[bool, Optional[Dict], Optional[str], float]:
+    """Run one evaluation under a hard wall-clock deadline.
+
+    The point runs in a forked child (a raw ``os.fork`` — pool workers
+    are daemonic and may not start ``multiprocessing`` children) that
+    reports its outcome over a pipe; a child still running at the
+    deadline is SIGKILLed and the point recorded as a
+    :data:`TIMEOUT_ERROR` failure.  Platforms without ``fork`` degrade
+    gracefully: the point runs unbounded in-process (the pull/network
+    heartbeat cutoff still expires the lease in that case).
+    """
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX fallback
+        return _execute_plain(payload)
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child: evaluate, report, _exit (no parent cleanup)
+        os.close(read_fd)
+        code = 0
+        try:
+            outcome = _execute_plain(payload)
+            data = json.dumps(outcome).encode("utf-8")
+            while data:
+                data = data[os.write(write_fd, data):]
+        except BaseException:
+            code = 1
+        finally:
+            os._exit(code)
+    os.close(write_fd)
+    start = time.perf_counter()
+    buf = b""
+    timed_out = False
+    try:
+        while True:
+            remaining = deadline - (time.perf_counter() - start)
+            if remaining <= 0:
+                timed_out = True
+                break
+            ready, _, _ = select.select([read_fd], [], [], remaining)
+            if not ready:
+                timed_out = True
+                break
+            chunk = os.read(read_fd, 65536)
+            if not chunk:
+                break
+            buf += chunk
+    finally:
+        os.close(read_fd)
+        if timed_out:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:  # already gone
+                pass
+        try:
+            os.waitpid(pid, 0)
+        except OSError:  # reaped elsewhere
+            pass
+    elapsed = time.perf_counter() - start
+    if timed_out:
+        return (False, None, timeout_error(deadline), elapsed)
+    try:
+        ok, result, error, child_elapsed = json.loads(buf.decode("utf-8"))
+        return (bool(ok), result, error, float(child_elapsed))
+    except Exception:
+        return (
+            False, None,
+            "EvaluationCrashed: deadline child exited without an outcome",
+            elapsed,
+        )
+
+
+def _execute(
+    payload: Tuple
+) -> Tuple[bool, Optional[Dict], Optional[str], float]:
+    """Worker entry: run one evaluation, never raise.
+
+    ``payload`` is ``(target, spec, seed)`` with an optional fourth
+    ``deadline`` element; a positive deadline runs the point under the
+    reaper (:func:`_execute_under_deadline`).
+    """
+    deadline = float(payload[3]) if len(payload) > 3 and payload[3] else 0.0
+    core = (payload[0], payload[1], payload[2])
+    if deadline > 0:
+        return _execute_under_deadline(core, deadline)
+    return _execute_plain(core)
+
+
 def _execute_indexed(
-    payload: Tuple[int, str, Dict, int]
+    payload: Tuple
 ) -> Tuple[int, Tuple[bool, Optional[Dict], Optional[str], float]]:
     """Worker entry for unordered maps: echo the submission index back."""
     return payload[0], _execute(payload[1:])
@@ -185,15 +316,20 @@ def execute_task(
 
     The shared evaluation entry for pull-style workers: both the
     filesystem worker (``run_worker``) and the network worker client
-    receive the same task payload (``target``/``spec``/``seed``, as
-    written by :meth:`WorkQueue.publish`) and must produce the same
-    :data:`Outcome` tuple for it.
+    receive the same task payload (``target``/``spec``/``seed`` and an
+    optional ``deadline``, as written by :meth:`WorkQueue.publish`) and
+    must produce the same :data:`Outcome` tuple for it.  A task's
+    deadline is enforced here too — a pull/network worker
+    self-terminates a stuck evaluation instead of hanging forever.
     """
-    return _execute((task["target"], task["spec"], int(task["seed"])))
+    return _execute((
+        task["target"], task["spec"], int(task["seed"]),
+        float(task.get("deadline") or 0.0),
+    ))
 
 
 def _execute_batch(
-    payloads: Sequence[Tuple[str, Dict, int]]
+    payloads: Sequence[Tuple]
 ) -> List[Tuple[bool, Optional[Dict], Optional[str], float]]:
     """Evaluate a chunk of payloads, preferring the batched twin.
 
@@ -201,14 +337,18 @@ def _execute_batch(
     misbehaviour of the twin itself (raising, wrong result count,
     malformed outcomes) fall back to the scalar :func:`_execute` per
     point — batching may only ever change wall-clock, never outcomes.
+    Chunks carrying a deadline always take the scalar path: the reaper
+    bounds each point individually, and a chunk-level kill could change
+    the outcome of a chunk-mate (batching must never do that).
     """
     payloads = list(payloads)
     if not payloads:
         return []
     target = payloads[0][0]
+    has_deadline = any(len(item) > 3 and item[3] for item in payloads)
     batch_fn = (
         get_batch_target(target)
-        if all(item[0] == target for item in payloads)
+        if not has_deadline and all(item[0] == target for item in payloads)
         else None
     )
     if batch_fn is not None:
@@ -247,9 +387,13 @@ def execute_batch_tasks(
     The batched sibling of :func:`execute_task` for pull-style workers
     that lease several tasks per round trip.
     """
-    return _execute_batch(
-        [(task["target"], task["spec"], int(task["seed"])) for task in tasks]
-    )
+    return _execute_batch([
+        (
+            task["target"], task["spec"], int(task["seed"]),
+            float(task.get("deadline") or 0.0),
+        )
+        for task in tasks
+    ])
 
 
 def default_workers() -> int:
@@ -346,6 +490,16 @@ class CampaignRunner:
             signatures, and targets without a twin silently fall back
             to per-point evaluation.  ``None``/``0``/``1`` disable
             batching (the historic behaviour).
+        deadline: Per-evaluation wall-clock budget [s] applied to every
+            job that does not set its own ``Job.deadline``; ``None``/
+            ``0`` fall through to the per-target registry default
+            (:func:`get_target_deadline`).  Enforced on every executor:
+            serial/pool points run under a kill-on-expiry reaper,
+            pull/network workers self-terminate the evaluation and stop
+            heartbeating so the lease lawfully expires.  A reaped point
+            fails with an :data:`TIMEOUT_ERROR` error and is retried/
+            quarantined by the :class:`~repro.dse.retry.RetryPolicy`
+            like any other failure.
     """
 
     def __init__(
@@ -355,16 +509,20 @@ class CampaignRunner:
         chunksize: Optional[int] = None,
         executor=None,
         batch_size: Optional[int] = None,
+        deadline: Optional[float] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_size is not None and batch_size < 0:
             raise ValueError("batch_size must be >= 0")
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0")
         self.workers = workers if workers is not None else default_workers()
         self.cache = cache
         self.chunksize = chunksize
         self.executor = executor
         self.batch_size = int(batch_size or 0)
+        self.deadline = float(deadline or 0.0)
 
     def with_executor(self, executor) -> "CampaignRunner":
         """A runner sharing this one's cache/sizing but another executor."""
@@ -374,7 +532,20 @@ class CampaignRunner:
             chunksize=self.chunksize,
             executor=executor,
             batch_size=self.batch_size,
+            deadline=self.deadline,
         )
+
+    def effective_deadline(self, job: Job) -> float:
+        """The deadline this runner enforces for ``job`` (0 = none).
+
+        Precedence: the job's own ``deadline`` field, then the runner's
+        ``deadline`` setting, then the target's registry default.
+        """
+        if job.deadline:
+            return job.deadline
+        if self.deadline:
+            return self.deadline
+        return get_target_deadline(job.target)
 
     def run(
         self,
@@ -478,6 +649,14 @@ class CampaignRunner:
             to_run = [
                 replace(job, batch_size=self.batch_size) for job in to_run
             ]
+        # Stamp each job's effective deadline the same way (also outside
+        # the content key), so every executor sees one resolved value.
+        to_run = [
+            job
+            if job.deadline == self.effective_deadline(job)
+            else replace(job, deadline=self.effective_deadline(job))
+            for job in to_run
+        ]
         while to_run:
             retries: List[Tuple[Job, float]] = []
             for job, (ok, result, error, elapsed) in self._imap(to_run):

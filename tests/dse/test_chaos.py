@@ -1,0 +1,572 @@
+"""The chaos fault plane: unit coverage + seeded end-to-end schedules.
+
+Three layers:
+
+* unit tests for :class:`~repro.dse.chaos.FaultPlane` mechanics (arming
+  order, skip/count accounting, torn-tail bounds) and the disk faults
+  injected into :class:`~repro.dse.journal.JsonlJournal` /
+  :class:`~repro.dse.cache.ResultCache` (a full disk surfaces a clear
+  ``OSError`` and the campaign stays resumable);
+* deadline semantics: the fork reaper, heartbeat cutoff, scheduling-knob
+  purity (deadlines never move cache addresses) and the decorrelated
+  reconnect jitter;
+* ``pytest -m chaos``: twelve :func:`~repro.dse.chaos.seeded_schedule`
+  scenarios (hangs, crashes, torn writes, ENOSPC, connection drops over
+  serial and full network stacks) driven resume-until-complete, with
+  :class:`~repro.dse.chaos.InvariantChecker` asserting the engine's
+  conservation laws afterwards.  Every assertion message carries the
+  seed — a failing CI run reproduces from that integer alone.
+"""
+
+import errno
+import logging
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.dse import (
+    CHAOS_TARGET,
+    CampaignRunner,
+    CampaignState,
+    ChaosCrash,
+    ChaosDrop,
+    Fault,
+    FaultPlane,
+    InvariantChecker,
+    Job,
+    JsonlJournal,
+    NetworkExecutor,
+    ResultCache,
+    RetryPolicy,
+    campaign_key,
+    is_timeout_error,
+    read_events,
+    run_checkpointed,
+    run_network_worker,
+    seeded_schedule,
+)
+from repro.dse import chaos
+from repro.dse.executors import _Heartbeat, WorkerStalled
+from repro.dse.net.worker import reconnect_backoff
+from repro.dse.runner import _execute, register_target, get_target_deadline
+
+
+# -- FaultPlane mechanics ------------------------------------------------
+
+
+class TestFaultPlane:
+    def test_skip_then_fire_then_spent(self):
+        plane = FaultPlane(seed=1, faults=[Fault("x", "crash", skip=1)])
+        plane.fire("x", {})  # skipped
+        with pytest.raises(ChaosCrash):
+            plane.fire("x", {})
+        plane.fire("x", {})  # count=1: spent
+        assert [f["site"] for f in plane.fired] == ["x"]
+
+    def test_site_prefix_and_match(self):
+        fault = Fault("journal.", "crash", match="camp-a")
+        assert fault.applies("journal.append", {"path": "/tmp/camp-a/j"})
+        assert not fault.applies("journal.append", {"path": "/tmp/camp-b/j"})
+        assert not fault.applies("cache.put", {"path": "/tmp/camp-a/j"})
+
+    def test_one_fault_per_invocation(self):
+        plane = FaultPlane(
+            seed=0,
+            faults=[Fault("x", "delay", delay_s=0.0), Fault("x", "crash")],
+        )
+        plane.fire("x", {})  # the delay wins; the crash must not stack
+        assert [f["kind"] for f in plane.fired] == ["delay"]
+        with pytest.raises(ChaosCrash):
+            plane.fire("x", {})
+
+    def test_probability_is_seeded_deterministic(self):
+        def fires(seed):
+            plane = FaultPlane(
+                seed=seed,
+                faults=[Fault("x", "crash", count=0, probability=0.5)],
+            )
+            hits = []
+            for _ in range(8):
+                try:
+                    plane.fire("x", {})
+                    hits.append(False)
+                except ChaosCrash:
+                    hits.append(True)
+            return hits
+
+        assert fires(7) == fires(7)
+        assert fires(7) != fires(8)  # distinct seeds decorrelate
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("x", "meteor")
+
+    def test_disabled_fire_is_noop(self):
+        assert chaos.active() is None
+        chaos.fire("journal.append", path="/nope")
+
+    def test_install_is_scoped(self):
+        plane = FaultPlane(seed=0)
+        with plane:
+            assert chaos.active() is plane
+        assert chaos.active() is None
+
+    def test_torn_never_crosses_previous_newline(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = b'{"event":"one"}\n'
+        path.write_bytes(first + b'{"event":"two"}\n')
+        FaultPlane._tear(str(path), torn_bytes=1000)
+        data = path.read_bytes()
+        assert data.startswith(first)
+        assert len(data) < len(first) + len(b'{"event":"two"}\n')
+
+
+# -- disk faults at the journal/cache seams ------------------------------
+
+
+class TestDiskFaults:
+    def test_journal_append_enospc_is_clear_and_resumable(self, tmp_path):
+        journal = JsonlJournal(str(tmp_path / "j.jsonl"))
+        journal.append({"event": "begin", "n": 0})
+        with FaultPlane(seed=0, faults=[Fault("journal.append", "enospc")]):
+            with pytest.raises(OSError) as exc_info:
+                journal.append({"event": "lost", "n": 1})
+        assert exc_info.value.errno == errno.ENOSPC
+        assert "no space left" in str(exc_info.value)
+        # Nothing was written, nothing is corrupt, appends resume.
+        events, torn = read_events(journal.path)
+        assert ([e["event"] for e in events], torn) == (["begin"], 0)
+        journal.append({"event": "after", "n": 2})
+        events, torn = read_events(journal.path)
+        assert ([e["event"] for e in events], torn) == (["begin", "after"], 0)
+
+    def test_journal_torn_tail_loses_only_final_line(self, tmp_path):
+        journal = JsonlJournal(str(tmp_path / "j.jsonl"))
+        journal.append({"event": "begin"})
+        with FaultPlane(
+            seed=0, faults=[Fault("journal.appended", "torn", torn_bytes=5)]
+        ):
+            with pytest.raises(ChaosCrash):
+                journal.append({"event": "torn-away"})
+        events, torn = read_events(journal.path)
+        assert [e["event"] for e in events] == ["begin"]
+        assert torn > 0  # the in-flight line, and only it, was torn
+        JsonlJournal(journal.path).append({"event": "healed"})
+        events, torn = read_events(journal.path)
+        assert [e["event"] for e in events] == ["begin", "healed"]
+        assert torn == 0  # the re-opened journal repaired the tail
+
+    def test_cache_put_enospc_is_clear_and_resumable(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with FaultPlane(seed=0, faults=[Fault("cache.put", "enospc")]):
+            with pytest.raises(OSError) as exc_info:
+                cache.put("k" * 16, {"result": 1})
+        assert exc_info.value.errno == errno.ENOSPC
+        assert cache.get("k" * 16) is None  # no torn record
+        cache.put("k" * 16, {"result": 1})
+        assert cache.get("k" * 16) == {"result": 1}
+
+    def test_campaign_survives_journal_enospc(self, tmp_path):
+        """A full disk mid-campaign: clear error, resume finishes."""
+        camp = str(tmp_path / "camp")
+        key = campaign_key({"kind": "chaos-enospc"})
+        jobs = [Job(CHAOS_TARGET, {"x": i}) for i in range(4)]
+
+        def attempt(resume):
+            runner = CampaignRunner(
+                workers=1, cache=ResultCache(os.path.join(camp, "cache"))
+            )
+            state = CampaignState.open(
+                os.path.join(camp, "journal.jsonl"), key,
+                total=len(jobs), resume=resume,
+            )
+            return run_checkpointed(jobs, runner, state)
+
+        with FaultPlane(
+            seed=0, faults=[Fault("journal.append", "enospc", skip=2)]
+        ):
+            with pytest.raises(OSError):
+                attempt(resume=False)
+        outcomes = attempt(resume=True)
+        assert all(o.ok for o in outcomes)
+        assert InvariantChecker(camp).check(expect_complete=True) == []
+
+
+# -- deadline semantics --------------------------------------------------
+
+
+class TestDeadline:
+    def test_reaper_kills_hang_at_deadline(self):
+        start = time.monotonic()
+        ok, result, error, elapsed = _execute(
+            (CHAOS_TARGET, {"x": 1, "chaos": "hang"}, 0, 0.3)
+        )
+        wall = time.monotonic() - start
+        assert not ok and result is None
+        assert is_timeout_error(error)
+        assert wall < 0.3 + 1.0
+
+    def test_reaper_passes_healthy_results_through(self):
+        ok, result, error, elapsed = _execute(
+            (CHAOS_TARGET, {"x": 3}, 9, 5.0)
+        )
+        assert ok and error is None
+        assert result["value"] == 6 and result["seed"] == 9
+
+    def test_reaper_reports_wrong_exit_as_crash(self):
+        ok, result, error, elapsed = _execute(
+            (CHAOS_TARGET, {"x": 1, "chaos": "exit", "chaos_code": 3}, 0, 5.0)
+        )
+        assert not ok
+        assert "EvaluationCrashed" in error
+
+    def test_deadline_outside_content_key(self):
+        plain = Job(CHAOS_TARGET, {"x": 1})
+        bounded = Job(CHAOS_TARGET, {"x": 1}, deadline=2.0)
+        assert plain.key == bounded.key
+        assert plain.seed == bounded.seed
+
+    def test_effective_deadline_precedence(self):
+        target = "dse-chaos-test-deadline"
+        register_target(target, lambda spec, seed: {}, deadline=7.0)
+        try:
+            assert get_target_deadline(target) == 7.0
+            runner = CampaignRunner(workers=1, deadline=3.0)
+            assert runner.effective_deadline(Job(target, {})) == 3.0
+            assert runner.effective_deadline(Job(target, {}, deadline=1.0)) == 1.0
+            bare = CampaignRunner(workers=1)
+            assert bare.effective_deadline(Job(target, {})) == 7.0
+        finally:
+            from repro.dse.runner import _TARGETS, _TARGET_DEADLINES
+
+            _TARGETS.pop(target, None)
+            _TARGET_DEADLINES.pop(target, None)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=1, deadline=-1.0)
+
+    def test_heartbeat_stops_past_deadline(self):
+        class Beats:
+            worker = "w1"
+
+            def __init__(self):
+                self.stamps = []
+
+            def heartbeat(self, task, ttl):
+                self.stamps.append(time.monotonic())
+
+        journal = Beats()
+        heartbeat = _Heartbeat(journal, "task-1", ttl=0.09, deadline=0.2)
+        time.sleep(0.7)
+        # The thread returned on its own once the evaluation overran:
+        # the lease stops renewing and lawfully expires.
+        assert not heartbeat._thread.is_alive()
+        assert all(s < heartbeat._started + 0.45 for s in journal.stamps)
+        heartbeat.stop()
+
+    def test_heartbeat_stop_warns_on_failed_join(self, caplog):
+        class Beats:
+            worker = "w-stuck"
+
+            def heartbeat(self, task, ttl):
+                pass
+
+        heartbeat = _Heartbeat(Beats(), "task-9", ttl=30.0)
+
+        class StuckThread:
+            name = "hb-thread"
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        heartbeat._thread = StuckThread()
+        with caplog.at_level(logging.WARNING, "repro.dse.executors"):
+            heartbeat.stop()
+        assert "did not stop within" in caplog.text
+        assert "w-stuck" in caplog.text and "task-9" in caplog.text
+
+    def test_reconnect_backoff_decorrelated_jitter(self):
+        rng = random.Random(42)
+        base, cap = 0.1, 30.0
+        wait = base
+        waits = []
+        for _ in range(50):
+            wait = reconnect_backoff(wait, base, cap, rng)
+            waits.append(wait)
+        assert all(base <= w <= cap for w in waits)
+        assert max(waits) > 1.0  # grows well past the base...
+        below_cap = [w for w in waits if w < cap]
+        assert len(set(below_cap)) == len(below_cap)  # ...never in lockstep
+        # Seeded determinism: the whole trajectory replays.
+        rng2 = random.Random(42)
+        wait2 = base
+        replay = []
+        for _ in range(50):
+            wait2 = reconnect_backoff(wait2, base, cap, rng2)
+            replay.append(wait2)
+        assert replay == waits
+        # Two workers with distinct RNGs desynchronise immediately.
+        other = random.Random(43)
+        assert reconnect_backoff(base, base, cap, other) != waits[0]
+
+    def test_supervisor_shutdown_warns_on_unkillable_worker(self, caplog):
+        import subprocess
+
+        from repro.dse import Supervisor
+
+        class Unkillable:
+            pid = 4242
+
+            def poll(self):
+                return None
+
+            def terminate(self):
+                pass
+
+            def kill(self):
+                pass
+
+            def wait(self, timeout=None):
+                raise subprocess.TimeoutExpired(cmd="worker", timeout=timeout)
+
+        supervisor = Supervisor(("127.0.0.1", 1), probe=lambda: {})
+        supervisor.procs = [Unkillable()]
+        with caplog.at_level(logging.WARNING, "repro.dse.net.supervisor"):
+            supervisor.shutdown(timeout=0.0)
+        assert "survived terminate and kill" in caplog.text
+        assert "4242" in caplog.text
+        assert supervisor.procs == []
+
+
+# -- the InvariantChecker ------------------------------------------------
+
+
+def _small_campaign(camp, jobs, resume=False, deadline=None, retry=None):
+    runner = CampaignRunner(
+        workers=1,
+        cache=ResultCache(os.path.join(camp, "cache")),
+        deadline=deadline,
+    )
+    state = CampaignState.open(
+        os.path.join(camp, "journal.jsonl"),
+        campaign_key({"kind": "chaos-invariants"}),
+        total=len(jobs),
+        resume=resume,
+    )
+    return run_checkpointed(jobs, runner, state, retry=retry)
+
+
+class TestInvariantChecker:
+    def test_clean_campaign_holds_all_laws(self, tmp_path):
+        camp = str(tmp_path / "camp")
+        _small_campaign(camp, [Job(CHAOS_TARGET, {"x": i}) for i in range(3)])
+        assert InvariantChecker(camp).check(expect_complete=True) == []
+
+    def test_missing_journal_is_a_violation(self, tmp_path):
+        violations = InvariantChecker(str(tmp_path / "void")).check()
+        assert violations and "no campaign journal" in violations[0]
+
+    def test_detects_lost_result(self, tmp_path):
+        camp = str(tmp_path / "camp")
+        _small_campaign(camp, [Job(CHAOS_TARGET, {"x": i}) for i in range(3)])
+        cache_dir = os.path.join(camp, "cache")
+        victims = [
+            os.path.join(directory, name)
+            for directory, _, names in os.walk(cache_dir)
+            for name in names
+            if name.endswith(".json")
+        ]
+        os.unlink(victims[0])
+        violations = InvariantChecker(camp).check(expect_complete=True)
+        assert any("lost result" in v for v in violations)
+
+    def test_incomplete_campaign_flagged_only_when_expected_complete(
+        self, tmp_path
+    ):
+        camp = str(tmp_path / "camp")
+        jobs = [Job(CHAOS_TARGET, {"x": i}) for i in range(3)]
+        runner = CampaignRunner(
+            workers=1, cache=ResultCache(os.path.join(camp, "cache"))
+        )
+        state = CampaignState.open(
+            os.path.join(camp, "journal.jsonl"),
+            campaign_key({"kind": "chaos-invariants"}),
+            total=len(jobs) + 2,  # two points never ran
+        )
+        run_checkpointed(jobs, runner, state)
+        checker = InvariantChecker(camp)
+        assert any("incomplete" in v for v in checker.check(expect_complete=True))
+        assert checker.check(expect_complete=False) == []
+
+
+# -- seeded end-to-end schedules (`pytest -m chaos`) ---------------------
+
+CHAOS_SEEDS = list(range(12))
+
+#: Retry budget generous enough that every *_first evaluation fault
+#: recovers, yet finite so a real regression quarantines loudly.
+CHAOS_RETRY = RetryPolicy(max_attempts=3, backoff=0.0)
+
+
+def _schedule_jobs(schedule):
+    jobs = []
+    for index in range(schedule.points):
+        spec = {"x": index}
+        mode = schedule.evaluation_faults.get(index)
+        if mode:
+            spec["chaos"] = mode
+            if mode == "slow":
+                spec["chaos_s"] = 0.1
+        jobs.append(Job(CHAOS_TARGET, spec))
+    return jobs
+
+
+def _drive_serial(schedule, camp, jobs, key, resume):
+    runner = CampaignRunner(
+        workers=1,
+        cache=ResultCache(os.path.join(camp, "cache")),
+        deadline=schedule.deadline,
+    )
+    state = CampaignState.open(
+        os.path.join(camp, "journal.jsonl"), key,
+        total=len(jobs), resume=resume,
+    )
+    return run_checkpointed(jobs, runner, state, retry=CHAOS_RETRY)
+
+
+class _WorkerFleet:
+    """Respawn crashed network-worker threads until told to stop.
+
+    An injected ``ChaosCrash`` in a worker models that worker's death;
+    a real fleet has a supervisor respawning it, and this is the
+    in-process equivalent (exceptions are swallowed — the protocol's
+    lease expiry + reclaim owns recovery).
+    """
+
+    def __init__(self, address):
+        self.address = address
+        self.stop = threading.Event()
+        self.spawned = 0
+        self._supervisor = threading.Thread(target=self._supervise, daemon=True)
+        self._supervisor.start()
+
+    def _worker(self, name):
+        try:
+            run_network_worker(
+                self.address,
+                worker_id=name,
+                poll=0.01,
+                backoff=0.02,
+                max_backoff=0.2,
+                reconnect_timeout=5.0,
+            )
+        except Exception:
+            pass  # injected death; the supervisor respawns
+
+    def _supervise(self):
+        while not self.stop.is_set():
+            self.spawned += 1
+            thread = threading.Thread(
+                target=self._worker,
+                args=("chaos-w%d" % self.spawned,),
+                daemon=True,
+            )
+            thread.start()
+            while thread.is_alive() and not self.stop.is_set():
+                time.sleep(0.02)
+
+    def close(self):
+        self.stop.set()
+        self._supervisor.join(timeout=10)
+
+
+def _drive_network(schedule, camp, jobs, key, resume):
+    executor = NetworkExecutor(
+        camp, lease_ttl=1.0, poll=0.01, timeout=60
+    )
+    fleet = _WorkerFleet(executor.address)
+    try:
+        runner = CampaignRunner(
+            workers=1,
+            cache=ResultCache(os.path.join(camp, "cache")),
+            executor=executor,
+            deadline=schedule.deadline,
+        )
+        state = CampaignState.open(
+            os.path.join(camp, "journal.jsonl"), key,
+            total=len(jobs), resume=resume,
+        )
+        return run_checkpointed(jobs, runner, state, retry=CHAOS_RETRY)
+    finally:
+        executor.close()
+        fleet.close()
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_seeded_schedule_preserves_invariants(seed, tmp_path, monkeypatch):
+    """One deterministic chaos scenario per seed, resumed to completion.
+
+    Reproduce any failure with exactly this seed:
+    ``seeded_schedule(seed)`` is a pure function of it.
+    """
+    schedule = seeded_schedule(seed)
+    monkeypatch.setenv(
+        "REPRO_DSE_SELFTEST_DIR", str(tmp_path / "invocations")
+    )
+    camp = str(tmp_path / "camp")
+    jobs = _schedule_jobs(schedule)
+    key = campaign_key({"kind": "chaos-schedule", "seed": seed})
+    drive = _drive_network if schedule.mode == "network" else _drive_serial
+
+    outcomes = None
+    with schedule.plane() as plane:
+        for attempt in range(25):
+            resume = os.path.exists(os.path.join(camp, "journal.jsonl"))
+            try:
+                outcomes = drive(schedule, camp, jobs, key, resume)
+                break
+            except (ChaosCrash, ChaosDrop, OSError, WorkerStalled):
+                continue  # the campaign died; resume, as an operator would
+        else:
+            pytest.fail(
+                "chaos seed %d: campaign never converged (%s)"
+                % (seed, schedule)
+            )
+
+    message = "chaos seed %d (%s, fired %s)" % (seed, schedule, plane.fired)
+    assert outcomes is not None, message
+    assert all(o.ok for o in outcomes), message + " outcomes: %s" % (
+        [(o.ok, o.error) for o in outcomes],
+    )
+    violations = InvariantChecker(camp).check(expect_complete=True)
+    assert violations == [], message + " violations: %s" % (violations,)
+
+
+@pytest.mark.chaos
+def test_seed_menu_covers_required_fault_classes():
+    """The CI seed range exercises every acceptance fault class."""
+    kinds = set()
+    evaluation = set()
+    modes = set()
+    for seed in CHAOS_SEEDS:
+        schedule = seeded_schedule(seed)
+        modes.add(schedule.mode)
+        kinds.update(fault.kind for fault in schedule.faults)
+        evaluation.update(schedule.evaluation_faults.values())
+    assert {"enospc", "torn", "crash", "drop"} <= kinds
+    assert "hang_first" in evaluation and "crash_first" in evaluation
+    assert modes == {"serial", "network"}
+
+
+@pytest.mark.chaos
+def test_schedules_are_pure_functions_of_the_seed():
+    for seed in CHAOS_SEEDS:
+        assert seeded_schedule(seed) == seeded_schedule(seed)

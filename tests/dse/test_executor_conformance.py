@@ -14,11 +14,13 @@ in-process); subprocess workers are covered by ``test_worker_pull.py``.
 """
 
 import os
+import shutil
 import threading
 
 import pytest
 
 from repro.dse import (
+    CHAOS_TARGET,
     SELFTEST_TARGET,
     CampaignRunner,
     CampaignState,
@@ -30,6 +32,7 @@ from repro.dse import (
     SerialExecutor,
     WorkerPullExecutor,
     campaign_key,
+    is_timeout_error,
     pareto_front,
     run_checkpointed,
     run_network_worker,
@@ -44,7 +47,7 @@ EXECUTORS = ("serial", "pool", "worker-pull", "network")
 #: Status fields that must match across executors (timestamps and meta
 #: are run-specific by design).
 STATUS_FIELDS = (
-    "total", "done", "failed", "remaining",
+    "total", "done", "failed", "timeouts", "remaining",
     "retried", "retries", "quarantined", "quarantine",
 )
 
@@ -120,9 +123,11 @@ class ExecutorHarness:
         else:  # pragma: no cover - parametrisation bug
             raise ValueError(name)
 
-    def runner(self):
+    def runner(self, deadline=None):
         cache = ResultCache(os.path.join(self.campaign_dir, "cache"))
-        return CampaignRunner(workers=2, cache=cache, executor=self.executor)
+        return CampaignRunner(
+            workers=2, cache=cache, executor=self.executor, deadline=deadline
+        )
 
     def state(self, total, resume=False):
         path = os.path.join(self.campaign_dir, "journal.jsonl")
@@ -142,11 +147,12 @@ def harness(request, tmp_path):
     instance.close()
 
 
-def _reference(tmp_path, jobs, **kwargs):
+def _reference(tmp_path, jobs, deadline=None, **kwargs):
     """The executor-free serial semantics, in an isolated directory."""
     ref_dir = tmp_path / "reference"
     runner = CampaignRunner(
-        workers=1, cache=ResultCache(str(ref_dir / "cache"))
+        workers=1, cache=ResultCache(str(ref_dir / "cache")),
+        deadline=deadline,
     )
     state = CampaignState.open(
         str(ref_dir / "journal.jsonl"), KEY, total=len(jobs)
@@ -263,8 +269,6 @@ class TestConformance:
             Job(SELFTEST_TARGET, {"x": 91, "fail": "always"}),
         ]
         reference, ref_state = _reference(tmp_path, jobs, retry=retry)
-        import shutil
-
         shutil.rmtree(str(scratch))
 
         outcomes = run_checkpointed(
@@ -284,3 +288,50 @@ class TestConformance:
         assert view["quarantined"] == 1
         assert view["quarantine"] == [jobs[4].key]
         assert view["retried"] == 2  # flaky + hopeless both took a retry
+
+    def test_hung_evaluation_reaped_retried_and_identical(
+        self, harness, tmp_path, monkeypatch
+    ):
+        """A hang is reaped at the deadline on every executor.
+
+        One point hangs on its first invocation only (recovers on the
+        reseeded retry), one hangs forever (spends its budget and
+        quarantines as a timeout) — outcomes, journal and status
+        (including the ``timeouts`` count) must match the serial
+        reference exactly.
+        """
+        scratch = tmp_path / "hang"
+        monkeypatch.setenv("REPRO_DSE_SELFTEST_DIR", str(scratch))
+        deadline = 0.5
+        retry = RetryPolicy(max_attempts=2, backoff=0.0)
+        jobs = [Job(CHAOS_TARGET, {"x": i}) for i in range(2)] + [
+            Job(CHAOS_TARGET, {"x": 60, "chaos": "hang_first"}),
+            Job(CHAOS_TARGET, {"x": 61, "chaos": "hang"}),
+        ]
+        reference, ref_state = _reference(
+            tmp_path, jobs, deadline=deadline, retry=retry
+        )
+        shutil.rmtree(str(scratch))
+
+        outcomes = run_checkpointed(
+            jobs,
+            harness.runner(deadline=deadline),
+            harness.state(len(jobs)),
+            retry=retry,
+        )
+        assert _summary(outcomes) == _summary(reference)
+        recovered = outcomes[2]
+        assert recovered.ok and recovered.attempts == 2
+        hopeless = outcomes[3]
+        assert not hopeless.ok and hopeless.attempts == 2
+        assert is_timeout_error(hopeless.error)
+        # Reaped within deadline + epsilon, not at the hang's own length.
+        assert hopeless.elapsed < deadline + 1.0
+
+        reloaded = CampaignState.load(
+            os.path.join(harness.campaign_dir, "journal.jsonl")
+        )
+        view = _status_view(reloaded)
+        assert view == _status_view(ref_state)
+        assert view["timeouts"] == 1
+        assert view["quarantine"] == [jobs[3].key]
