@@ -19,9 +19,9 @@ Runs two ways:
       PYTHONPATH=src python benchmarks/bench_dse.py --snapshot BENCH_dse.json
 
 The ``--snapshot`` mode combines journal throughput, per-event
-lease-fold cost (watermark vs whole-history replay), the four-way
-executor comparison and the scalar-vs-vector evaluator timing into one
-JSON document — ``BENCH_dse.json`` at the repo root is such a
+lease-fold cost (watermark vs whole-history replay), the analytics
+report-build fold, the four-way executor comparison and the
+scalar-vs-vector evaluator timing into one JSON document — ``BENCH_dse.json`` at the repo root is such a
 snapshot, and ``benchmarks/compare_bench.py`` **gates CI** on it: a
 >30% wrong-direction drift in any tracked metric fails the build
 (``REPRO_BENCH_NO_GATE=1`` downgrades the gate to a report).
@@ -56,6 +56,7 @@ from repro.dse import (  # noqa: E402
     NetworkExecutor,
     ParameterSpace,
     ProcessPoolExecutor,
+    ResultCache,
     SerialExecutor,
     WorkerPullExecutor,
     WorkQueue,
@@ -335,6 +336,110 @@ def test_lease_fold_flatness_full():
     """The 10^4-event scale of the acceptance criteria."""
     summary = lease_fold_bench(events=10_000, legacy_folds=50)
     _check_and_save_lease_fold("dse_lease_fold_bench.json", summary)
+    assert summary["events"] >= 10_000
+
+
+# -- analytics report build ----------------------------------------------
+
+
+def analytics_bench(points=5_000, workers=2):
+    """Wall-clock to fold a synthetic campaign into a CampaignReport.
+
+    Synthesises a campaign directory the way a real run writes one —
+    ``started`` + ``done`` journal events through ``CampaignState``
+    (compaction disabled so the full event tail survives), one cache
+    row per point feeding the Pareto join, and per-worker claim
+    journals — then times one :func:`repro.dse.analytics.build_report`
+    over it.  At ``points=5_000`` the journal holds 10^4+ events; the
+    report must fold them (latency percentiles, worker utilization,
+    rates, Pareto evolution) in under a second, or ``analyze`` stops
+    being a thing you casually point at a live campaign.
+    """
+    from repro.dse.analytics import build_report
+
+    summary = {"points": points, "workers": workers}
+    with tempfile.TemporaryDirectory(prefix="bench-analytics-") as camp:
+        key = campaign_key({"kind": "analytics-bench", "points": points})
+        state = CampaignState.open(
+            os.path.join(camp, "journal.jsonl"), key, total=points,
+            meta={"kind": "selftest",
+                  "objectives": [["lat", "min"], ["energy", "min"]]},
+            compact_threshold=0,
+        )
+        cache = ResultCache(os.path.join(camp, "cache"))
+        jobs = [Job("bench-analytics", {"i": i}) for i in range(points)]
+        state.record_started([job.key for job in jobs])
+        for i, job in enumerate(jobs):
+            # Coarse pseudo-random objectives: plenty of front churn.
+            cache.put(job.key, {
+                "target": job.target,
+                "spec": dict(job.spec),
+                "result": {"lat": float((i * 37) % 101),
+                           "energy": float((i * 53) % 97)},
+                "elapsed": 1e-3,
+            })
+            state.record(JobResult(
+                job=job, ok=True, result=None, elapsed=1e-3,
+            ))
+        state.close()
+
+        leases_dir = os.path.join(camp, "work", "leases")
+        os.makedirs(leases_dir)
+        for w in range(workers):
+            path = os.path.join(leases_dir, "w%d.jsonl" % w)
+            with open(path, "w", encoding="utf-8") as journal:
+                seq = 0
+                for i in range(w, points, workers):
+                    for offset, kind in ((0.0, "claim"), (0.5, "done")):
+                        seq += 1
+                        journal.write(json.dumps({
+                            "event": kind, "task": "%s-0" % jobs[i].key,
+                            "worker": "w%d" % w, "ttl": 60.0,
+                            "t": float(i) + offset, "seq": seq,
+                        }) + "\n")
+
+        tick = time.perf_counter()
+        report = build_report(camp)
+        build_s = time.perf_counter() - tick
+
+        assert report.events > 2 * points  # begin + started + done each
+        assert report.status["done"] == points
+        assert report.latency is not None
+        assert report.latency["count"] == points
+        assert len(report.workers) == workers
+        assert report.pareto and report.pareto[-1].completed == points
+        summary.update({
+            "events": report.events,
+            "cache_rows": points,
+            "report_build_s": build_s,
+            "events_per_s": report.events / max(build_s, 1e-9),
+            "pareto_samples": len(report.pareto),
+        })
+    return summary
+
+
+def _check_and_save_analytics(name, summary):
+    # The read-side acceptance bar: a 10^4-event report folds in
+    # well under a second (sub-linear headroom for CI noise).
+    assert summary["report_build_s"] < 1.0, (
+        "report build took %.2fs over %d events"
+        % (summary["report_build_s"], summary["events"])
+    )
+    save_artifact(name, json.dumps(summary, indent=2))
+    return summary
+
+
+def test_analytics_report_build():
+    """Fast tier-1 path: report fold at reduced event scale."""
+    summary = analytics_bench(points=1_000)
+    _check_and_save_analytics("dse_analytics_bench.json", summary)
+
+
+@_slow
+def test_analytics_report_build_full():
+    """The 10^4-event scale of the acceptance criteria."""
+    summary = analytics_bench(points=5_000)
+    _check_and_save_analytics("dse_analytics_bench.json", summary)
     assert summary["events"] >= 10_000
 
 
@@ -746,6 +851,11 @@ def main(argv=None) -> int:
              "surrogate proposal throughput)",
     )
     mode.add_argument(
+        "--analytics", action="store_true",
+        help="analytics report-build only (one build_report fold over "
+             "a synthetic 10^4-event campaign directory)",
+    )
+    mode.add_argument(
         "--snapshot", metavar="PATH", nargs="?", const="BENCH_dse.json",
         help="write the combined perf snapshot (journal throughput, "
              "lease-fold cost, executor comparison, evaluator fast "
@@ -759,6 +869,15 @@ def main(argv=None) -> int:
               "%dx%d selftest bowl" % (SAMPLER_SIDE, SAMPLER_SIDE))
         summary = _check_and_save_sampler(
             "dse_sampler_bench.json", sampler_bench()
+        )
+        print(json.dumps(summary, indent=2))
+        return 0
+
+    if args.analytics:
+        print("analytics: one build_report fold over a synthetic "
+              "10^4-event campaign directory")
+        summary = _check_and_save_analytics(
+            "dse_analytics_bench.json", analytics_bench(points=5_000)
         )
         print(json.dumps(summary, indent=2))
         return 0
@@ -785,9 +904,13 @@ def main(argv=None) -> int:
 
     if args.snapshot:
         print("snapshot: journal @ 10^4 points, lease fold @ 10^4 events, "
-              "executors on 24 sleeping points, evaluator fast path, "
-              "sampler efficiency, chaos guard overhead")
+              "analytics report @ 10^4 events, executors on 24 sleeping "
+              "points, evaluator fast path, sampler efficiency, chaos "
+              "guard overhead")
         snapshot = {
+            "analytics": _check_and_save_analytics(
+                "dse_analytics_bench.json", analytics_bench(points=5_000)
+            ),
             "sampler": _check_and_save_sampler(
                 "dse_sampler_bench.json", sampler_bench()
             ),

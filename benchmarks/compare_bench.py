@@ -39,6 +39,10 @@ METRICS = [
     ("journal", "jsonl_flatness", "down", True),
     ("journal", "resume_load_s", "down", True),
     ("journal", "jsonl_speedup_at_tail", "up", False),
+    # One read-side fold over a 10^4-event campaign directory; the
+    # bench asserts < 1 s absolutely, the gate catches slow creep.
+    ("analytics", "report_build_s", "down", True),
+    ("analytics", "events_per_s", "up", False),
     ("lease_fold", "watermark_us_per_event_last_decile", "down", True),
     ("lease_fold", "watermark_flatness", "down", True),
     ("lease_fold", "watermark_speedup_at_tail", "up", False),

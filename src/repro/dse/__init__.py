@@ -44,6 +44,12 @@ subsystem every layer plugs into:
   estimate screens every point, only the frontier band pays the full
   Monte-Carlo evaluation;
 * :mod:`repro.dse.pareto` — multi-objective frontier extraction;
+* :mod:`repro.dse.analytics` — pure read-side campaign analytics:
+  :func:`~repro.dse.analytics.build_report` replays the journal, the
+  claim journals and the result cache into a
+  :class:`~repro.dse.analytics.CampaignReport` (latency percentiles,
+  worker utilization, cache/retry/timeout rates, Pareto-front
+  evolution) — ``python -m repro.dse analyze <dir>``;
 * :mod:`repro.dse.chaos` — deterministic fault injection
   (:class:`~repro.dse.chaos.FaultPlane`) at the engine's persistence
   and network seams, plus the :class:`~repro.dse.chaos.InvariantChecker`
@@ -53,7 +59,7 @@ subsystem every layer plugs into:
 
 ``DesignSpaceExplorer.sweep_subarrays`` and ``MagpieFlow.run`` are thin
 wrappers over this engine, and ``python -m repro.dse`` drives
-describe/run/resume/status campaigns from the command line.
+describe/run/resume/status/analyze campaigns from the command line.
 """
 
 from repro.dse.adaptive import (
@@ -61,6 +67,12 @@ from repro.dse.adaptive import (
     AdaptiveSampler,
     AdaptiveTrace,
     score_records,
+)
+from repro.dse.analytics import (
+    CampaignReport,
+    ParetoSample,
+    WorkerUtilization,
+    build_report,
 )
 from repro.dse.cache import ResultCache
 from repro.dse.chaos import (
@@ -107,7 +119,15 @@ from repro.dse.jobs import Job, JobResult, canonical_json, content_key
 from repro.dse.journal import JOURNAL_VERSION, JsonlJournal, read_events
 from repro.dse.retry import RetryPolicy
 from repro.dse.shard import ShardedResultCache, merge_caches, shard_index
-from repro.dse.pareto import Objective, dominance_ranks, dominates, pareto_front
+from repro.dse.pareto import (
+    Objective,
+    dominance_ranks,
+    dominates,
+    hypervolume_proxy,
+    objective_bounds,
+    pareto_front,
+    update_front,
+)
 from repro.dse.runner import (
     MEMORY_TARGET,
     SYSTEM_TARGET,
@@ -221,6 +241,13 @@ __all__ = [
     "dominates",
     "dominance_ranks",
     "pareto_front",
+    "update_front",
+    "hypervolume_proxy",
+    "objective_bounds",
+    "CampaignReport",
+    "ParetoSample",
+    "WorkerUtilization",
+    "build_report",
     "MemoryCampaignResult",
     "SystemCampaignResult",
     "explore_memory",

@@ -7,6 +7,10 @@ Subcommands:
 * ``resume SPEC --dir DIR`` — shorthand for ``run --resume``;
 * ``status --dir DIR``      — report a campaign directory's journal
   (including retry and quarantine counts);
+* ``analyze DIR``           — replay the campaign's journals into a
+  read-only analytics report: evaluation-latency percentiles, worker
+  utilization, cache-hit/retry/timeout rates, and Pareto-front
+  evolution (``--json`` for the machine-readable payload);
 * ``retry --dir DIR``       — re-release quarantined (flaky) points so
   the next ``resume`` re-runs them with a fresh retry budget;
 * ``worker DIR``            — evaluate points for a worker-pull
@@ -130,6 +134,18 @@ def _positive_float(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError("must be > 0, got %s" % text)
     return value
+
+
+def _objective_arg(text: str):
+    """Argparse type: ``KEY`` or ``KEY:min`` / ``KEY:max``."""
+    if ":" in text:
+        key, _, sense = text.rpartition(":")
+        if not key or sense not in ("min", "max"):
+            raise argparse.ArgumentTypeError(
+                "objective must be KEY or KEY:min / KEY:max, got %r" % text
+            )
+        return (key, sense)
+    return text
 
 
 def _connect_endpoint(text: str) -> str:
@@ -548,6 +564,95 @@ def cmd_status(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Replay a campaign's journals into a latency/utilization report."""
+    from repro.dse.analytics import build_report
+
+    try:
+        report = build_report(
+            args.dir,
+            objectives=args.objectives,
+            pareto_samples=args.samples,
+        )
+    except FileNotFoundError:
+        print(
+            "no campaign journal at %s" % journal_path(args.dir),
+            file=sys.stderr,
+        )
+        return 2
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        # Machine-readable contract (CI artefacts, dashboards): exactly
+        # one JSON object on stdout, nothing else.
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    status = report.status
+    print("campaign:   %s..." % status["campaign_key"][:16])
+    print("progress:   %d/%d done, %d failed (%d timed out), "
+          "%d remaining, %d quarantined"
+          % (
+              status["done"],
+              status["total"],
+              status["failed"],
+              status["timeouts"],
+              status["remaining"],
+              status["quarantined"],
+          ))
+    if not report.accounting_consistent:
+        print("WARNING:    accounting inconsistent "
+              "(done + remaining + quarantined != total)")
+    torn = (
+        " (torn tail: %d bytes dropped)" % report.torn_bytes
+        if report.torn_bytes
+        else ""
+    )
+    print("journal:    %d events over %.1fs%s"
+          % (report.events, report.duration_s, torn))
+    print("throughput: %.3f points/s (%d evaluated completions)"
+          % (report.throughput, report.completions))
+    if report.latency is not None:
+        print("latency:    p50 %.3fs  p90 %.3fs  p99 %.3fs  "
+              "(mean %.3fs over %d points)"
+              % (
+                  report.latency["p50"],
+                  report.latency["p90"],
+                  report.latency["p99"],
+                  report.latency["mean"],
+                  report.latency["count"],
+              ))
+    else:
+        print("latency:    no evaluated completions in the journal tail")
+    print("rates:      cache-hit %.1f%%  retry %.1f%%  timeout %.1f%%"
+          % (
+              100.0 * report.rates.get("cache_hit", 0.0),
+              100.0 * report.rates.get("retry", 0.0),
+              100.0 * report.rates.get("timeout", 0.0),
+          ))
+    for fold in report.workers:
+        print("worker:     %-20s %3d task(s)  busy %7.1fs / %7.1fs  "
+              "(%.0f%% utilized)"
+              % (
+                  fold.worker,
+                  fold.tasks,
+                  fold.busy_s,
+                  fold.span_s,
+                  100.0 * fold.utilization,
+              ))
+    if report.pareto:
+        names = ", ".join(
+            "%s:%s" % tuple(o) if isinstance(o, (list, tuple)) else str(o)
+            for o in report.objectives
+        )
+        print("pareto:     objectives [%s]" % names)
+        for sample in report.pareto:
+            print("pareto:     after %4d completed: front %3d, "
+                  "hypervolume %.4f"
+                  % (sample.completed, sample.front_size, sample.hypervolume))
+    return 0
+
+
 def cmd_retry(args) -> int:
     """Re-release quarantined points so ``resume`` re-runs them."""
     path = journal_path(args.dir)
@@ -816,6 +921,30 @@ def build_parser() -> argparse.ArgumentParser:
              "(journal counts + leased + cache_entries) instead of text",
     )
     status.set_defaults(func=cmd_status)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="replay a campaign's journals into a latency/utilization/"
+             "Pareto report",
+    )
+    analyze.add_argument("dir", help="campaign directory")
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="print exactly one machine-readable JSON object instead "
+             "of text (the CampaignReport payload)",
+    )
+    analyze.add_argument(
+        "--samples", type=_positive_int, default=16, metavar="N",
+        help="Pareto-evolution samples along the completion sequence "
+             "(default: 16)",
+    )
+    analyze.add_argument(
+        "--objectives", nargs="+", default=None, metavar="KEY[:min|:max]",
+        type=_objective_arg,
+        help="override the journaled Pareto objectives "
+             "(default sense: min)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
 
     retry = sub.add_parser(
         "retry", help="re-release quarantined (flaky) points"

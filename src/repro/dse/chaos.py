@@ -296,10 +296,12 @@ class InvariantChecker:
     way:
 
     1. the campaign journal parses with no *interior* corruption (a
-       torn final line is lawful; a torn middle one never is);
-    2. status totals are conserved: ``failed <= done <= total`` (the
-       ``done`` count includes failed points), ``remaining`` matches,
-       and (for a campaign that ran to completion) ``done == total``;
+       torn final line is lawful; a torn middle one never is), and its
+       event stamps ``t`` are monotone non-decreasing;
+    2. status totals are conserved: the disjoint progress buckets
+       satisfy ``done + remaining + quarantined == total`` exactly,
+       ``done <= total``, and (for a campaign that ran to completion)
+       ``done + quarantined == total``;
     3. no lost results: every point the journal records as completed-ok
        has a parseable record in the result cache;
     4. no double-apply: no point is both completed-ok and quarantined;
@@ -334,10 +336,39 @@ class InvariantChecker:
             violations.append("no campaign journal at %s" % path)
             return None
         try:
-            return CampaignState.load(path)
+            state = CampaignState.load(path)
         except Exception as exc:
             violations.append("campaign journal corrupt: %s" % exc)
             return None
+        self._check_journal_clock(path, violations)
+        return state
+
+    def _check_journal_clock(self, path: str, violations: List[str]) -> None:
+        """Campaign-journal stamps must be monotone non-decreasing.
+
+        Appends clamp ``t`` to the journal's high-water mark, so a
+        decreasing stamp means hand-edited history or an append path
+        that bypassed the clamp — either way analytics durations would
+        silently go negative.
+        """
+        from repro.dse.journal import read_events
+
+        try:
+            events, _ = read_events(path)
+        except (OSError, ValueError):
+            return  # parse problems are _check_journal's report
+        last_t = None
+        for event in events:
+            stamp = event.get("t")
+            if not isinstance(stamp, (int, float)):
+                continue
+            if last_t is not None and stamp < last_t:
+                violations.append(
+                    "campaign journal: t decreased (%r after %r)"
+                    % (stamp, last_t)
+                )
+                break
+            last_t = float(stamp)
 
     def _check_totals(
         self, state, violations: List[str], expect_complete: bool
@@ -347,19 +378,25 @@ class InvariantChecker:
         done = int(status.get("done", 0))
         failed = int(status.get("failed", 0))
         remaining = int(status.get("remaining", 0))
-        if done > total or failed > done:
+        quarantined = int(status.get("quarantined", 0))
+        if done > total or failed > done + quarantined:
             violations.append(
-                "totals not conserved: done=%d failed=%d total=%d"
-                % (done, failed, total)
+                "totals not conserved: done=%d failed=%d quarantined=%d "
+                "total=%d" % (done, failed, quarantined, total)
             )
-        if remaining != max(0, total - done):
+        # The accounting identity: the disjoint progress buckets must
+        # tile the plan exactly (quarantined points are not runnable,
+        # so they may not hide inside ``remaining``).
+        if done + remaining + quarantined != total:
             violations.append(
-                "totals not conserved: remaining=%d with done=%d total=%d"
-                % (remaining, done, total)
+                "totals not conserved: done=%d + remaining=%d + "
+                "quarantined=%d != total=%d"
+                % (done, remaining, quarantined, total)
             )
-        if expect_complete and done != total:
+        if expect_complete and done + quarantined != total:
             violations.append(
-                "campaign incomplete: done=%d != total=%d" % (done, total)
+                "campaign incomplete: done=%d + quarantined=%d != total=%d"
+                % (done, quarantined, total)
             )
 
     def _check_cache(self, state, violations: List[str]) -> None:
@@ -396,10 +433,8 @@ class InvariantChecker:
         if not os.path.isdir(queue.leases_dir):
             return
         merged: List[Dict] = []
-        for name in sorted(os.listdir(queue.leases_dir)):
-            if not name.endswith(".jsonl"):
-                continue
-            path = os.path.join(queue.leases_dir, name)
+        for path in queue.lease_journal_paths():
+            name = os.path.basename(path)
             events = read_lease_events(path)
             merged.extend(events)
             last_seq, last_t = 0, 0.0

@@ -138,6 +138,10 @@ class CampaignState:
         self.started: Set[str] = set()
         self.created = time.time()
         self.updated = self.created
+        # High-water mark of journaled event stamps: appends clamp to
+        # it so ``t`` is monotone non-decreasing per journal even when
+        # the wall clock steps backwards (NTP) mid-campaign.
+        self._last_t = 0.0
         #: Bytes of torn final line dropped by the last load (0 = clean).
         self.recovered_torn_bytes = 0
         self._journal = JsonlJournal(
@@ -242,6 +246,9 @@ class CampaignState:
             state.updated = max(state.updated, snapshot.get("updated", 0.0))
         for event in events[1:]:
             state._apply(event)
+        # Snapshot-folded history carried stamps up to ``updated``; new
+        # appends must stay past them even though the events are gone.
+        state._last_t = max(state._last_t, float(state.updated or 0.0))
         state._journal.lines = len(events)
         state.recovered_torn_bytes = torn
         state._ready = True
@@ -351,11 +358,21 @@ class CampaignState:
         self._ready = True
 
     def _append(self, event: Dict) -> None:
-        """Append one event (stamped with wall-clock) and maybe compact."""
+        """Append one event (stamped with wall-clock) and maybe compact.
+
+        The stamp never regresses below the previous event's ``t``:
+        read-side analytics and the chaos :class:`InvariantChecker`
+        rely on every journal being monotone non-decreasing in ``t``,
+        which a backwards wall-clock step (NTP) would otherwise break.
+        """
         if not self._ready:
             self._reset()
-        event.setdefault("t", time.time())
-        self.updated = max(self.updated, event["t"])
+        stamp = float(event.setdefault("t", time.time()))
+        if stamp < self._last_t:
+            stamp = self._last_t
+            event["t"] = stamp
+        self._last_t = stamp
+        self.updated = max(self.updated, stamp)
         self._journal.append(event)
         if self._journal.wants_compaction:
             self.save()
@@ -408,6 +425,7 @@ class CampaignState:
         stamp = event.get("t")
         if isinstance(stamp, (int, float)):
             self.updated = max(self.updated, stamp)
+            self._last_t = max(self._last_t, float(stamp))
         key = event.get("key")
         if kind in ("done", "failed"):
             self.completed[key] = {
@@ -473,6 +491,12 @@ class CampaignState:
             self.quarantined.discard(key)
         if outcome.from_cache:
             event = {"event": "cached", "key": key, "ok": outcome.ok}
+            if outcome.elapsed:
+                # The original evaluation's wall-clock, carried through
+                # the cache record: analytics can separate "free" cache
+                # hits from the latency the point once cost, and never
+                # mistakes a hit for a zero-latency evaluation.
+                event["elapsed"] = float(outcome.elapsed)
             if outcome.error is not None:
                 event["error"] = outcome.error
         else:
@@ -582,14 +606,31 @@ class CampaignState:
         return sum(count - 1 for count in self.attempts.values() if count > 1)
 
     def status(self) -> Dict:
-        """JSON-ready progress summary (the CLI ``status`` payload)."""
+        """JSON-ready progress summary (the CLI ``status`` payload).
+
+        The progress buckets are disjoint — ``done`` counts completed
+        points that are *not* quarantined, ``quarantined`` the flaky
+        points parked by the retry policy, ``remaining`` what is still
+        runnable — so ``done + remaining + quarantined == total``
+        always holds (the accounting invariant analytics and the chaos
+        checker assert).  The historic ``remaining = total - done``
+        silently counted quarantined points as still-runnable: a
+        campaign that had given up on a point forever reported it as
+        pending work.  ``failed``/``timeouts`` stay raw diagnostic
+        counts over every journaled completion (a quarantined point's
+        final failure is journaled before its quarantine line, so a
+        quarantined timeout still shows up as a timeout).
+        """
+        done = sum(
+            1 for key in self.completed if key not in self.quarantined
+        )
         return {
             "campaign_key": self.key,
             "total": self.total,
-            "done": self.done,
+            "done": done,
             "failed": self.failed,
             "timeouts": self.timeouts,
-            "remaining": max(0, self.total - self.done),
+            "remaining": max(0, self.total - done - len(self.quarantined)),
             "retried": self.retried,
             "retries": self.retries,
             "quarantined": len(self.quarantined),

@@ -749,7 +749,14 @@ class WorkQueue:
 
     # -- leases ---------------------------------------------------------
 
-    def _journal_paths(self) -> List[str]:
+    def lease_journal_paths(self) -> List[str]:
+        """Sorted per-worker claim-journal paths (empty when none exist).
+
+        Shared by the coordinator's folds, the chaos
+        :class:`~repro.dse.chaos.InvariantChecker`, and the read-side
+        analytics replay, so every consumer agrees on what counts as a
+        lease journal.
+        """
         try:
             names = sorted(os.listdir(self.leases_dir))
         except OSError:
@@ -768,7 +775,7 @@ class WorkQueue:
         applied watermarks.
         """
         events: List[Dict] = []
-        for path in self._journal_paths():
+        for path in self.lease_journal_paths():
             events.extend(read_lease_events(path))
         return events
 
@@ -806,7 +813,7 @@ class WorkQueue:
         if self._table is None:
             self._table = LeaseTable()
         fresh: List[Dict] = []
-        for path in self._journal_paths():
+        for path in self.lease_journal_paths():
             mark = self._watermarks.get(path)
             if mark is None:
                 mark = self._watermarks[path] = [0, 0]
@@ -838,7 +845,7 @@ class WorkQueue:
         self.fold_stats["full_refolds"] += 1
         self._watermarks = {}
         events: List[Dict] = []
-        for path in self._journal_paths():
+        for path in self.lease_journal_paths():
             parsed, offset = read_lease_tail(path, 0)
             self._watermarks[path] = [offset, len(parsed)]
             events.extend(parsed)

@@ -13,7 +13,7 @@ points share a front.
 """
 
 from dataclasses import dataclass
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -141,6 +141,97 @@ def _dominance_ranks_reference(
         remaining = [i for i in remaining if i not in front_set]
         rank += 1
     return ranks
+
+
+def update_front(
+    front: Sequence[Mapping],
+    record: Mapping,
+    objectives: Sequence[ObjectiveSpec],
+) -> List[Mapping]:
+    """Fold one record into a non-dominated archive.
+
+    Returns the new front: ``record`` is dropped if any member
+    dominates it, otherwise it joins and evicts the members it
+    dominates.  Folding a stream of N records costs O(N * front * m)
+    instead of the O(N^2 * m) a per-prefix :func:`pareto_front` would
+    pay — the read-side analytics replay samples the front evolution
+    of campaigns with 10^4+ completions this way.
+
+    Raises:
+        KeyError: If ``record`` lacks an objective key (callers filter
+            incomparable records before folding).
+    """
+    parsed = [Objective.parse(o) for o in objectives]
+    vector = _values(record, parsed)
+    kept: List[Mapping] = []
+    for member in front:
+        existing = _values(member, parsed)
+        if _vector_dominates(existing, vector):
+            return list(front)  # dominated: the archive is unchanged
+        if not _vector_dominates(vector, existing):
+            kept.append(member)
+    kept.append(record)
+    return kept
+
+
+def hypervolume_proxy(
+    front: Sequence[Mapping],
+    objectives: Sequence[ObjectiveSpec],
+    bounds: Mapping[str, Tuple[float, float]],
+) -> float:
+    """Cheap, deterministic stand-in for dominated hypervolume in [0, 1].
+
+    The largest normalised box any single front member dominates: each
+    objective is mapped onto [0, 1] via ``bounds`` (sign-normalised
+    ``key -> (best, worst)`` over the whole campaign, so samples taken
+    at different times share one scale) and the proxy is
+    ``max over front of prod_j (worst_j - v_j) / (worst_j - best_j)``.
+    A lower bound on the true hypervolume against the ``worst`` corner
+    — monotone non-decreasing as the front improves under fixed
+    bounds, which is the property trajectory plots need.  Degenerate
+    axes (``best == worst``) contribute a full edge rather than
+    poisoning the product with 0/0.
+    """
+    parsed = [Objective.parse(o) for o in objectives]
+    best = 0.0
+    for member in front:
+        vector = _values(member, parsed)
+        volume = 1.0
+        for objective, value in zip(parsed, vector):
+            lo, hi = bounds[objective.key]
+            if hi <= lo:
+                continue  # degenerate axis: every point spans it
+            edge = (hi - value) / (hi - lo)
+            volume *= min(1.0, max(0.0, edge))
+        best = max(best, volume)
+    return best
+
+
+def objective_bounds(
+    records: Sequence[Mapping], objectives: Sequence[ObjectiveSpec]
+) -> Dict[str, Tuple[float, float]]:
+    """Sign-normalised ``key -> (best, worst)`` over finite records.
+
+    The fixed normalisation frame for :func:`hypervolume_proxy`:
+    computed once over a whole campaign so that front samples taken at
+    different completion counts are comparable.  Records lacking an
+    objective key (or carrying non-finite values) are skipped.
+    """
+    parsed = [Objective.parse(o) for o in objectives]
+    lows: Dict[str, float] = {}
+    highs: Dict[str, float] = {}
+    for record in records:
+        try:
+            vector = _values(record, parsed)
+        except (KeyError, TypeError, ValueError):
+            continue
+        if not all(np.isfinite(vector)):
+            continue
+        for objective, value in zip(parsed, vector):
+            key = objective.key
+            lows[key] = min(lows.get(key, value), value)
+            highs[key] = max(highs.get(key, value), value)
+    return {key: (lows[key], highs[key]) for key in lows}
 
 
 def pareto_front(

@@ -36,6 +36,7 @@ import select
 import signal
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, replace
 from typing import (
     Callable,
@@ -418,6 +419,13 @@ def default_workers() -> int:
     return workers
 
 
+#: Throughput window for :attr:`Progress.rate`: the dispatch-start seed
+#: sample plus the most recent evaluated completions.  Wide enough to
+#: smooth per-point jitter, narrow enough that ETA tracks drift (slow
+#: tail points, workers joining or dying) instead of the run-start mean.
+ETA_WINDOW = 33
+
+
 @dataclass
 class Progress:
     """Snapshot of a streaming run, passed to the progress callback.
@@ -432,6 +440,10 @@ class Progress:
         cached: Completions served from the result cache.
         failed: Completions whose evaluator raised.
         elapsed: Wall-clock since the run started [s].
+        rate: Evaluated completions per second over the most recent
+            :data:`ETA_WINDOW` window (0.0 until measurable).  Measured
+            at the runner, so it already reflects parallelism — with 4
+            workers it is ~4x a single worker's rate.
     """
 
     total: int
@@ -439,6 +451,7 @@ class Progress:
     cached: int = 0
     failed: int = 0
     elapsed: float = 0.0
+    rate: float = 0.0
 
     @property
     def evaluated(self) -> int:
@@ -451,16 +464,23 @@ class Progress:
 
     @property
     def eta(self) -> Optional[float]:
-        """Estimated seconds to completion.
+        """Estimated seconds to completion: ``remaining / rate``.
 
-        Extrapolates the mean evaluation wall-clock over the remaining
-        points; None until the first evaluated (non-cached) point lands.
+        None until the window has a measurable completion rate.  The
+        windowed rate fixes the failure modes of the historic
+        ``elapsed / evaluated * remaining`` extrapolation: wall time
+        spent before dispatch — scanning the cache and streaming hits
+        to the progress consumer — sat in ``elapsed`` and inflated the
+        estimate (a mostly-warm resume could report an ETA many times
+        the true remaining time), and throughput drift mid-run (pull
+        workers joining or dying) was averaged away by the run-start
+        mean instead of being tracked.
         """
         if self.remaining == 0:
             return 0.0
-        if self.evaluated == 0:
-            return None
-        return self.elapsed / self.evaluated * self.remaining
+        if self.rate > 0:
+            return self.remaining / self.rate
+        return None
 
 
 #: Signature of the progress hook: called with a Progress snapshot.
@@ -616,22 +636,38 @@ class CampaignRunner:
         """
         start = time.perf_counter()
         state = Progress(total=len(jobs))
+        # Throughput samples for Progress.rate: (evaluated, elapsed)
+        # pairs.  Only evaluated completions append, and the seed sample
+        # lands when dispatch begins — so neither the cache scan nor a
+        # slow progress consumer on cached ticks dilutes the rate.
+        window = deque(maxlen=ETA_WINDOW)
 
         def tick(outcome: JobResult) -> None:
             state.done += 1
             state.cached += 1 if outcome.from_cache else 0
             state.failed += 0 if outcome.ok else 1
             state.elapsed = time.perf_counter() - start
+            if not outcome.from_cache:
+                window.append((state.evaluated, state.elapsed))
+            if len(window) >= 2:
+                span = window[-1][1] - window[0][1]
+                if span > 0:
+                    state.rate = (window[-1][0] - window[0][0]) / span
             if progress is not None:
                 progress(replace(state))
 
-        # Cache lookups + same-campaign deduplication.
+        # Cache lookups + same-campaign deduplication.  Hits carry the
+        # original evaluation's wall-clock (persisted alongside the
+        # result), so read-side analytics can tell a genuinely instant
+        # point from a replayed one.
         pending: Dict[str, List[int]] = {}
         for index, job in enumerate(jobs):
             record = self.cache.get(job.key) if self.cache is not None else None
             if record is not None:
                 outcome = JobResult(
-                    job=job, ok=True, result=record["result"], from_cache=True
+                    job=job, ok=True, result=record["result"],
+                    from_cache=True,
+                    elapsed=float(record.get("elapsed") or 0.0),
                 )
                 tick(outcome)
                 yield index, outcome
@@ -657,6 +693,10 @@ class CampaignRunner:
             else replace(job, deadline=self.effective_deadline(job))
             for job in to_run
         ]
+        if to_run:
+            # Rate-window baseline: evaluation starts *now*; everything
+            # before this instant was cache traffic.
+            window.append((state.evaluated, time.perf_counter() - start))
         while to_run:
             retries: List[Tuple[Job, float]] = []
             for job, (ok, result, error, elapsed) in self._imap(to_run):

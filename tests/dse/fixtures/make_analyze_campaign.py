@@ -1,0 +1,130 @@
+"""Regenerate the committed ``analyze_campaign/`` golden fixture.
+
+The fixture is a tiny, fully deterministic campaign directory (fixed
+keys, fixed stamps) exercising every analytics surface at once: ok /
+failed / timed-out / cached completions, a retry, a quarantined point,
+two worker claim journals (one worker dying mid-task), and a result
+cache whose memory-kind records feed the Pareto fold.  The expected
+``analyze --json`` payload is committed next to it; regenerate both
+after an intentional report-format change with::
+
+    PYTHONPATH=src python tests/dse/fixtures/make_analyze_campaign.py
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.join(HERE, "analyze_campaign")
+
+K1 = "a1" + "0" * 14
+K2 = "b2" + "0" * 14
+K3 = "c3" + "0" * 14
+K4 = "d4" + "0" * 14
+K5 = "e5" + "0" * 14
+
+JOURNAL = [
+    {
+        "event": "begin",
+        "version": 2,
+        "campaign_key": "fixture-analyze-0001",
+        "total": 5,
+        "meta": {
+            "kind": "memory",
+            "sampler": "grid",
+            "objectives": [["write_latency", "min"], ["write_energy", "min"]],
+        },
+        "created": 1000.0,
+        "updated": 1000.0,
+    },
+    {"event": "started", "key": K1, "t": 1000.5},
+    {"event": "started", "key": K2, "t": 1000.7},
+    {"event": "started", "key": K3, "t": 1000.9},
+    {"event": "started", "key": K5, "t": 1001.1},
+    {"event": "done", "key": K1, "elapsed": 2.0, "t": 1003.0},
+    {"event": "done", "key": K2, "elapsed": 4.0, "t": 1005.0},
+    {"event": "retry", "key": K3, "attempt": 1, "backoff": 0.0,
+     "error": "RuntimeError: boom", "t": 1005.5},
+    {"event": "failed", "key": K3, "elapsed": 1.5,
+     "error": "RuntimeError: boom", "attempts": 2, "t": 1007.0},
+    {"event": "quarantine", "key": K3, "attempts": 2, "t": 1007.1},
+    {"event": "cached", "key": K4, "ok": True, "elapsed": 0.5, "t": 1007.5},
+    {"event": "failed", "key": K5, "elapsed": 3.0,
+     "error": "EvaluationTimeout: evaluation exceeded its 3s deadline",
+     "timeout": True, "t": 1009.0},
+]
+
+# (key, write_latency, write_energy): K4 dominates K1, K2 survives.
+CACHE_ROWS = [(K1, 2.0, 3.0), (K2, 1.0, 4.0), (K4, 1.5, 2.5)]
+
+LEASES = {
+    # w1 finishes K1 and dies holding K3 (its last heartbeat at 1005.0
+    # bounds the busy credit); w2 finishes K2 and K5.
+    "w1": [
+        {"event": "claim", "task": K1 + "-0", "ttl": 30.0, "t": 1001.0},
+        {"event": "heartbeat", "task": K1 + "-0", "ttl": 30.0, "t": 1002.0},
+        {"event": "done", "task": K1 + "-0", "t": 1003.0},
+        {"event": "claim", "task": K3 + "-0", "ttl": 30.0, "t": 1004.0},
+        {"event": "heartbeat", "task": K3 + "-0", "ttl": 30.0, "t": 1005.0},
+    ],
+    "w2": [
+        {"event": "claim", "task": K2 + "-0", "ttl": 30.0, "t": 1001.2},
+        {"event": "done", "task": K2 + "-0", "t": 1005.0},
+        {"event": "claim", "task": K5 + "-0", "ttl": 30.0, "t": 1006.0},
+        {"event": "done", "task": K5 + "-0", "t": 1009.0},
+    ],
+}
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(HERE, "..", "..", "..", "src"))
+    from repro.dse.analytics import build_report
+    from repro.dse.cache import ResultCache
+
+    os.makedirs(ROOT, exist_ok=True)
+    with open(os.path.join(ROOT, "journal.jsonl"), "w") as handle:
+        for event in JOURNAL:
+            handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    cache = ResultCache(os.path.join(ROOT, "cache"))
+    for key, latency, energy in CACHE_ROWS:
+        cache.put(
+            key,
+            {
+                "target": "dse-memory-point",
+                "spec": {
+                    "node_nm": 45,
+                    "constraints": {"wer_target": 1e-9},
+                },
+                "result": {
+                    "feasible": True,
+                    "point": {
+                        "config": {"subarray_rows": 128},
+                        "write_latency": latency,
+                        "write_energy": energy,
+                    },
+                },
+                "elapsed": 0.5,
+            },
+        )
+
+    leases_dir = os.path.join(ROOT, "work", "leases")
+    os.makedirs(leases_dir, exist_ok=True)
+    for worker, events in LEASES.items():
+        with open(os.path.join(leases_dir, worker + ".jsonl"), "w") as handle:
+            for seq, event in enumerate(events, start=1):
+                line = dict(event, worker=worker, seq=seq)
+                handle.write(json.dumps(line, separators=(",", ":")) + "\n")
+
+    payload = build_report(ROOT).to_dict()
+    expected = os.path.join(HERE, "analyze_campaign_expected.json")
+    with open(expected, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s and %s" % (ROOT, expected))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

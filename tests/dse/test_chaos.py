@@ -19,6 +19,7 @@ Three layers:
 """
 
 import errno
+import json
 import logging
 import os
 import random
@@ -29,6 +30,7 @@ import pytest
 
 from repro.dse import (
     CHAOS_TARGET,
+    JOURNAL_VERSION,
     CampaignRunner,
     CampaignState,
     ChaosCrash,
@@ -386,6 +388,55 @@ class TestInvariantChecker:
         os.unlink(victims[0])
         violations = InvariantChecker(camp).check(expect_complete=True)
         assert any("lost result" in v for v in violations)
+
+    def test_detects_backward_clock_in_journal(self, tmp_path):
+        """Stamps must be monotone non-decreasing per journal; the
+        writer clamps them, so a regression can only mean damage (or a
+        writer bug) and the checker flags it."""
+        camp = tmp_path / "camp"
+        camp.mkdir()
+        lines = [
+            {
+                "event": "begin",
+                "version": JOURNAL_VERSION,
+                "campaign_key": campaign_key({"kind": "chaos-clock"}),
+                "total": 2,
+                "meta": {},
+                "created": 100.0,
+                "updated": 100.0,
+            },
+            {"event": "done", "key": "aa00", "elapsed": 1.0, "t": 100.0},
+            {"event": "done", "key": "bb00", "elapsed": 1.0, "t": 50.0},
+        ]
+        with open(camp / "journal.jsonl", "w") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        violations = InvariantChecker(str(camp)).check()
+        assert any("t decreased" in v for v in violations)
+
+    def test_monotone_journal_passes_clock_law(self, tmp_path):
+        """The same campaign with ordered stamps raises no clock
+        violation (the lost-result law still fires: no cache)."""
+        camp = tmp_path / "camp"
+        camp.mkdir()
+        lines = [
+            {
+                "event": "begin",
+                "version": JOURNAL_VERSION,
+                "campaign_key": campaign_key({"kind": "chaos-clock"}),
+                "total": 2,
+                "meta": {},
+                "created": 100.0,
+                "updated": 100.0,
+            },
+            {"event": "done", "key": "aa00", "elapsed": 1.0, "t": 100.0},
+            {"event": "done", "key": "bb00", "elapsed": 1.0, "t": 100.0},
+        ]
+        with open(camp / "journal.jsonl", "w") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        violations = InvariantChecker(str(camp)).check()
+        assert not any("t decreased" in v for v in violations)
 
     def test_incomplete_campaign_flagged_only_when_expected_complete(
         self, tmp_path

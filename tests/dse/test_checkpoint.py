@@ -2,6 +2,7 @@
 
 import json
 import os
+import time
 
 import pytest
 
@@ -9,8 +10,10 @@ from repro.dse import (
     CampaignRunner,
     CampaignState,
     Job,
+    JobResult,
     ResultCache,
     campaign_key,
+    read_events,
     register_target,
     run_checkpointed,
 )
@@ -154,6 +157,112 @@ class TestCampaignState:
         with pytest.raises(OSError, match="disk full"):
             atomic_write_text(str(tmp_path / "out.json"), "{}")
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestStatusAccounting:
+    def test_quarantined_points_leave_remaining(self, tmp_path):
+        """Regression: a quarantined point counted as both done and
+        remaining — ``done + remaining + quarantined`` summed past
+        ``total``.  The buckets are disjoint now."""
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=4)
+        for outcome in CampaignRunner(workers=1).run(
+            [Job("ckpt-echo", {"x": i}) for i in range(2)]
+        ):
+            state.record(outcome)
+        bad = Job("ckpt-fragile", {"x": 1})
+        (failure,) = CampaignRunner(workers=1).run([bad])
+        state.record(failure)
+        state.quarantine(bad.key, 3)
+        status = state.status()
+        assert status["done"] == 2
+        assert status["quarantined"] == 1
+        assert status["remaining"] == 1  # the one point never submitted
+        assert (
+            status["done"] + status["remaining"] + status["quarantined"]
+            == status["total"]
+        )
+        # failed/timeouts stay raw diagnostics over every completion:
+        # the quarantined point's final failure is still visible.
+        assert status["failed"] == 1
+
+    def test_release_returns_point_to_remaining(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=2)
+        bad = Job("ckpt-fragile", {"x": 1})
+        (failure,) = CampaignRunner(workers=1).run([bad])
+        state.record(failure)
+        state.quarantine(bad.key, 3)
+        assert state.status()["remaining"] == 1
+        state.release()
+        status = state.status()
+        assert status["quarantined"] == 0
+        assert status["remaining"] == 2
+        assert status["failed"] == 0  # the failed entry was cleared
+
+    def test_accounting_identity_survives_reload(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=3)
+        bad = Job("ckpt-fragile", {"x": 1})
+        (failure,) = CampaignRunner(workers=1).run([bad])
+        state.record(failure)
+        state.quarantine(bad.key, 3)
+        state.close()
+        status = CampaignState.load(path).status()
+        assert status["done"] == 0
+        assert status["quarantined"] == 1
+        assert status["remaining"] == 2
+        assert (
+            status["done"] + status["remaining"] + status["quarantined"]
+            == status["total"]
+        )
+
+
+class TestMonotoneStamps:
+    def test_append_clamps_backward_clock(self, tmp_path):
+        """Regression: a backwards wall-clock step (NTP) journaled a
+        decreasing ``t``; appends clamp to the high-water mark."""
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=2)
+        state._append({"event": "started", "key": "k1", "t": 100.0})
+        state._append({"event": "started", "key": "k2", "t": 50.0})
+        state.close()
+        events, torn = read_events(path)
+        assert torn == 0
+        assert [e["t"] for e in events[1:]] == [100.0, 100.0]
+
+    def test_reload_seeds_high_water_mark(self, tmp_path):
+        """The clamp spans process restarts: a journal whose stamps run
+        ahead of this host's clock never regresses on resume."""
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=2)
+        future = time.time() + 3600.0
+        state._append({"event": "started", "key": "k1", "t": future})
+        state.close()
+        reloaded = CampaignState.load(path)
+        job = Job("ckpt-echo", {"x": 0})
+        (outcome,) = CampaignRunner(workers=1).run([job])
+        reloaded.record(outcome)  # wall-clock is an hour behind
+        reloaded.close()
+        events, _ = read_events(path)
+        stamps = [e["t"] for e in events[1:]]
+        assert stamps == sorted(stamps)
+        assert events[-1]["t"] >= future
+
+    def test_cached_completion_journals_original_elapsed(self, tmp_path):
+        """Regression: cache-served completions journaled no elapsed,
+        so analytics mistook a hit for a zero-latency evaluation."""
+        path = str(tmp_path / "journal.jsonl")
+        state = CampaignState.open(path, KEY, total=1)
+        job = Job("ckpt-echo", {"x": 0})
+        state.record(JobResult(
+            job=job, ok=True, result={"value": 0},
+            elapsed=0.125, from_cache=True,
+        ))
+        state.close()
+        events, _ = read_events(path)
+        cached = [e for e in events if e["event"] == "cached"]
+        assert cached and cached[0]["elapsed"] == 0.125
 
 
 class TestRunCheckpointed:

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.dse import Objective, dominance_ranks, dominates, pareto_front
+from repro.dse import (
+    Objective,
+    dominance_ranks,
+    dominates,
+    hypervolume_proxy,
+    objective_bounds,
+    pareto_front,
+    update_front,
+)
 
 
 def point(lat, energy):
@@ -148,3 +156,118 @@ class TestVectorizedRanksMatchReference:
         # this guards the shape (every rank distinct, in value order).
         records = [{"latency": float(i)} for i in range(400)]
         assert dominance_ranks(records, ["latency"]) == list(range(400))
+
+
+class TestUpdateFront:
+    """Incremental archive: stream folds must match the batch front."""
+
+    OBJECTIVES = ["latency", "energy"]
+
+    def test_nondominated_record_joins(self):
+        front = update_front([], point(1, 3), self.OBJECTIVES)
+        assert front == [point(1, 3)]
+        front = update_front(front, point(3, 1), self.OBJECTIVES)
+        assert front == [point(1, 3), point(3, 1)]
+
+    def test_dominated_record_leaves_archive_unchanged(self):
+        archive = [point(1, 1)]
+        out = update_front(archive, point(2, 2), self.OBJECTIVES)
+        assert out == archive
+        assert out is not archive  # a copy: callers may mutate freely
+
+    def test_new_record_evicts_dominated_members(self):
+        archive = [point(2, 2), point(1, 3), point(3, 1)]
+        out = update_front(archive, point(1, 1), self.OBJECTIVES)
+        assert out == [point(1, 1)]
+
+    def test_exact_tie_keeps_both(self):
+        out = update_front([point(1, 1)], point(1, 1), self.OBJECTIVES)
+        assert out == [point(1, 1), point(1, 1)]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            update_front([], {"latency": 1.0}, self.OBJECTIVES)
+
+    def test_stream_fold_matches_batch_front(self):
+        # Deterministic pseudo-random walk with ties and trade-offs.
+        records = [
+            point(float((i * 37) % 11), float((i * 53) % 13))
+            for i in range(60)
+        ]
+        front = []
+        for record in records:
+            front = update_front(front, record, self.OBJECTIVES)
+        batch = pareto_front(records, self.OBJECTIVES)
+        assert sorted(
+            (r["latency"], r["energy"]) for r in front
+        ) == sorted((r["latency"], r["energy"]) for r in batch)
+
+
+class TestObjectiveBounds:
+    def test_min_sense_bounds(self):
+        records = [point(1, 5), point(3, 2), point(2, 8)]
+        bounds = objective_bounds(records, ["latency", "energy"])
+        assert bounds == {"latency": (1.0, 3.0), "energy": (2.0, 8.0)}
+
+    def test_max_sense_is_sign_normalised(self):
+        records = [{"throughput": 1.0}, {"throughput": 3.0}]
+        bounds = objective_bounds(records, [("throughput", "max")])
+        assert bounds == {"throughput": (-3.0, -1.0)}
+
+    def test_skips_incomparable_and_nonfinite_records(self):
+        records = [
+            point(1, 1),
+            {"latency": 2.0},  # missing a key: skipped whole
+            point(float("inf"), 3),  # non-finite: skipped whole
+            point(3, 3),
+        ]
+        bounds = objective_bounds(records, ["latency", "energy"])
+        assert bounds == {"latency": (1.0, 3.0), "energy": (1.0, 3.0)}
+
+    def test_no_comparable_records_is_empty(self):
+        assert objective_bounds([{"other": 1.0}], ["latency"]) == {}
+
+
+class TestHypervolumeProxy:
+    OBJECTIVES = ["latency", "energy"]
+    BOUNDS = {"latency": (1.0, 3.0), "energy": (1.0, 3.0)}
+
+    def test_empty_front_is_zero(self):
+        assert hypervolume_proxy([], self.OBJECTIVES, self.BOUNDS) == 0.0
+
+    def test_ideal_corner_fills_the_box(self):
+        front = [point(1, 1)]
+        assert hypervolume_proxy(front, self.OBJECTIVES, self.BOUNDS) == 1.0
+
+    def test_worst_corner_is_zero(self):
+        front = [point(3, 3)]
+        assert hypervolume_proxy(front, self.OBJECTIVES, self.BOUNDS) == 0.0
+
+    def test_midpoint_is_quarter_box(self):
+        front = [point(2, 2)]
+        assert hypervolume_proxy(
+            front, self.OBJECTIVES, self.BOUNDS
+        ) == pytest.approx(0.25)
+
+    def test_monotone_as_front_improves(self):
+        bounds = self.BOUNDS
+        series = []
+        front = []
+        for record in [point(3, 3), point(2, 2), point(1, 2), point(1, 1)]:
+            front = update_front(front, record, self.OBJECTIVES)
+            series.append(hypervolume_proxy(front, self.OBJECTIVES, bounds))
+        assert series == sorted(series)
+        assert series[-1] == 1.0
+
+    def test_degenerate_axis_spans_full_edge(self):
+        bounds = {"latency": (2.0, 2.0), "energy": (1.0, 3.0)}
+        front = [point(2, 1)]
+        assert hypervolume_proxy(front, self.OBJECTIVES, bounds) == 1.0
+
+    def test_out_of_bounds_values_clip(self):
+        # A front member outside the frame (objectives overridden after
+        # the fact) clips to [0, 1] instead of exploding the product.
+        front = [point(0, 0)]
+        assert hypervolume_proxy(
+            front, self.OBJECTIVES, self.BOUNDS
+        ) == 1.0

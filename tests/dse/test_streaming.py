@@ -1,11 +1,14 @@
 """Tests for streaming execution, progress reporting and pool sizing."""
 
+import time
+
 import pytest
 
 from repro.dse import (
     WORKERS_ENV,
     CampaignRunner,
     Job,
+    Progress,
     ResultCache,
     default_workers,
     register_target,
@@ -110,6 +113,49 @@ class TestProgress:
         assert events[0].eta is None
         assert events[1].eta is None
         assert events[2].eta == 0.0
+
+    def test_eta_extrapolates_from_windowed_rate(self):
+        """Regression: ETA is remaining work over the *measured
+        evaluation rate*, not a rescaling of total wall-clock."""
+        probe = Progress(total=10, done=4, elapsed=100.0, rate=2.0)
+        assert probe.eta == 3.0  # 6 remaining / 2 per second
+        assert Progress(total=10, done=4, elapsed=100.0).eta is None
+        assert Progress(total=4, done=4, elapsed=100.0).eta == 0.0
+
+    def test_eta_ignores_cache_scan_stall(self, tmp_path):
+        """Regression: wall-clock burned streaming cached hits to a
+        slow consumer inflated the historic ``elapsed / evaluated *
+        remaining`` extrapolation; the windowed rate starts at
+        dispatch, so a mostly-warm resume reports the true remaining
+        time, not a multiple of it."""
+
+        def _sleepy(spec, seed):
+            time.sleep(0.05)
+            return {"value": spec["x"]}
+
+        register_target("stream-sleepy", _sleepy)
+        cache = ResultCache(str(tmp_path))
+        jobs = [Job("stream-sleepy", {"x": i}) for i in range(16)]
+        runner = CampaignRunner(workers=4, chunksize=1, cache=cache)
+        runner.run(jobs[:8])  # warm the first half
+
+        snapshots = []
+
+        def consume(progress):
+            snapshots.append(progress)
+            if progress.evaluated == 0:
+                time.sleep(0.25)  # slow consumer on the cached prefix
+
+        runner.run(jobs, progress=consume)
+        probe = next(p for p in snapshots if p.evaluated == 4)
+        assert probe.remaining == 4
+        # ~2s of cached-prefix stall sits in elapsed; the 4 remaining
+        # points cost well under a second of real evaluation.
+        historic = probe.elapsed / probe.evaluated * probe.remaining
+        assert historic >= 2.0
+        assert probe.eta is not None
+        assert probe.eta <= 1.5
+        assert historic > 2 * probe.eta
 
     def test_snapshots_are_independent(self):
         events = []
